@@ -1,0 +1,35 @@
+//! `mbssl-baselines` — the comparison zoo, re-implemented on the shared
+//! substrate so every method sees identical inputs and evaluation.
+//!
+//! Traditional sequential: [`pop::Pop`], [`pop::SPop`],
+//! [`itemknn::ItemKnn`], [`bprmf::BprMf`], [`gru4rec::Gru4Rec`],
+//! [`sasrec::SasRec`], [`bert4rec::Bert4Rec`].
+//! SSL: [`cl4srec::Cl4SRec`] (SASRec + augmentation contrast).
+//! Attention: [`stamp::Stamp`].
+//! Multi-interest: [`comirec::ComiRec`] (SA and DR variants).
+//! Multi-behavior: [`mbgru::MbGru`], [`mbt::Mbt`].
+
+pub mod bert4rec;
+pub mod cl4srec;
+pub mod bprmf;
+pub mod common;
+pub mod comirec;
+pub mod gru4rec;
+pub mod itemknn;
+pub mod mbgru;
+pub mod mbt;
+pub mod pop;
+pub mod sasrec;
+pub mod stamp;
+
+pub use bert4rec::Bert4Rec;
+pub use cl4srec::Cl4SRec;
+pub use bprmf::BprMf;
+pub use comirec::ComiRec;
+pub use gru4rec::Gru4Rec;
+pub use itemknn::ItemKnn;
+pub use mbgru::MbGru;
+pub use mbt::Mbt;
+pub use pop::{Pop, SPop};
+pub use sasrec::SasRec;
+pub use stamp::Stamp;

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the raw compute kernels — the costs
+//! underneath every entry of the efficiency table (Table 5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbssl_tensor::kernels;
+
+fn seq(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i * 7 + 3) % 13) as f32 * 0.25 - 1.0).collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nn");
+    for &n in &[32usize, 64, 128, 256] {
+        let a = seq(n * n);
+        let b = seq(n * n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, &n| {
+            let mut out = vec![0.0f32; n * n];
+            bencher.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, n, n, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_variants(c: &mut Criterion) {
+    let n = 128usize;
+    let a = seq(n * n);
+    let b = seq(n * n);
+    let mut group = c.benchmark_group("gemm_variants_128");
+    group.bench_function("nn", |bencher| {
+        let mut out = vec![0.0f32; n * n];
+        bencher.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_nn(&a, &b, &mut out, n, n, n);
+        });
+    });
+    group.bench_function("nt", |bencher| {
+        let mut out = vec![0.0f32; n * n];
+        bencher.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_nt(&a, &b, &mut out, n, n, n);
+        });
+    });
+    group.bench_function("tn", |bencher| {
+        let mut out = vec![0.0f32; n * n];
+        bencher.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_tn(&a, &b, &mut out, n, n, n);
+        });
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let rows = 256usize;
+    let cols = 100usize;
+    let data = seq(rows * cols);
+    c.bench_function("softmax_rows_256x100", |bencher| {
+        bencher.iter(|| {
+            let mut buf = data.clone();
+            kernels::softmax_rows(black_box(&mut buf), cols);
+            buf
+        });
+    });
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let (r, cc) = (256usize, 128usize);
+    let src = seq(r * cc);
+    c.bench_function("transpose_256x128", |bencher| {
+        let mut out = vec![0.0f32; r * cc];
+        bencher.iter(|| {
+            kernels::transpose(black_box(&src), &mut out, r, cc);
+        });
+    });
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let a = seq(4096);
+    let b = seq(4096);
+    c.bench_function("dot_4096", |bencher| {
+        bencher.iter(|| kernels::dot(black_box(&a), black_box(&b)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_gemm_variants, bench_softmax, bench_transpose, bench_dot
+}
+criterion_main!(benches);

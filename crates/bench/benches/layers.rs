@@ -1,0 +1,123 @@
+//! Criterion benchmarks for NN layers: attention, transformer block,
+//! hypergraph transformer layer, GRU, and the interest extractors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbssl_core::config::{ExtractorKind, ModelConfig};
+use mbssl_core::interest::InterestExtractor;
+use mbssl_hypergraph::{build_batch_incidence, HypergraphConfig, HypergraphTransformerLayer};
+use mbssl_tensor::nn::{Gru, Mode, MultiHeadAttention, TransformerBlock};
+use mbssl_tensor::{init, no_grad, Tensor};
+
+const B: usize = 32;
+const L: usize = 50;
+const D: usize = 32;
+
+fn input(rng: &mut StdRng) -> Tensor {
+    init::normal([B, L, D], 0.0, 1.0, rng)
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let attn = MultiHeadAttention::new(D, 2, 0.0, &mut rng);
+    let x = input(&mut rng);
+    c.bench_function("mha_forward_32x50x32", |b| {
+        b.iter(|| no_grad(|| attn.forward_self(&x, None, &mut Mode::Eval)));
+    });
+}
+
+fn bench_transformer_block(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let block = TransformerBlock::new(D, 2, D * 2, 0.0, &mut rng);
+    let x = input(&mut rng);
+    c.bench_function("transformer_block_forward", |b| {
+        b.iter(|| no_grad(|| block.forward(&x, None, &mut Mode::Eval)));
+    });
+    let x2 = input(&mut rng).requires_grad();
+    c.bench_function("transformer_block_fwd_bwd", |b| {
+        b.iter(|| {
+            x2.zero_grad();
+            block
+                .forward(&x2, None, &mut Mode::Eval)
+                .sum_all()
+                .backward();
+        });
+    });
+}
+
+fn demo_incidence() -> mbssl_hypergraph::BatchIncidence {
+    let mut items = Vec::new();
+    let mut behaviors = Vec::new();
+    let mut valid = Vec::new();
+    for b in 0..B {
+        for t in 0..L {
+            items.push(1 + (t * 3 + b) % 40);
+            behaviors.push(if t % 4 == 0 { 4 } else { 1 });
+            valid.push(1.0);
+        }
+    }
+    let cfg = HypergraphConfig {
+        behavior_tags: vec![1, 4],
+        window: 8,
+        max_item_edges: 4,
+    };
+    build_batch_incidence(&cfg, &items, &behaviors, &valid, B, L, 5)
+}
+
+fn bench_hypergraph_layer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let layer = HypergraphTransformerLayer::new(D, 2, D * 2, 0.0, 5, &mut rng);
+    let incidence = demo_incidence();
+    let x = input(&mut rng);
+    c.bench_function("hypergraph_layer_forward", |b| {
+        b.iter(|| no_grad(|| layer.forward(&x, &incidence, &mut Mode::Eval)));
+    });
+}
+
+fn bench_incidence_build(c: &mut Criterion) {
+    c.bench_function("incidence_build_32x50", |b| {
+        b.iter(demo_incidence);
+    });
+}
+
+fn bench_gru(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let gru = Gru::new(D, D, &mut rng);
+    let x = input(&mut rng);
+    let valid = Tensor::ones([B, L]);
+    c.bench_function("gru_forward_32x50x32", |b| {
+        b.iter(|| no_grad(|| gru.forward(&x, &valid)));
+    });
+}
+
+fn bench_extractors(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = |kind| ModelConfig {
+        dim: D,
+        extractor_hidden: D,
+        num_interests: 4,
+        max_seq_len: L,
+        extractor: kind,
+        ..ModelConfig::default()
+    };
+    let sa = InterestExtractor::new(&cfg(ExtractorKind::SelfAttentive), &mut rng);
+    let dr = InterestExtractor::new(&cfg(ExtractorKind::DynamicRouting), &mut rng);
+    let x = input(&mut rng);
+    let allowed = vec![1.0f32; B * L];
+    c.bench_function("interest_self_attentive", |b| {
+        b.iter(|| no_grad(|| sa.forward(&x, &allowed)));
+    });
+    c.bench_function("interest_dynamic_routing", |b| {
+        b.iter(|| no_grad(|| dr.forward(&x, &allowed)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_attention, bench_transformer_block, bench_hypergraph_layer,
+              bench_incidence_build, bench_gru, bench_extractors
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks at the model level: full MBMISSL training step
+//! (forward + backward) and batched candidate scoring, with SASRec as the
+//! baseline reference — the microscopic version of Table 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbssl_baselines::SasRec;
+use mbssl_bench::{bench_model_config, build_workload};
+use mbssl_core::{BehaviorSchema, Mbmissl, SequentialRecommender, TrainableRecommender};
+use mbssl_data::preprocess::TrainInstance;
+use mbssl_data::ItemId;
+
+fn bench_models(c: &mut Criterion) {
+    let workload = build_workload("taobao-like", 0.08, 9);
+    let d = &workload.dataset;
+    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
+    let mbmissl = Mbmissl::new(d.num_items, schema, bench_model_config(9));
+    let sasrec = SasRec::new(d.num_items, 32, 2, 2, 50, 0.1, 9);
+
+    let batch: Vec<&TrainInstance> = workload.split.train.iter().take(32).collect();
+
+    c.bench_function("mbmissl_train_step_b32", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            for p in mbmissl.params() {
+                p.zero_grad();
+            }
+            mbmissl
+                .loss_on_batch(&batch, &workload.sampler, 32, &mut rng)
+                .backward();
+        });
+    });
+
+    c.bench_function("sasrec_train_step_b32", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            for p in sasrec.params() {
+                p.zero_grad();
+            }
+            sasrec
+                .loss_on_batch(&batch, &workload.sampler, 32, &mut rng)
+                .backward();
+        });
+    });
+
+    let n_eval = workload.split.test.len().min(64);
+    let histories: Vec<_> = workload.split.test[..n_eval]
+        .iter()
+        .map(|t| &t.history)
+        .collect();
+    let cand_refs: Vec<&[ItemId]> = workload.test_candidates.lists[..n_eval]
+        .iter()
+        .map(|l| l.as_slice())
+        .collect();
+
+    c.bench_function("mbmissl_score_64_users_x100", |b| {
+        b.iter(|| mbmissl.score_batch(&histories, &cand_refs));
+    });
+
+    c.bench_function("sasrec_score_64_users_x100", |b| {
+        b.iter(|| sasrec.score_batch(&histories, &cand_refs));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models
+}
+criterion_main!(benches);

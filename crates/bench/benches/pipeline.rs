@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the data pipeline: synthetic generation,
+//! splitting, negative sampling, batch encoding, augmentation, metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbssl_data::augment::{default_ops, random_augment};
+use mbssl_data::preprocess::{leave_one_out, SplitConfig, TrainInstance};
+use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy};
+use mbssl_data::synthetic::SyntheticConfig;
+use mbssl_metrics::RankingMetrics;
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("synthetic_generate_scale0.1", |b| {
+        b.iter(|| SyntheticConfig::taobao_like(1).scaled(0.1).generate());
+    });
+}
+
+fn bench_split(c: &mut Criterion) {
+    let dataset = SyntheticConfig::taobao_like(2).scaled(0.2).generate().dataset;
+    c.bench_function("leave_one_out_scale0.2", |b| {
+        b.iter(|| leave_one_out(black_box(&dataset), &SplitConfig::default()));
+    });
+}
+
+fn bench_sampling_and_batching(c: &mut Criterion) {
+    let dataset = SyntheticConfig::taobao_like(3).scaled(0.2).generate().dataset;
+    let split = leave_one_out(&dataset, &SplitConfig::default());
+    let sampler = NegativeSampler::from_dataset(&dataset);
+    let instances: Vec<&TrainInstance> = split.train.iter().take(128).collect();
+
+    c.bench_function("negative_sample_128x64", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            for inst in &instances {
+                sampler.sample_n(inst.user, inst.target, 64, NegativeStrategy::Uniform, &mut rng);
+            }
+        });
+    });
+
+    c.bench_function("batch_encode_128", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| Batch::encode(&instances, &sampler, 64, NegativeStrategy::Uniform, &mut rng));
+    });
+}
+
+fn bench_augmentation(c: &mut Criterion) {
+    let dataset = SyntheticConfig::taobao_like(4).scaled(0.1).generate().dataset;
+    let ops = default_ops();
+    let seqs: Vec<_> = dataset.sequences.iter().take(128).collect();
+    c.bench_function("augment_128_sequences", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            for s in &seqs {
+                black_box(random_augment(s, &ops, &mut rng));
+            }
+        });
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let lists: Vec<Vec<f32>> = (0..1000)
+        .map(|i| (0..100).map(|j| ((i * 31 + j * 17) % 97) as f32).collect())
+        .collect();
+    c.bench_function("ranking_metrics_1000x100", |b| {
+        b.iter(|| RankingMetrics::from_score_lists(black_box(&lists)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_split, bench_sampling_and_batching,
+              bench_augmentation, bench_metrics
+}
+criterion_main!(benches);

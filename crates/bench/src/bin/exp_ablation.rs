@@ -1,0 +1,96 @@
+//! Figure 3 — ablation study. Variants of MBMISSL with one mechanism
+//! removed, on the taobao-like and tmall-like presets:
+//!
+//! - `full`            — the complete model;
+//! - `w/o hypergraph`  — plain transformer backbone;
+//! - `w/o multi-interest` — K = 1;
+//! - `w/o SSL`         — all self-supervised weights zero;
+//! - `w/o align`       — alignment loss off only;
+//! - `w/o aug`         — augmentation contrast off only;
+//! - `w/o disent`      — disentanglement off only;
+//! - `w/o multi-behavior` — histories filtered to the target behavior.
+
+use mbssl_bench::{
+    bench_model_config_for, build_workload, print_table, run_mbmissl_variant, target_only_split,
+    write_json, ExpOptions, ModelResult,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationResults {
+    dataset: String,
+    rows: Vec<ModelResult>,
+}
+
+fn main() {
+    let opts = ExpOptions::parse_args();
+    let datasets: Vec<&str> = match opts.flag_value("--dataset") {
+        Some(d) => vec![match d {
+            "taobao-like" => "taobao-like",
+            "tmall-like" => "tmall-like",
+            "yelp-like" => "yelp-like",
+            _ => panic!("unknown preset"),
+        }],
+        None => vec!["taobao-like", "tmall-like"],
+    };
+
+    let mut all = Vec::new();
+    for dataset in datasets {
+        let workload = build_workload(dataset, opts.scale, opts.seed);
+        let base = bench_model_config_for(dataset, opts.seed);
+        let mut rows = Vec::new();
+
+        let variants: Vec<(&str, mbssl_core::ModelConfig, bool)> = vec![
+            ("full", base.clone(), false),
+            ("w/o hypergraph", base.clone().plain_transformer(), false),
+            ("w/o multi-interest", base.clone().single_interest(), false),
+            ("w/o SSL", base.clone().without_ssl(), false),
+            (
+                "w/o align",
+                {
+                    let mut c = base.clone();
+                    c.lambda_align = 0.0;
+                    c
+                },
+                false,
+            ),
+            (
+                "w/o aug",
+                {
+                    let mut c = base.clone();
+                    c.lambda_aug = 0.0;
+                    c
+                },
+                false,
+            ),
+            (
+                "w/o disent",
+                {
+                    let mut c = base.clone();
+                    c.lambda_disent = 0.0;
+                    c
+                },
+                false,
+            ),
+            ("w/o multi-behavior", base.clone(), true),
+        ];
+
+        for (label, config, filter_behaviors) in variants {
+            eprintln!("[{dataset}] ablation: {label} …");
+            let result = if filter_behaviors {
+                let filtered = target_only_split(&workload.split, workload.dataset.target_behavior);
+                run_mbmissl_variant(label, config, &workload, Some(&filtered), &opts)
+            } else {
+                run_mbmissl_variant(label, config, &workload, None, &opts)
+            };
+            eprintln!("[{dataset}] {label}: {}", result.metrics.summary());
+            rows.push(result);
+        }
+        print_table(&format!("Figure 3 (ablation) — {dataset}"), &rows);
+        all.push(AblationResults {
+            dataset: dataset.to_string(),
+            rows,
+        });
+    }
+    write_json(&opts, "fig3_ablation", &all);
+}

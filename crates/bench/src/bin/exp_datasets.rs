@@ -1,0 +1,47 @@
+//! Table 1 — dataset statistics of the three synthetic presets.
+//!
+//! Regenerates the "Statistics of datasets" table: users, items,
+//! per-behavior interaction counts, average sequence length, density.
+
+use mbssl_bench::{build_workload, write_json, ExpOptions, PRESETS};
+
+fn main() {
+    let opts = ExpOptions::parse_args();
+    println!("Table 1: dataset statistics (scale = {})", opts.scale);
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>10} {:>24} {:>10}",
+        "dataset", "users", "items", "interactions", "avg-len", "per-behavior", "density"
+    );
+
+    let mut all_stats = Vec::new();
+    for preset in PRESETS {
+        let w = build_workload(preset, opts.scale, opts.seed);
+        let stats = w.dataset.stats();
+        let behaviors: Vec<String> = stats
+            .per_behavior
+            .iter()
+            .map(|(b, c)| format!("{b}:{c}"))
+            .collect();
+        println!(
+            "{:<14} {:>8} {:>8} {:>12} {:>10.2} {:>24} {:>10.5}",
+            stats.name,
+            stats.users,
+            stats.items,
+            stats.interactions,
+            stats.avg_seq_len,
+            behaviors.join(" "),
+            stats.density,
+        );
+        // Split sizes and popularity concentration, for the record.
+        println!(
+            "{:<14} train instances: {}, val: {}, test: {}, popularity gini: {:.3}",
+            "",
+            w.split.train.len(),
+            w.split.val.len(),
+            w.split.test.len(),
+            w.dataset.popularity_gini(),
+        );
+        all_stats.push(stats);
+    }
+    write_json(&opts, "table1_datasets", &all_stats);
+}

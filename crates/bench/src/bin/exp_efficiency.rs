@@ -1,0 +1,126 @@
+//! Table 5 — time efficiency: per-epoch training time, per-batch inference
+//! latency, and parameter count for the main models on a fixed workload.
+//! Wall-clock numbers are machine-relative; the *ratios* between models
+//! are the reproducible shape.
+
+use std::time::Instant;
+
+use mbssl_bench::{build_workload, write_json, ExpOptions};
+use mbssl_baselines::{Gru4Rec, Mbt, SasRec};
+use mbssl_core::{BehaviorSchema, Mbmissl, TrainableRecommender};
+use mbssl_data::sampler::EvalCandidates;
+use mbssl_data::ItemId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EfficiencyRow {
+    model: String,
+    params: usize,
+    train_ms_per_batch: f64,
+    infer_ms_per_user: f64,
+}
+
+fn measure<M: TrainableRecommender>(
+    name: &str,
+    model: &M,
+    workload: &mbssl_bench::Workload,
+    candidates: &EvalCandidates,
+    opts: &ExpOptions,
+) -> EfficiencyRow {
+    let batch_size = 128usize.min(workload.split.train.len());
+    let instances: Vec<_> = workload.split.train.iter().take(batch_size).collect();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Warm-up + timed train steps (forward + backward, no optimizer to
+    // isolate model cost).
+    model
+        .loss_on_batch(&instances, &workload.sampler, 64, &mut rng)
+        .backward();
+    let reps = 3;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for p in model.params() {
+            p.zero_grad();
+        }
+        model
+            .loss_on_batch(&instances, &workload.sampler, 64, &mut rng)
+            .backward();
+    }
+    let train_ms_per_batch = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+
+    // Timed inference over the test set (batched scoring).
+    let n_eval = workload.split.test.len().min(256);
+    let histories: Vec<_> = workload.split.test[..n_eval]
+        .iter()
+        .map(|t| &t.history)
+        .collect();
+    let cand_refs: Vec<&[ItemId]> = candidates.lists[..n_eval]
+        .iter()
+        .map(|l| l.as_slice())
+        .collect();
+    let start = Instant::now();
+    let scores = model.score_batch(&histories, &cand_refs);
+    let infer_ms_per_user = start.elapsed().as_secs_f64() * 1000.0 / n_eval as f64;
+    assert_eq!(scores.len(), n_eval);
+
+    EfficiencyRow {
+        model: name.to_string(),
+        params: model.params().iter().map(|p| p.numel()).sum(),
+        train_ms_per_batch,
+        infer_ms_per_user,
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::parse_args();
+    let dataset = opts.flag_value("--dataset").unwrap_or("taobao-like").to_string();
+    let workload = build_workload(&dataset, opts.scale, opts.seed);
+    let d = &workload.dataset;
+    let candidates = &workload.test_candidates;
+
+    println!("Table 5 — efficiency on {dataset} (batch 128, 64 negatives)");
+    let mut rows = Vec::new();
+    rows.push(measure(
+        "GRU4Rec",
+        &Gru4Rec::new(d.num_items, 32, 50, opts.seed),
+        &workload,
+        candidates,
+        &opts,
+    ));
+    rows.push(measure(
+        "SASRec",
+        &SasRec::new(d.num_items, 32, 2, 2, 50, 0.1, opts.seed),
+        &workload,
+        candidates,
+        &opts,
+    ));
+    rows.push(measure(
+        "MBT",
+        &Mbt::new(d.num_items, d.target_behavior, 32, 2, 2, 50, 0.1, opts.seed),
+        &workload,
+        candidates,
+        &opts,
+    ));
+    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
+    rows.push(measure(
+        "MBMISSL",
+        &Mbmissl::new(d.num_items, schema, mbssl_bench::bench_model_config(opts.seed)),
+        &workload,
+        candidates,
+        &opts,
+    ));
+
+    println!(
+        "{:<12} {:>10} {:>20} {:>18}",
+        "model", "params", "train ms/batch", "infer ms/user"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>20.1} {:>18.3}",
+            r.model, r.params, r.train_ms_per_batch, r.infer_ms_per_user
+        );
+    }
+    write_json(&opts, "table5_efficiency", &rows);
+}

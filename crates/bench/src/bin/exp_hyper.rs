@@ -1,0 +1,140 @@
+//! Figures 4 & 5 — hyperparameter sensitivity.
+//!
+//! `--sweep k`   : number of interests K ∈ {1, 2, 4, 6, 8} (Figure 4);
+//! `--sweep ssl` : grid over SSL loss weight λ ∈ {0, .05, .1, .2, .5} ×
+//!                 temperature τ ∈ {.1, .2, .5, 1.0} (Figure 5 heat map);
+//! `--sweep window` : hypergraph temporal window ∈ {2, 4, 8, 16} (extra
+//!                 ablation of the hypergraph construction).
+//! Default dataset: taobao-like (`--dataset` to change).
+
+use mbssl_bench::{
+    bench_model_config_for, build_workload, run_mbmissl_variant, write_json, ExpOptions, ModelResult,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    label: String,
+    params: Vec<(String, f64)>,
+    result: ModelResult,
+}
+
+fn main() {
+    let opts = ExpOptions::parse_args();
+    let sweep = opts.flag_value("--sweep").unwrap_or("k").to_string();
+    let dataset = opts.flag_value("--dataset").unwrap_or("taobao-like").to_string();
+    let workload = build_workload(&dataset, opts.scale, opts.seed);
+    let base = bench_model_config_for(&dataset, opts.seed);
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    match sweep.as_str() {
+        "k" => {
+            println!("Figure 4 — interest count K sweep on {dataset}");
+            for k in [1usize, 2, 4, 6, 8] {
+                let mut cfg = base.clone();
+                cfg.num_interests = k;
+                let label = format!("K={k}");
+                eprintln!("sweep {label} …");
+                let result = run_mbmissl_variant(&label, cfg, &workload, None, &opts);
+                println!(
+                    "{label:<6} HR@10={:.4} NDCG@10={:.4}",
+                    result.metrics.hr10, result.metrics.ndcg10
+                );
+                points.push(SweepPoint {
+                    label,
+                    params: vec![("k".into(), k as f64)],
+                    result,
+                });
+            }
+            write_json(&opts, "fig4_interest_sweep", &points);
+        }
+        "ssl" => {
+            println!("Figure 5 — SSL weight λ × temperature τ grid on {dataset}");
+            for &lambda in &[0.0f32, 0.05, 0.1, 0.2, 0.5] {
+                for &tau in &[0.1f32, 0.2, 0.5, 1.0] {
+                    let mut cfg = base.clone();
+                    cfg.lambda_align = lambda;
+                    cfg.lambda_aug = lambda;
+                    cfg.lambda_disent = lambda / 2.0;
+                    cfg.temperature = tau;
+                    let label = format!("λ={lambda} τ={tau}");
+                    eprintln!("sweep {label} …");
+                    let result = run_mbmissl_variant(&label, cfg, &workload, None, &opts);
+                    println!(
+                        "{label:<16} HR@10={:.4} NDCG@10={:.4}",
+                        result.metrics.hr10, result.metrics.ndcg10
+                    );
+                    points.push(SweepPoint {
+                        label,
+                        params: vec![("lambda".into(), lambda as f64), ("tau".into(), tau as f64)],
+                        result,
+                    });
+                }
+            }
+            write_json(&opts, "fig5_ssl_grid", &points);
+        }
+        "extractor" => {
+            println!("Extra — interest extractor comparison (SA vs DR) on {dataset}");
+            for (label, kind) in [
+                ("self-attentive", mbssl_core::config::ExtractorKind::SelfAttentive),
+                ("dynamic-routing", mbssl_core::config::ExtractorKind::DynamicRouting),
+            ] {
+                let mut cfg = base.clone();
+                cfg.extractor = kind;
+                eprintln!("sweep {label} …");
+                let result = run_mbmissl_variant(label, cfg, &workload, None, &opts);
+                println!(
+                    "{label:<16} HR@10={:.4} NDCG@10={:.4}",
+                    result.metrics.hr10, result.metrics.ndcg10
+                );
+                points.push(SweepPoint {
+                    label: label.to_string(),
+                    params: vec![],
+                    result,
+                });
+            }
+            write_json(&opts, "figx_extractor", &points);
+        }
+        "aux" => {
+            println!("Extra — auxiliary-prediction weight λ_aux sweep on {dataset}");
+            for &lambda in &[0.0f32, 0.1, 0.2, 0.5] {
+                let mut cfg = base.clone();
+                cfg.lambda_aux = lambda;
+                let label = format!("λ_aux={lambda}");
+                eprintln!("sweep {label} …");
+                let result = run_mbmissl_variant(&label, cfg, &workload, None, &opts);
+                println!(
+                    "{label:<14} HR@10={:.4} NDCG@10={:.4}",
+                    result.metrics.hr10, result.metrics.ndcg10
+                );
+                points.push(SweepPoint {
+                    label,
+                    params: vec![("lambda_aux".into(), lambda as f64)],
+                    result,
+                });
+            }
+            write_json(&opts, "figx_aux_sweep", &points);
+        }
+        "window" => {
+            println!("Extra — hypergraph window sweep on {dataset}");
+            for w in [2usize, 4, 8, 16] {
+                let mut cfg = base.clone();
+                cfg.hg_window = w;
+                let label = format!("window={w}");
+                eprintln!("sweep {label} …");
+                let result = run_mbmissl_variant(&label, cfg, &workload, None, &opts);
+                println!(
+                    "{label:<10} HR@10={:.4} NDCG@10={:.4}",
+                    result.metrics.hr10, result.metrics.ndcg10
+                );
+                points.push(SweepPoint {
+                    label,
+                    params: vec![("window".into(), w as f64)],
+                    result,
+                });
+            }
+            write_json(&opts, "figx_window_sweep", &points);
+        }
+        other => panic!("unknown sweep {other}; expected k | ssl | window | aux"),
+    }
+}

@@ -1,0 +1,111 @@
+//! Table 2 — overall performance comparison (HR@{5,10}, NDCG@{5,10}) of
+//! every model on every dataset preset, plus Table 3 — paired-t
+//! significance of MBMISSL versus the best baseline (`--significance`).
+//!
+//! Flags: `--dataset <preset>` restricts to one preset; `--models a,b,c`
+//! restricts the model list; `--significance` adds Table 3.
+
+use mbssl_bench::{
+    all_models, build_workload, print_table, run_model, write_json, ExpOptions, ModelResult,
+    OURS, PRESETS,
+};
+use mbssl_metrics::paired_t_test;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct OverallResults {
+    dataset: String,
+    rows: Vec<ModelResult>,
+    significance: Option<Significance>,
+}
+
+#[derive(Serialize)]
+struct Significance {
+    best_baseline: String,
+    metric: String,
+    t: f64,
+    p_value: f64,
+    significant_at_001: bool,
+}
+
+fn main() {
+    let opts = ExpOptions::parse_args();
+    let presets: Vec<&str> = match opts.flag_value("--dataset") {
+        Some(d) => vec![PRESETS.iter().copied().find(|p| *p == d).expect("unknown preset")],
+        None => PRESETS.to_vec(),
+    };
+    let models: Vec<String> = match opts.flag_value("--models") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => all_models().into_iter().map(String::from).collect(),
+    };
+
+    let mut all = Vec::new();
+    for preset in presets {
+        println!(
+            "\n### dataset {preset} (scale {}, epochs {}) ###",
+            opts.scale, opts.epochs
+        );
+        let workload = build_workload(preset, opts.scale, opts.seed);
+        let mut rows: Vec<ModelResult> = Vec::new();
+        for model in &models {
+            eprintln!("[{preset}] training {model} …");
+            let result = run_model(model, &workload, &opts);
+            eprintln!(
+                "[{preset}] {model}: {}",
+                result.metrics.summary()
+            );
+            rows.push(result);
+        }
+        print_table(&format!("Table 2 — {preset}"), &rows);
+
+        // Table 3: significance of ours vs best baseline by NDCG@10.
+        let significance = if opts.has_flag("--significance") {
+            build_significance(&rows)
+        } else {
+            None
+        };
+        if let Some(s) = &significance {
+            println!(
+                "Table 3 — {preset}: MBMISSL vs {} on per-user NDCG@10: t={:.3}, p={:.2e}{}",
+                s.best_baseline,
+                s.t,
+                s.p_value,
+                if s.significant_at_001 { " (significant at 0.01)" } else { "" }
+            );
+        }
+        all.push(OverallResults {
+            dataset: preset.to_string(),
+            rows,
+            significance,
+        });
+    }
+    write_json(&opts, "table2_overall", &all);
+}
+
+fn build_significance(rows: &[ModelResult]) -> Option<Significance> {
+    let ours = rows.iter().find(|r| r.model == OURS)?;
+    let best_baseline = rows
+        .iter()
+        .filter(|r| r.model != OURS)
+        .max_by(|a, b| a.metrics.ndcg10.partial_cmp(&b.metrics.ndcg10).unwrap())?;
+    // Per-instance NDCG@10 vectors from the stored ranks.
+    let ndcg = |ranks: &[usize]| -> Vec<f64> {
+        ranks
+            .iter()
+            .map(|&r| mbssl_metrics::ranking::ndcg_at_k(r, 10))
+            .collect()
+    };
+    let a = ndcg(&ours.test_ranks);
+    let b = ndcg(&best_baseline.test_ranks);
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let t = paired_t_test(&a, &b);
+    Some(Significance {
+        best_baseline: best_baseline.model.clone(),
+        metric: "NDCG@10".into(),
+        t: t.t,
+        p_value: t.p_value,
+        significant_at_001: t.significant_at(0.01),
+    })
+}

@@ -1,0 +1,286 @@
+//! Interest-analysis utilities: quantify how well extracted interests
+//! recover known latent structure, and export embeddings for external
+//! visualization (the t-SNE-style inspection of the paper line's
+//! "visualization" research question).
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use mbssl_data::sampler::Batch;
+use mbssl_data::Sequence;
+
+use crate::model::Mbmissl;
+
+/// Per-user interest-recovery measurements against ground-truth topics.
+#[derive(Clone, Debug, Serialize)]
+pub struct InterestRecovery {
+    /// Mean (over heads) attention mass on each head's dominant topic.
+    pub purity: f64,
+    /// Fraction of the user's true topics matched by some head's dominant
+    /// topic.
+    pub coverage: f64,
+    /// Dominant topic per interest head.
+    pub head_topics: Vec<usize>,
+}
+
+/// Computes interest recovery for one user from the model's attention
+/// weights. `item_topic[item_id]` gives each item's latent topic;
+/// `user_topics` is the user's true interest set.
+pub fn interest_recovery(
+    model: &Mbmissl,
+    history: &Sequence,
+    item_topic: &[usize],
+    user_topics: &[usize],
+) -> Option<InterestRecovery> {
+    if history.len() < 2 {
+        return None;
+    }
+    let (batch, weights) = model.inspect_attention(&[history]);
+    let l = batch.max_len;
+    let k = weights.len() / l;
+    let mut head_topics = Vec::with_capacity(k);
+    let mut purities = Vec::with_capacity(k);
+    for head in 0..k {
+        let mut topic_mass: HashMap<usize, f64> = HashMap::new();
+        let mut total = 0.0f64;
+        for t in 0..l {
+            if batch.valid[t] == 0.0 {
+                continue;
+            }
+            let topic = item_topic[batch.items[t]];
+            let w = weights[head * l + t] as f64;
+            *topic_mass.entry(topic).or_insert(0.0) += w;
+            total += w;
+        }
+        if total <= 0.0 {
+            continue;
+        }
+        let (&top, &mass) = topic_mass
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        head_topics.push(top);
+        purities.push(mass / total);
+    }
+    if purities.is_empty() {
+        return None;
+    }
+    let purity = purities.iter().sum::<f64>() / purities.len() as f64;
+    let hit = user_topics
+        .iter()
+        .filter(|t| head_topics.contains(t))
+        .count();
+    let coverage = if user_topics.is_empty() {
+        0.0
+    } else {
+        hit as f64 / user_topics.len() as f64
+    };
+    Some(InterestRecovery {
+        purity,
+        coverage,
+        head_topics,
+    })
+}
+
+/// Mean pairwise cosine similarity between a user's K interests
+/// (lower = better disentangled). Input: row-major `[K, D]`.
+pub fn mean_pairwise_cosine(interests: &[f32], k: usize, d: usize) -> f64 {
+    assert_eq!(interests.len(), k * d);
+    if k < 2 {
+        return 0.0;
+    }
+    let norm = |row: &[f32]| row.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+    let mut total = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let a = &interests[i * d..(i + 1) * d];
+            let b = &interests[j * d..(j + 1) * d];
+            let dot: f64 = a.iter().zip(b.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let na = norm(a).max(1e-12);
+            let nb = norm(b).max(1e-12);
+            total += dot / (na * nb);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Embedding export row for external visualization (t-SNE/UMAP offline).
+#[derive(Clone, Debug, Serialize)]
+pub struct EmbeddingExport {
+    pub user: u32,
+    pub head: usize,
+    pub vector: Vec<f32>,
+}
+
+/// Extracts every user's interest vectors as export rows.
+pub fn export_interest_embeddings(
+    model: &Mbmissl,
+    histories: &[(u32, &Sequence)],
+) -> Vec<EmbeddingExport> {
+    let mut out = Vec::new();
+    for &(user, hist) in histories {
+        if hist.is_empty() {
+            continue;
+        }
+        let flat = model.extract_interests(&[hist]);
+        let k = model.config().num_interests;
+        let d = model.config().dim;
+        for head in 0..k {
+            out.push(EmbeddingExport {
+                user,
+                head,
+                vector: flat[head * d..(head + 1) * d].to_vec(),
+            });
+        }
+    }
+    out
+}
+
+/// Summary over a population of users.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RecoverySummary {
+    pub mean_purity: f64,
+    pub mean_coverage: f64,
+    pub users: usize,
+}
+
+/// Aggregates recovery over many users.
+pub fn recovery_summary(results: &[InterestRecovery]) -> RecoverySummary {
+    if results.is_empty() {
+        return RecoverySummary::default();
+    }
+    RecoverySummary {
+        mean_purity: results.iter().map(|r| r.purity).sum::<f64>() / results.len() as f64,
+        mean_coverage: results.iter().map(|r| r.coverage).sum::<f64>() / results.len() as f64,
+        users: results.len(),
+    }
+}
+
+/// Convenience: attention-entropy per head (how focused each interest is).
+/// Returns `[K]` entropies in nats; lower = more focused.
+pub fn attention_entropies(batch: &Batch, weights: &[f32]) -> Vec<f64> {
+    let l = batch.max_len;
+    let k = weights.len() / l.max(1);
+    (0..k)
+        .map(|head| {
+            let row = &weights[head * l..(head + 1) * l];
+            -row.iter()
+                .filter(|&&w| w > 1e-12)
+                .map(|&w| (w as f64) * (w as f64).ln())
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BehaviorSchema, ModelConfig};
+    use mbssl_data::synthetic::SyntheticConfig;
+    use mbssl_data::Behavior;
+
+    fn setup() -> (Mbmissl, mbssl_data::synthetic::Generated) {
+        let g = SyntheticConfig::taobao_like(91).scaled(0.05).generate();
+        let schema = BehaviorSchema::new(g.dataset.behaviors.clone(), g.dataset.target_behavior);
+        let config = ModelConfig {
+            dim: 16,
+            heads: 2,
+            num_layers: 1,
+            ffn_hidden: 32,
+            num_interests: 3,
+            extractor_hidden: 16,
+            max_seq_len: 30,
+            dropout: 0.0,
+            ..ModelConfig::default()
+        };
+        (Mbmissl::new(g.dataset.num_items, schema, config), g)
+    }
+
+    #[test]
+    fn recovery_fields_in_range() {
+        let (model, g) = setup();
+        let hist = &g.dataset.sequences[0];
+        let r = interest_recovery(
+            &model,
+            hist,
+            &g.truth.item_topic,
+            &g.truth.user_interests[0],
+        )
+        .expect("non-trivial history");
+        assert!((0.0..=1.0).contains(&r.purity));
+        assert!((0.0..=1.0).contains(&r.coverage));
+        assert_eq!(r.head_topics.len(), 3);
+    }
+
+    #[test]
+    fn trivial_history_returns_none() {
+        let (model, g) = setup();
+        let mut s = Sequence::new();
+        s.push(1, Behavior::Click);
+        assert!(interest_recovery(&model, &s, &g.truth.item_topic, &[0]).is_none());
+    }
+
+    #[test]
+    fn cosine_of_identical_rows_is_one() {
+        let rows = vec![1.0, 0.0, 1.0, 0.0]; // two identical [1,0] rows
+        assert!((mean_pairwise_cosine(&rows, 2, 2) - 1.0).abs() < 1e-9);
+        let ortho = vec![1.0, 0.0, 0.0, 1.0];
+        assert!(mean_pairwise_cosine(&ortho, 2, 2).abs() < 1e-9);
+        assert_eq!(mean_pairwise_cosine(&[1.0, 2.0], 1, 2), 0.0);
+    }
+
+    #[test]
+    fn export_shapes() {
+        let (model, g) = setup();
+        let hists: Vec<(u32, &Sequence)> = (0..4u32)
+            .map(|u| (u, &g.dataset.sequences[u as usize]))
+            .collect();
+        let rows = export_interest_embeddings(&model, &hists);
+        assert_eq!(rows.len(), 4 * 3);
+        assert!(rows.iter().all(|r| r.vector.len() == 16));
+        assert!(rows.iter().all(|r| r.head < 3));
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let rs = vec![
+            InterestRecovery {
+                purity: 0.8,
+                coverage: 1.0,
+                head_topics: vec![],
+            },
+            InterestRecovery {
+                purity: 0.4,
+                coverage: 0.5,
+                head_topics: vec![],
+            },
+        ];
+        let s = recovery_summary(&rs);
+        assert!((s.mean_purity - 0.6).abs() < 1e-12);
+        assert!((s.mean_coverage - 0.75).abs() < 1e-12);
+        assert_eq!(s.users, 2);
+        assert_eq!(recovery_summary(&[]).users, 0);
+    }
+
+    #[test]
+    fn entropies_lower_for_peaked_attention() {
+        let batch = Batch::encode_histories(&[&{
+            let mut s = Sequence::new();
+            s.push(1, Behavior::Click);
+            s.push(2, Behavior::Click);
+            s.push(3, Behavior::Click);
+            s.push(4, Behavior::Click);
+            s
+        }]);
+        let peaked = vec![0.97, 0.01, 0.01, 0.01];
+        let uniform = vec![0.25; 4];
+        let mut weights = peaked.clone();
+        weights.extend(uniform);
+        let ent = attention_entropies(&batch, &weights);
+        assert_eq!(ent.len(), 2);
+        assert!(ent[0] < ent[1], "peaked head must have lower entropy");
+    }
+}

@@ -1,0 +1,280 @@
+//! Model and training configuration.
+
+use serde::{Deserialize, Serialize};
+
+use mbssl_data::Behavior;
+
+/// Which multi-interest extractor to use (§2.3 of DESIGN.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtractorKind {
+    /// ComiRec-SA style self-attentive pooling.
+    SelfAttentive,
+    /// MIND style dynamic routing with squash non-linearity.
+    DynamicRouting,
+}
+
+/// Which sequence encoder backbone to use (§2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncoderKind {
+    /// Behavior-aware hypergraph transformer (the paper's architecture).
+    Hypergraph,
+    /// Plain bidirectional transformer (the `w/o hypergraph` ablation).
+    Transformer,
+}
+
+/// Full MBMISSL hyperparameter set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Embedding / hidden dimension.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder layers.
+    pub num_layers: usize,
+    /// FFN hidden width.
+    pub ffn_hidden: usize,
+    /// Number of interests `K`.
+    pub num_interests: usize,
+    /// Hidden width of the self-attentive extractor.
+    pub extractor_hidden: usize,
+    /// Routing iterations (dynamic-routing extractor only).
+    pub routing_iters: usize,
+    pub extractor: ExtractorKind,
+    pub encoder: EncoderKind,
+    /// Temporal hyperedge window.
+    pub hg_window: usize,
+    /// Max item-repetition hyperedges.
+    pub hg_max_item_edges: usize,
+    /// Maximum history length the model accepts.
+    pub max_seq_len: usize,
+    pub dropout: f32,
+    /// Weight of the cross-behavior interest-alignment InfoNCE loss.
+    pub lambda_align: f32,
+    /// Weight of the augmentation-based sequence contrastive loss.
+    pub lambda_aug: f32,
+    /// Weight of the interest-disentanglement loss.
+    pub lambda_disent: f32,
+    /// Weight of the auxiliary-behavior next-item prediction loss
+    /// (an MB-STR-style multi-task extension; 0 disables it and is the
+    /// default — the reconstructed paper's SSL route replaces it).
+    pub lambda_aux: f32,
+    /// InfoNCE temperature τ.
+    pub temperature: f32,
+    /// Parameter-init / stochastic-forward seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            dim: 48,
+            heads: 2,
+            num_layers: 2,
+            ffn_hidden: 96,
+            num_interests: 4,
+            extractor_hidden: 48,
+            routing_iters: 3,
+            extractor: ExtractorKind::SelfAttentive,
+            encoder: EncoderKind::Hypergraph,
+            hg_window: 8,
+            hg_max_item_edges: 4,
+            max_seq_len: 50,
+            dropout: 0.2,
+            lambda_align: 0.1,
+            lambda_aug: 0.1,
+            lambda_disent: 0.05,
+            lambda_aux: 0.0,
+            temperature: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Disables every self-supervised objective (`w/o SSL` ablation).
+    pub fn without_ssl(mut self) -> Self {
+        self.lambda_align = 0.0;
+        self.lambda_aug = 0.0;
+        self.lambda_disent = 0.0;
+        self
+    }
+
+    /// Single-interest variant (`w/o multi-interest` ablation).
+    pub fn single_interest(mut self) -> Self {
+        self.num_interests = 1;
+        self
+    }
+
+    /// Plain-transformer variant (`w/o hypergraph` ablation).
+    pub fn plain_transformer(mut self) -> Self {
+        self.encoder = EncoderKind::Transformer;
+        self
+    }
+
+    /// Sanity-checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dim == 0 || !self.dim.is_multiple_of(self.heads) {
+            return Err(format!("dim {} must be divisible by heads {}", self.dim, self.heads));
+        }
+        if self.num_interests == 0 {
+            return Err("need at least one interest".into());
+        }
+        if self.temperature <= 0.0 {
+            return Err("temperature must be positive".into());
+        }
+        if self.max_seq_len == 0 {
+            return Err("max_seq_len must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Training-loop configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    /// Training negatives per positive (sampled-softmax candidates).
+    pub num_negatives: usize,
+    /// Stop after this many epochs without validation NDCG@10 improvement.
+    pub patience: usize,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+    /// Evaluate on validation every `eval_every` epochs.
+    pub eval_every: usize,
+    /// Candidates per positive at evaluation time (99 = the 1-vs-99
+    /// protocol).
+    pub eval_negatives: usize,
+    pub seed: u64,
+    /// Print progress lines.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            lr: 1e-3,
+            num_negatives: 64,
+            patience: 5,
+            clip_norm: 5.0,
+            eval_every: 1,
+            eval_negatives: 99,
+            seed: 7,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Compact settings for unit/integration tests.
+    pub fn fast_test() -> Self {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            num_negatives: 16,
+            patience: 3,
+            ..Default::default()
+        }
+    }
+}
+
+/// The behavior set a model was built for, with the target singled out.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BehaviorSchema {
+    pub behaviors: Vec<Behavior>,
+    pub target: Behavior,
+}
+
+impl BehaviorSchema {
+    pub fn new(behaviors: Vec<Behavior>, target: Behavior) -> Self {
+        assert!(behaviors.contains(&target), "target must be in behavior set");
+        BehaviorSchema { behaviors, target }
+    }
+
+    /// Behaviors other than the target (SSL alignment sources).
+    pub fn auxiliaries(&self) -> Vec<Behavior> {
+        self.behaviors
+            .iter()
+            .copied()
+            .filter(|&b| b != self.target)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ModelConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = ModelConfig::default().without_ssl();
+        assert_eq!(c.lambda_align, 0.0);
+        assert_eq!(c.lambda_aug, 0.0);
+        assert_eq!(c.lambda_disent, 0.0);
+        assert_eq!(ModelConfig::default().single_interest().num_interests, 1);
+        assert_eq!(
+            ModelConfig::default().plain_transformer().encoder,
+            EncoderKind::Transformer
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_dims() {
+        let c = ModelConfig {
+            dim: 7, // not divisible by 2 heads
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ModelConfig {
+            dim: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_interests_and_temp() {
+        let c = ModelConfig {
+            num_interests: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = ModelConfig {
+            temperature: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn schema_auxiliaries_exclude_target() {
+        let s = BehaviorSchema::new(
+            vec![Behavior::Click, Behavior::Cart, Behavior::Purchase],
+            Behavior::Purchase,
+        );
+        assert_eq!(s.auxiliaries(), vec![Behavior::Click, Behavior::Cart]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in behavior set")]
+    fn schema_rejects_foreign_target() {
+        BehaviorSchema::new(vec![Behavior::Click], Behavior::Purchase);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = ModelConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dim, c.dim);
+        assert_eq!(back.extractor, c.extractor);
+    }
+}

@@ -1,0 +1,29 @@
+//! `mbssl-core` — MBMISSL: Multi-Behavior sequential recommendation with
+//! Multi-Interest Self-Supervised Learning.
+//!
+//! This crate assembles the reproduced model (see `DESIGN.md` §2) from the
+//! workspace substrates:
+//! - [`encoder`]: multi-behavior input layer + hypergraph-transformer /
+//!   transformer backbones;
+//! - [`interest`]: self-attentive and dynamic-routing multi-interest
+//!   extractors;
+//! - [`ssl`]: cross-behavior interest alignment, augmentation contrast,
+//!   and interest disentanglement;
+//! - [`model`]: the full [`Mbmissl`] model;
+//! - [`analysis`]: interest-recovery and embedding-export tooling;
+//! - [`trainer`] / [`recommender`]: the shared training loop and
+//!   leave-one-out evaluator every model in the workspace runs through.
+
+pub mod analysis;
+pub mod config;
+pub mod encoder;
+pub mod interest;
+pub mod model;
+pub mod recommender;
+pub mod ssl;
+pub mod trainer;
+
+pub use config::{BehaviorSchema, EncoderKind, ExtractorKind, ModelConfig, TrainConfig};
+pub use model::Mbmissl;
+pub use recommender::{evaluate, recommend_top_n, Recommendation, SequentialRecommender};
+pub use trainer::{TrainReport, TrainableRecommender, Trainer};

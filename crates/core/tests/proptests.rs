@@ -1,0 +1,92 @@
+//! Property-based tests on the SSL objectives' mathematical invariants.
+
+use mbssl_core::ssl::{alignment_loss, augmentation_loss, disentanglement_loss, info_nce};
+use mbssl_tensor::Tensor;
+use proptest::prelude::*;
+
+fn matrix(n: usize, d: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, n * d..=n * d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// InfoNCE is a cross-entropy: always non-negative and finite.
+    #[test]
+    fn info_nce_non_negative(data in matrix(4, 3), pos in matrix(4, 3), t in 0.05f32..1.0) {
+        let a = Tensor::from_vec(data, [4, 3]);
+        let p = Tensor::from_vec(pos, [4, 3]);
+        let loss = info_nce(&a, &p, t, &[1.0; 4]).item();
+        prop_assert!(loss.is_finite());
+        prop_assert!(loss >= -1e-5, "negative InfoNCE: {loss}");
+    }
+
+    /// Perfect self-alignment is (near-)optimal: loss(a, a) ≤ loss(a, b).
+    #[test]
+    fn info_nce_self_alignment_is_best(data in matrix(4, 3), other in matrix(4, 3), t in 0.05f32..0.5) {
+        let a = Tensor::from_vec(data, [4, 3]);
+        let b = Tensor::from_vec(other, [4, 3]);
+        let self_loss = info_nce(&a, &a, t, &[1.0; 4]).item();
+        let cross_loss = info_nce(&a, &b, t, &[1.0; 4]).item();
+        prop_assert!(self_loss <= cross_loss + 1e-3,
+            "self {self_loss} worse than cross {cross_loss}");
+    }
+
+    /// All-invalid rows always produce exactly zero.
+    #[test]
+    fn info_nce_zero_when_all_invalid(data in matrix(3, 2), pos in matrix(3, 2)) {
+        let a = Tensor::from_vec(data, [3, 2]);
+        let p = Tensor::from_vec(pos, [3, 2]);
+        prop_assert_eq!(info_nce(&a, &p, 0.2, &[0.0; 3]).item(), 0.0);
+    }
+
+    /// Alignment loss is finite and non-negative for arbitrary interest
+    /// sets, and exactly zero when every user is masked out.
+    #[test]
+    fn alignment_loss_bounds(aux in matrix(6, 4), tgt in matrix(6, 4)) {
+        let a = Tensor::from_vec(aux, [2, 3, 4]);
+        let t = Tensor::from_vec(tgt, [2, 3, 4]);
+        let loss = alignment_loss(&a, &t, 0.2, &[1.0, 1.0]).item();
+        prop_assert!(loss.is_finite() && loss >= -1e-5);
+        prop_assert_eq!(alignment_loss(&a, &t, 0.2, &[0.0, 0.0]).item(), 0.0);
+    }
+
+    /// Augmentation loss is symmetric in its two views.
+    #[test]
+    fn augmentation_loss_symmetric(v1 in matrix(4, 3), v2 in matrix(4, 3)) {
+        let a = Tensor::from_vec(v1, [4, 3]);
+        let b = Tensor::from_vec(v2, [4, 3]);
+        let ab = augmentation_loss(&a, &b, 0.2).item();
+        let ba = augmentation_loss(&b, &a, 0.2).item();
+        prop_assert!((ab - ba).abs() < 1e-4, "{ab} vs {ba}");
+    }
+
+    /// Disentanglement is a mean of squared cosines: within [0, 1].
+    #[test]
+    fn disentanglement_in_unit_interval(z in matrix(6, 4)) {
+        // Shift away from zero vectors to keep cosines well-defined.
+        let shifted: Vec<f32> = z.iter().map(|v| v + 0.05).collect();
+        let t = Tensor::from_vec(shifted, [2, 3, 4]);
+        let loss = disentanglement_loss(&t).item();
+        prop_assert!((-1e-5..=1.0 + 1e-5).contains(&(loss as f64)), "loss {loss}");
+    }
+
+    /// Lower temperature sharpens InfoNCE: misaligned pairs get punished
+    /// at least as hard (checked on orthogonal anchors).
+    #[test]
+    fn temperature_monotonicity_on_shifted_positives(seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 4;
+        let d = 8;
+        let data: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = Tensor::from_vec(data.clone(), [n, d]);
+        // Positives = anchors shifted by one row (fully misaligned).
+        let mut shifted = data[d..].to_vec();
+        shifted.extend_from_slice(&data[..d]);
+        let p = Tensor::from_vec(shifted, [n, d]);
+        let sharp = info_nce(&a, &p, 0.1, &[1.0; 4]).item();
+        let soft = info_nce(&a, &p, 1.0, &[1.0; 4]).item();
+        prop_assert!(sharp >= soft - 1e-4, "sharp {sharp} < soft {soft}");
+    }
+}

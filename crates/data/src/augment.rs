@@ -1,0 +1,237 @@
+//! Stochastic sequence augmentations for self-supervised contrastive
+//! learning (the CL4SRec family, extended with a behavior-aware op).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::types::{Behavior, Sequence};
+
+/// An augmentation operator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AugmentOp {
+    /// Keep a random contiguous window covering `ratio` of the sequence.
+    Crop { ratio: f64 },
+    /// Drop each event independently with probability `ratio` (item
+    /// masking realized as deletion, which avoids a dedicated mask token).
+    Mask { ratio: f64 },
+    /// Shuffle a random contiguous window covering `ratio` of the sequence.
+    Reorder { ratio: f64 },
+    /// Re-label each *shallow* (Click) event's behavior as a random deeper
+    /// behavior with probability `ratio` — a behavior-level augmentation
+    /// unique to the multi-behavior setting.
+    BehaviorSubstitute { ratio: f64, deeper: Behavior },
+}
+
+impl AugmentOp {
+    /// Applies the operator. The result is never empty: degenerate draws
+    /// fall back to the original sequence.
+    pub fn apply(&self, seq: &Sequence, rng: &mut StdRng) -> Sequence {
+        if seq.len() <= 1 {
+            return seq.clone();
+        }
+        match *self {
+            AugmentOp::Crop { ratio } => crop(seq, ratio, rng),
+            AugmentOp::Mask { ratio } => mask(seq, ratio, rng),
+            AugmentOp::Reorder { ratio } => reorder(seq, ratio, rng),
+            AugmentOp::BehaviorSubstitute { ratio, deeper } => {
+                behavior_substitute(seq, ratio, deeper, rng)
+            }
+        }
+    }
+}
+
+/// The standard three-op palette with conventional ratios.
+pub fn default_ops() -> Vec<AugmentOp> {
+    vec![
+        AugmentOp::Crop { ratio: 0.6 },
+        AugmentOp::Mask { ratio: 0.3 },
+        AugmentOp::Reorder { ratio: 0.5 },
+    ]
+}
+
+/// Samples one of `ops` uniformly and applies it.
+pub fn random_augment(seq: &Sequence, ops: &[AugmentOp], rng: &mut StdRng) -> Sequence {
+    assert!(!ops.is_empty(), "no augmentation ops provided");
+    let op = ops[rng.gen_range(0..ops.len())];
+    op.apply(seq, rng)
+}
+
+fn crop(seq: &Sequence, ratio: f64, rng: &mut StdRng) -> Sequence {
+    let keep = ((seq.len() as f64 * ratio).round() as usize).clamp(1, seq.len());
+    let start = rng.gen_range(0..=(seq.len() - keep));
+    Sequence {
+        items: seq.items[start..start + keep].to_vec(),
+        behaviors: seq.behaviors[start..start + keep].to_vec(),
+    }
+}
+
+fn mask(seq: &Sequence, ratio: f64, rng: &mut StdRng) -> Sequence {
+    let mut out = Sequence::new();
+    for (&it, &b) in seq.items.iter().zip(seq.behaviors.iter()) {
+        if rng.gen::<f64>() >= ratio {
+            out.push(it, b);
+        }
+    }
+    if out.is_empty() {
+        seq.clone()
+    } else {
+        out
+    }
+}
+
+fn reorder(seq: &Sequence, ratio: f64, rng: &mut StdRng) -> Sequence {
+    let window = ((seq.len() as f64 * ratio).round() as usize).clamp(1, seq.len());
+    let start = rng.gen_range(0..=(seq.len() - window));
+    let mut idx: Vec<usize> = (start..start + window).collect();
+    idx.shuffle(rng);
+    let mut out = seq.clone();
+    for (k, &src) in idx.iter().enumerate() {
+        out.items[start + k] = seq.items[src];
+        out.behaviors[start + k] = seq.behaviors[src];
+    }
+    out
+}
+
+fn behavior_substitute(seq: &Sequence, ratio: f64, deeper: Behavior, rng: &mut StdRng) -> Sequence {
+    let mut out = seq.clone();
+    for b in out.behaviors.iter_mut() {
+        if *b == Behavior::Click && rng.gen::<f64>() < ratio {
+            *b = deeper;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_seq(n: usize) -> Sequence {
+        let mut s = Sequence::new();
+        for i in 1..=n {
+            let b = if i % 3 == 0 {
+                Behavior::Purchase
+            } else {
+                Behavior::Click
+            };
+            s.push(i as u32, b);
+        }
+        s
+    }
+
+    #[test]
+    fn crop_keeps_contiguous_window() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq = sample_seq(10);
+        let out = AugmentOp::Crop { ratio: 0.5 }.apply(&seq, &mut rng);
+        assert_eq!(out.len(), 5);
+        // Items must be consecutive in the original.
+        let first = out.items[0];
+        for (k, &it) in out.items.iter().enumerate() {
+            assert_eq!(it, first + k as u32);
+        }
+    }
+
+    #[test]
+    fn mask_drops_roughly_ratio() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq = sample_seq(1000);
+        let out = AugmentOp::Mask { ratio: 0.3 }.apply(&seq, &mut rng);
+        let kept = out.len() as f64 / 1000.0;
+        assert!((kept - 0.7).abs() < 0.06, "kept {kept}");
+    }
+
+    #[test]
+    fn mask_never_empties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq = sample_seq(2);
+        for _ in 0..50 {
+            let out = AugmentOp::Mask { ratio: 0.99 }.apply(&seq, &mut rng);
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn reorder_is_permutation_of_items() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = sample_seq(12);
+        let out = AugmentOp::Reorder { ratio: 0.5 }.apply(&seq, &mut rng);
+        assert_eq!(out.len(), seq.len());
+        let mut a = seq.items.clone();
+        let mut b = out.items.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reorder_keeps_item_behavior_pairing() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = sample_seq(12);
+        let out = AugmentOp::Reorder { ratio: 1.0 }.apply(&seq, &mut rng);
+        for (&it, &b) in out.items.iter().zip(out.behaviors.iter()) {
+            // In sample_seq, behavior is a function of the item id.
+            let expect = if it % 3 == 0 {
+                Behavior::Purchase
+            } else {
+                Behavior::Click
+            };
+            assert_eq!(b, expect);
+        }
+    }
+
+    #[test]
+    fn behavior_substitute_only_touches_clicks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let seq = sample_seq(300);
+        let out = AugmentOp::BehaviorSubstitute {
+            ratio: 0.5,
+            deeper: Behavior::Favorite,
+        }
+        .apply(&seq, &mut rng);
+        assert_eq!(out.items, seq.items);
+        let mut substituted = 0;
+        for (&before, &after) in seq.behaviors.iter().zip(out.behaviors.iter()) {
+            match before {
+                Behavior::Click => {
+                    assert!(after == Behavior::Click || after == Behavior::Favorite);
+                    if after == Behavior::Favorite {
+                        substituted += 1;
+                    }
+                }
+                other => assert_eq!(after, other),
+            }
+        }
+        assert!(substituted > 0);
+    }
+
+    #[test]
+    fn singleton_sequences_returned_unchanged() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let seq = sample_seq(1);
+        for op in default_ops() {
+            assert_eq!(op.apply(&seq, &mut rng), seq);
+        }
+    }
+
+    #[test]
+    fn random_augment_uses_all_ops_eventually() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let seq = sample_seq(20);
+        let ops = default_ops();
+        let mut saw_shorter = false;
+        let mut saw_same_len = false;
+        for _ in 0..100 {
+            let out = random_augment(&seq, &ops, &mut rng);
+            if out.len() < seq.len() {
+                saw_shorter = true;
+            }
+            if out.len() == seq.len() {
+                saw_same_len = true;
+            }
+        }
+        assert!(saw_shorter && saw_same_len);
+    }
+}

@@ -1,0 +1,28 @@
+//! `mbssl-data` — multi-behavior interaction data substrate.
+//!
+//! Provides the dataset model ([`types`]), a calibrated synthetic
+//! multi-behavior log generator standing in for license-gated Taobao /
+//! Tmall / Yelp dumps ([`synthetic`]), preprocessing ([`preprocess`]),
+//! negative sampling + batching ([`sampler`]), contrastive augmentations
+//! ([`augment`]), and TSV IO ([`io`]).
+//!
+//! # Quick example
+//! ```
+//! use mbssl_data::synthetic::SyntheticConfig;
+//! use mbssl_data::preprocess::{leave_one_out, SplitConfig};
+//!
+//! let generated = SyntheticConfig::taobao_like(42).scaled(0.05).generate();
+//! let split = leave_one_out(&generated.dataset, &SplitConfig::default());
+//! assert!(!split.train.is_empty());
+//! assert_eq!(split.val.len(), split.test.len());
+//! ```
+
+pub mod augment;
+pub mod io;
+pub mod preprocess;
+pub mod sampler;
+pub mod sessionize;
+pub mod synthetic;
+pub mod types;
+
+pub use types::{Behavior, Dataset, Interaction, ItemId, Sequence, UserId};

@@ -1,0 +1,496 @@
+//! Preprocessing: k-core filtering and chronological leave-one-out splits.
+
+#![allow(clippy::needless_range_loop)] // multi-array index loops are clearer here
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Behavior, Dataset, ItemId, Sequence, UserId};
+
+/// Iteratively removes users with fewer than `k_user` events and items with
+/// fewer than `k_item` events until stable, then densely remaps ids.
+///
+/// This is the standard k-core cleanup of recommendation pipelines; it also
+/// guarantees every surviving user has enough history to split.
+pub fn k_core(dataset: &Dataset, k_user: usize, k_item: usize) -> Dataset {
+    let mut keep_user = vec![true; dataset.num_users];
+    let mut keep_item = vec![true; dataset.num_items + 1];
+    loop {
+        let mut changed = false;
+        // Count events restricted to kept users/items.
+        let mut item_counts = vec![0usize; dataset.num_items + 1];
+        let mut user_counts = vec![0usize; dataset.num_users];
+        for (u, seq) in dataset.sequences.iter().enumerate() {
+            if !keep_user[u] {
+                continue;
+            }
+            for &it in &seq.items {
+                if keep_item[it as usize] {
+                    user_counts[u] += 1;
+                    item_counts[it as usize] += 1;
+                }
+            }
+        }
+        for u in 0..dataset.num_users {
+            if keep_user[u] && user_counts[u] < k_user {
+                keep_user[u] = false;
+                changed = true;
+            }
+        }
+        for it in 1..=dataset.num_items {
+            if keep_item[it] && item_counts[it] < k_item {
+                keep_item[it] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Dense remap of surviving items (1-based) and users.
+    let mut item_map: HashMap<ItemId, ItemId> = HashMap::new();
+    let mut next_item: ItemId = 1;
+    for it in 1..=dataset.num_items {
+        if keep_item[it] {
+            item_map.insert(it as ItemId, next_item);
+            next_item += 1;
+        }
+    }
+    let mut sequences = Vec::new();
+    for (u, seq) in dataset.sequences.iter().enumerate() {
+        if !keep_user[u] {
+            continue;
+        }
+        let mut new_seq = Sequence::new();
+        for (&it, &b) in seq.items.iter().zip(seq.behaviors.iter()) {
+            if let Some(&mapped) = item_map.get(&it) {
+                new_seq.push(mapped, b);
+            }
+        }
+        if !new_seq.is_empty() {
+            sequences.push(new_seq);
+        }
+    }
+    Dataset {
+        name: dataset.name.clone(),
+        num_users: sequences.len(),
+        num_items: (next_item - 1) as usize,
+        behaviors: dataset.behaviors.clone(),
+        target_behavior: dataset.target_behavior,
+        sequences,
+    }
+}
+
+/// One training example: predict `target` (a target-behavior item) from the
+/// multi-behavior `history` strictly before it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainInstance {
+    pub user: UserId,
+    pub history: Sequence,
+    pub target: ItemId,
+}
+
+/// One ranking-evaluation example (validation or test).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EvalInstance {
+    pub user: UserId,
+    pub history: Sequence,
+    pub target: ItemId,
+}
+
+/// Output of the leave-one-out protocol.
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: Vec<TrainInstance>,
+    pub val: Vec<EvalInstance>,
+    pub test: Vec<EvalInstance>,
+    /// Per-user full training history (events before the validation
+    /// target), used by non-parametric baselines (POP, ItemKNN).
+    pub train_histories: Vec<(UserId, Sequence)>,
+    pub num_items: usize,
+    pub target_behavior: Behavior,
+}
+
+/// Split options.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// Keep at most this many most-recent events in any history.
+    pub max_seq_len: usize,
+    /// Users need at least this many target-behavior events to contribute
+    /// val/test instances (the standard is 3: ≥1 train + 1 val + 1 test).
+    pub min_target_events: usize,
+    /// Cap on per-user training instances (most recent kept) to bound
+    /// epoch cost; `usize::MAX` disables.
+    pub max_train_per_user: usize,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            max_seq_len: 50,
+            min_target_events: 3,
+            max_train_per_user: 8,
+        }
+    }
+}
+
+/// Chronological leave-one-out:
+/// - the **last** target-behavior event of each user is the test target;
+/// - the **second-to-last** is the validation target;
+/// - every earlier target-behavior event yields a training instance.
+///
+/// Histories always contain *all* behaviors before the target event and are
+/// truncated to the most recent `max_seq_len` events.
+pub fn leave_one_out(dataset: &Dataset, config: &SplitConfig) -> Split {
+    let target = dataset.target_behavior;
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    let mut train_histories = Vec::new();
+
+    for (u, seq) in dataset.sequences.iter().enumerate() {
+        let user = u as UserId;
+        let target_positions = seq.positions_of(target);
+        if target_positions.len() < config.min_target_events {
+            // Not enough signal to hold out; keep all events as training
+            // instances (if ≥1 target and non-empty history).
+            for &pos in &target_positions {
+                if pos == 0 {
+                    continue;
+                }
+                train.push(TrainInstance {
+                    user,
+                    history: history_before(seq, pos, config.max_seq_len),
+                    target: seq.items[pos],
+                });
+            }
+            if !target_positions.is_empty() {
+                let last = *target_positions.last().unwrap();
+                train_histories.push((user, history_before(seq, last + 1, config.max_seq_len)));
+            }
+            continue;
+        }
+        let test_pos = *target_positions.last().unwrap();
+        let val_pos = target_positions[target_positions.len() - 2];
+
+        let mut user_train: Vec<TrainInstance> = Vec::new();
+        for &pos in &target_positions[..target_positions.len() - 2] {
+            if pos == 0 {
+                continue;
+            }
+            user_train.push(TrainInstance {
+                user,
+                history: history_before(seq, pos, config.max_seq_len),
+                target: seq.items[pos],
+            });
+        }
+        if user_train.len() > config.max_train_per_user {
+            let skip = user_train.len() - config.max_train_per_user;
+            user_train.drain(..skip);
+        }
+        train.extend(user_train);
+
+        if val_pos > 0 {
+            val.push(EvalInstance {
+                user,
+                history: history_before(seq, val_pos, config.max_seq_len),
+                target: seq.items[val_pos],
+            });
+        }
+        test.push(EvalInstance {
+            user,
+            history: history_before(seq, test_pos, config.max_seq_len),
+            target: seq.items[test_pos],
+        });
+        train_histories.push((user, history_before(seq, val_pos, config.max_seq_len)));
+    }
+
+    Split {
+        train,
+        val,
+        test,
+        train_histories,
+        num_items: dataset.num_items,
+        target_behavior: target,
+    }
+}
+
+/// The multi-behavior history strictly before event index `pos`, truncated
+/// to the last `max_len` events.
+fn history_before(seq: &Sequence, pos: usize, max_len: usize) -> Sequence {
+    Sequence {
+        items: seq.items[..pos].to_vec(),
+        behaviors: seq.behaviors[..pos].to_vec(),
+    }
+    .truncate_to_recent(max_len)
+}
+
+/// Global temporal split: per user, the first `1 - val_frac - test_frac`
+/// fraction of target-behavior events trains, the next `val_frac` fraction
+/// validates, and the remainder tests — the alternative protocol to
+/// leave-one-out, closer to production retraining cadence (no per-user
+/// single holdout; late events are never used as training history for
+/// earlier targets).
+///
+/// Fractions apply to each user's own timeline, which approximates a
+/// global time cut when user activity spans the log uniformly (true for
+/// the synthetic generator).
+pub fn temporal_split(
+    dataset: &Dataset,
+    config: &SplitConfig,
+    val_frac: f64,
+    test_frac: f64,
+) -> Split {
+    assert!(val_frac >= 0.0 && test_frac > 0.0 && val_frac + test_frac < 1.0);
+    let target = dataset.target_behavior;
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    let mut test = Vec::new();
+    let mut train_histories = Vec::new();
+
+    for (u, seq) in dataset.sequences.iter().enumerate() {
+        let user = u as UserId;
+        let positions = seq.positions_of(target);
+        if positions.len() < config.min_target_events {
+            continue;
+        }
+        let n = positions.len();
+        let test_start = ((n as f64) * (1.0 - test_frac)).floor() as usize;
+        let val_start = ((n as f64) * (1.0 - test_frac - val_frac)).floor() as usize;
+        let val_start = val_start.min(test_start).max(1); // ≥1 training target
+        let test_start = test_start.clamp(val_start, n - 1);
+
+        let mut user_train = Vec::new();
+        for &pos in &positions[..val_start] {
+            if pos == 0 {
+                continue;
+            }
+            user_train.push(TrainInstance {
+                user,
+                history: history_before(seq, pos, config.max_seq_len),
+                target: seq.items[pos],
+            });
+        }
+        if user_train.len() > config.max_train_per_user {
+            let skip = user_train.len() - config.max_train_per_user;
+            user_train.drain(..skip);
+        }
+        train.extend(user_train);
+        for &pos in &positions[val_start..test_start] {
+            val.push(EvalInstance {
+                user,
+                history: history_before(seq, pos, config.max_seq_len),
+                target: seq.items[pos],
+            });
+        }
+        for &pos in &positions[test_start..] {
+            test.push(EvalInstance {
+                user,
+                history: history_before(seq, pos, config.max_seq_len),
+                target: seq.items[pos],
+            });
+        }
+        let boundary = positions[val_start];
+        train_histories.push((user, history_before(seq, boundary, config.max_seq_len)));
+    }
+
+    Split {
+        train,
+        val,
+        test,
+        train_histories,
+        num_items: dataset.num_items,
+        target_behavior: target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn build_seq(events: &[(ItemId, Behavior)]) -> Sequence {
+        let mut s = Sequence::new();
+        for &(i, b) in events {
+            s.push(i, b);
+        }
+        s
+    }
+
+    fn toy_dataset() -> Dataset {
+        use Behavior::*;
+        Dataset {
+            name: "toy".into(),
+            num_users: 2,
+            num_items: 6,
+            behaviors: vec![Click, Purchase],
+            target_behavior: Purchase,
+            sequences: vec![
+                build_seq(&[
+                    (1, Click),
+                    (1, Purchase),
+                    (2, Click),
+                    (3, Click),
+                    (3, Purchase),
+                    (4, Click),
+                    (4, Purchase),
+                    (5, Click),
+                    (5, Purchase),
+                ]),
+                build_seq(&[(2, Click), (2, Purchase), (3, Click)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn loo_assigns_last_to_test_second_last_to_val() {
+        let split = leave_one_out(&toy_dataset(), &SplitConfig::default());
+        // User 0 has 4 purchases (1,3,4,5): test=5, val=4, train targets {1,3}.
+        assert_eq!(split.test.len(), 1);
+        assert_eq!(split.test[0].target, 5);
+        assert_eq!(split.val[0].target, 4);
+        let train_targets: Vec<ItemId> = split
+            .train
+            .iter()
+            .filter(|t| t.user == 0)
+            .map(|t| t.target)
+            .collect();
+        assert_eq!(train_targets, vec![1, 3]);
+    }
+
+    #[test]
+    fn histories_are_strictly_before_target() {
+        let split = leave_one_out(&toy_dataset(), &SplitConfig::default());
+        let test = &split.test[0];
+        // History before the last purchase of item 5 contains the click on 5.
+        assert_eq!(*test.history.items.last().unwrap(), 5);
+        assert_eq!(*test.history.behaviors.last().unwrap(), Behavior::Click);
+        // And does not contain the target event itself.
+        assert_eq!(test.history.len(), 8);
+    }
+
+    #[test]
+    fn short_users_stay_in_training_only() {
+        let split = leave_one_out(&toy_dataset(), &SplitConfig::default());
+        // User 1 has a single purchase: no val/test, 1 training instance.
+        assert!(split.test.iter().all(|t| t.user == 0));
+        assert!(split.val.iter().all(|t| t.user == 0));
+        let u1: Vec<_> = split.train.iter().filter(|t| t.user == 1).collect();
+        assert_eq!(u1.len(), 1);
+        assert_eq!(u1[0].target, 2);
+    }
+
+    #[test]
+    fn max_seq_len_truncates() {
+        let cfg = SplitConfig {
+            max_seq_len: 2,
+            ..SplitConfig::default()
+        };
+        let split = leave_one_out(&toy_dataset(), &cfg);
+        assert!(split.test[0].history.len() <= 2);
+    }
+
+    #[test]
+    fn max_train_per_user_caps_and_keeps_recent() {
+        let cfg = SplitConfig {
+            max_train_per_user: 1,
+            ..SplitConfig::default()
+        };
+        let split = leave_one_out(&toy_dataset(), &cfg);
+        let u0: Vec<_> = split.train.iter().filter(|t| t.user == 0).collect();
+        assert_eq!(u0.len(), 1);
+        assert_eq!(u0[0].target, 3); // the more recent of {1, 3}
+    }
+
+    #[test]
+    fn k_core_removes_sparse_and_remaps() {
+        let d = toy_dataset();
+        let filtered = k_core(&d, 4, 2);
+        filtered.validate().unwrap();
+        // User 1 (3 events) is removed.
+        assert_eq!(filtered.num_users, 1);
+        // All item ids dense in 1..=num_items.
+        for seq in &filtered.sequences {
+            for &it in &seq.items {
+                assert!(it >= 1 && it as usize <= filtered.num_items);
+            }
+        }
+    }
+
+    #[test]
+    fn k_core_is_idempotent() {
+        let g = SyntheticConfig::taobao_like(11).scaled(0.1).generate();
+        let once = k_core(&g.dataset, 5, 3);
+        let twice = k_core(&once, 5, 3);
+        assert_eq!(once.num_users, twice.num_users);
+        assert_eq!(once.num_items, twice.num_items);
+        assert_eq!(once.num_interactions(), twice.num_interactions());
+    }
+
+    #[test]
+    fn temporal_split_ordering_invariants() {
+        let g = SyntheticConfig::taobao_like(14).scaled(0.1).generate();
+        let split = temporal_split(&g.dataset, &SplitConfig::default(), 0.1, 0.2);
+        assert!(!split.train.is_empty());
+        assert!(!split.test.is_empty());
+        // Multiple test instances per user are allowed; the test set must
+        // be larger than the leave-one-out one for 20% test fraction.
+        let loo = leave_one_out(&g.dataset, &SplitConfig::default());
+        assert!(split.test.len() >= loo.test.len() / 2);
+        // Every history respects max_seq_len and is non-empty.
+        for inst in split.test.iter().chain(split.val.iter()) {
+            assert!(!inst.history.is_empty());
+            assert!(inst.history.len() <= 50);
+        }
+    }
+
+    #[test]
+    fn temporal_split_train_strictly_precedes_test_per_user() {
+        let g = SyntheticConfig::yelp_like(15).scaled(0.1).generate();
+        let cfg = SplitConfig {
+            max_seq_len: usize::MAX >> 1,
+            ..SplitConfig::default()
+        };
+        let split = temporal_split(&g.dataset, &cfg, 0.1, 0.2);
+        // For each user: max train history length < min test history
+        // length (histories are prefixes, so length orders events in time).
+        use std::collections::HashMap;
+        let mut max_train: HashMap<u32, usize> = HashMap::new();
+        for t in &split.train {
+            let e = max_train.entry(t.user).or_insert(0);
+            *e = (*e).max(t.history.len());
+        }
+        for t in &split.test {
+            if let Some(&mt) = max_train.get(&t.user) {
+                assert!(
+                    t.history.len() >= mt,
+                    "test event earlier than a training event for user {}",
+                    t.user
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn temporal_split_rejects_bad_fractions() {
+        let g = SyntheticConfig::yelp_like(16).scaled(0.05).generate();
+        temporal_split(&g.dataset, &SplitConfig::default(), 0.6, 0.6);
+    }
+
+    #[test]
+    fn split_on_synthetic_covers_most_users() {
+        let g = SyntheticConfig::taobao_like(13).scaled(0.15).generate();
+        let split = leave_one_out(&g.dataset, &SplitConfig::default());
+        assert!(!split.train.is_empty());
+        assert!(split.test.len() > g.dataset.num_users / 2);
+        assert_eq!(split.val.len(), split.test.len());
+        // Eval targets are valid items.
+        for inst in split.test.iter().chain(split.val.iter()) {
+            assert!(inst.target >= 1 && inst.target as usize <= split.num_items);
+            assert!(!inst.history.is_empty());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Session segmentation: splitting a user's event stream into sessions by
+//! inactivity gaps — the preprocessing session-based recommenders (STAMP,
+//! GRU4Rec in its original setting) assume.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Interaction, Sequence, UserId};
+
+/// A single session: a contiguous burst of one user's activity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    pub user: UserId,
+    pub events: Sequence,
+    pub start_ts: i64,
+    pub end_ts: i64,
+}
+
+impl Session {
+    pub fn duration(&self) -> i64 {
+        self.end_ts - self.start_ts
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Splits time-stamped interactions into sessions: a new session starts
+/// whenever the gap to the previous event of the same user exceeds
+/// `max_gap`. Interactions may arrive unsorted; they are ordered by
+/// `(user, timestamp)` first. Sessions shorter than `min_len` are dropped.
+pub fn sessionize(interactions: &[Interaction], max_gap: i64, min_len: usize) -> Vec<Session> {
+    assert!(max_gap > 0, "max_gap must be positive");
+    let mut sorted: Vec<&Interaction> = interactions.iter().collect();
+    sorted.sort_by_key(|i| (i.user, i.timestamp));
+
+    let mut sessions = Vec::new();
+    let mut current: Option<Session> = None;
+    for inter in sorted {
+        let start_new = match &current {
+            None => true,
+            Some(s) => s.user != inter.user || inter.timestamp - s.end_ts > max_gap,
+        };
+        if start_new {
+            if let Some(s) = current.take() {
+                if s.len() >= min_len {
+                    sessions.push(s);
+                }
+            }
+            current = Some(Session {
+                user: inter.user,
+                events: Sequence::new(),
+                start_ts: inter.timestamp,
+                end_ts: inter.timestamp,
+            });
+        }
+        let s = current.as_mut().expect("session initialized above");
+        s.events.push(inter.item, inter.behavior);
+        s.end_ts = inter.timestamp;
+    }
+    if let Some(s) = current {
+        if s.len() >= min_len {
+            sessions.push(s);
+        }
+    }
+    sessions
+}
+
+/// Summary statistics over a session set.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct SessionStats {
+    pub sessions: usize,
+    pub mean_len: f64,
+    pub mean_duration: f64,
+    pub sessions_per_user: f64,
+}
+
+pub fn session_stats(sessions: &[Session]) -> SessionStats {
+    if sessions.is_empty() {
+        return SessionStats::default();
+    }
+    let users: std::collections::HashSet<UserId> = sessions.iter().map(|s| s.user).collect();
+    SessionStats {
+        sessions: sessions.len(),
+        mean_len: sessions.iter().map(Session::len).sum::<usize>() as f64 / sessions.len() as f64,
+        mean_duration: sessions.iter().map(Session::duration).sum::<i64>() as f64
+            / sessions.len() as f64,
+        sessions_per_user: sessions.len() as f64 / users.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Behavior;
+
+    fn ev(user: UserId, item: u32, ts: i64) -> Interaction {
+        Interaction {
+            user,
+            item,
+            behavior: Behavior::Click,
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn splits_on_gap() {
+        let events = vec![ev(0, 1, 0), ev(0, 2, 10), ev(0, 3, 100), ev(0, 4, 105)];
+        let sessions = sessionize(&events, 30, 1);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].events.items, vec![1, 2]);
+        assert_eq!(sessions[1].events.items, vec![3, 4]);
+        assert_eq!(sessions[0].duration(), 10);
+    }
+
+    #[test]
+    fn splits_on_user_change() {
+        let events = vec![ev(0, 1, 0), ev(1, 2, 1)];
+        let sessions = sessionize(&events, 1000, 1);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].user, 0);
+        assert_eq!(sessions[1].user, 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_ordered() {
+        let events = vec![ev(0, 3, 20), ev(0, 1, 0), ev(0, 2, 10)];
+        let sessions = sessionize(&events, 30, 1);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].events.items, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn min_len_filters_short_sessions() {
+        let events = vec![ev(0, 1, 0), ev(0, 2, 100), ev(0, 3, 101)];
+        let sessions = sessionize(&events, 30, 2);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].events.items, vec![2, 3]);
+    }
+
+    #[test]
+    fn boundary_gap_stays_in_session() {
+        // Gap exactly equal to max_gap does not split.
+        let events = vec![ev(0, 1, 0), ev(0, 2, 30)];
+        assert_eq!(sessionize(&events, 30, 1).len(), 1);
+        assert_eq!(sessionize(&events, 29, 1).len(), 2);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let events = vec![
+            ev(0, 1, 0),
+            ev(0, 2, 5),
+            ev(0, 3, 100),
+            ev(0, 4, 104),
+            ev(1, 5, 0),
+            ev(1, 6, 2),
+        ];
+        let sessions = sessionize(&events, 30, 1);
+        let stats = session_stats(&sessions);
+        assert_eq!(stats.sessions, 3);
+        assert!((stats.mean_len - 2.0).abs() < 1e-12);
+        assert!((stats.sessions_per_user - 1.5).abs() < 1e-12);
+        assert_eq!(session_stats(&[]).sessions, 0);
+    }
+
+    #[test]
+    fn empty_input_produces_no_sessions() {
+        assert!(sessionize(&[], 10, 1).is_empty());
+    }
+}

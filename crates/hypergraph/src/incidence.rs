@@ -1,0 +1,189 @@
+//! Hypergraph incidence structures.
+//!
+//! A hypergraph over `n` nodes is a set of hyperedges, each a non-empty set
+//! of node indices plus a type tag. The representation is a plain edge list
+//! (sorted, deduplicated member vectors) with dense mask export for the
+//! attention layers.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a hyperedge, used to select its learned query embedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeType {
+    /// All positions sharing a behavior (the tag is the behavior's dense
+    /// embedding index).
+    Behavior(usize),
+    /// A sliding temporal window.
+    Temporal,
+    /// Repeated occurrences of the same item.
+    Item,
+}
+
+impl EdgeType {
+    /// Dense id for edge-type embeddings. Behavior tags occupy
+    /// `0..behavior_vocab`, then temporal, then item.
+    pub fn type_id(self, behavior_vocab: usize) -> usize {
+        match self {
+            EdgeType::Behavior(b) => {
+                assert!(b < behavior_vocab, "behavior tag out of range");
+                b
+            }
+            EdgeType::Temporal => behavior_vocab,
+            EdgeType::Item => behavior_vocab + 1,
+        }
+    }
+
+    /// Size of the edge-type embedding vocabulary.
+    pub fn vocab(behavior_vocab: usize) -> usize {
+        behavior_vocab + 2
+    }
+}
+
+/// A hypergraph over sequence positions.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Hypergraph {
+    num_nodes: usize,
+    members: Vec<Vec<usize>>,
+    types: Vec<EdgeType>,
+}
+
+impl Hypergraph {
+    pub fn new(num_nodes: usize) -> Self {
+        Hypergraph {
+            num_nodes,
+            members: Vec::new(),
+            types: Vec::new(),
+        }
+    }
+
+    /// Adds a hyperedge; members are sorted and deduplicated. Empty or
+    /// out-of-range member sets are rejected.
+    pub fn add_edge(&mut self, mut members: Vec<usize>, edge_type: EdgeType) {
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "hyperedge must have members");
+        assert!(
+            members.iter().all(|&m| m < self.num_nodes),
+            "hyperedge member out of range"
+        );
+        self.members.push(members);
+        self.types.push(edge_type);
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn edge_members(&self, e: usize) -> &[usize] {
+        &self.members[e]
+    }
+
+    pub fn edge_type(&self, e: usize) -> EdgeType {
+        self.types[e]
+    }
+
+    /// Number of hyperedges containing `node`.
+    pub fn node_degree(&self, node: usize) -> usize {
+        self.members.iter().filter(|m| m.binary_search(&node).is_ok()).count()
+    }
+
+    /// Number of members of edge `e`.
+    pub fn edge_degree(&self, e: usize) -> usize {
+        self.members[e].len()
+    }
+
+    /// Dense incidence matrix `[num_edges, num_nodes]` with 1.0 where the
+    /// node belongs to the edge.
+    pub fn incidence_mask(&self) -> Vec<f32> {
+        let mut mask = vec![0.0f32; self.num_edges() * self.num_nodes];
+        for (e, members) in self.members.iter().enumerate() {
+            for &m in members {
+                mask[e * self.num_nodes + m] = 1.0;
+            }
+        }
+        mask
+    }
+
+    /// Structural invariants: every edge non-empty, members in range,
+    /// sorted, deduplicated.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.members.len() != self.types.len() {
+            return Err("members/types length mismatch".into());
+        }
+        for (e, members) in self.members.iter().enumerate() {
+            if members.is_empty() {
+                return Err(format!("edge {e} empty"));
+            }
+            if members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("edge {e} not sorted/deduped"));
+            }
+            if *members.last().unwrap() >= self.num_nodes {
+                return Err(format!("edge {e} member out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_sorts_and_dedups() {
+        let mut hg = Hypergraph::new(5);
+        hg.add_edge(vec![3, 1, 3, 0], EdgeType::Temporal);
+        assert_eq!(hg.edge_members(0), &[0, 1, 3]);
+        assert_eq!(hg.edge_degree(0), 3);
+        hg.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees() {
+        let mut hg = Hypergraph::new(4);
+        hg.add_edge(vec![0, 1], EdgeType::Temporal);
+        hg.add_edge(vec![1, 2, 3], EdgeType::Item);
+        assert_eq!(hg.node_degree(1), 2);
+        assert_eq!(hg.node_degree(0), 1);
+        assert_eq!(hg.node_degree(3), 1);
+    }
+
+    #[test]
+    fn incidence_mask_layout() {
+        let mut hg = Hypergraph::new(3);
+        hg.add_edge(vec![0, 2], EdgeType::Behavior(1));
+        hg.add_edge(vec![1], EdgeType::Temporal);
+        let m = hg.incidence_mask();
+        assert_eq!(m, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn type_ids_are_distinct() {
+        let vocab = 5;
+        let ids: Vec<usize> = vec![
+            EdgeType::Behavior(0).type_id(vocab),
+            EdgeType::Behavior(4).type_id(vocab),
+            EdgeType::Temporal.type_id(vocab),
+            EdgeType::Item.type_id(vocab),
+        ];
+        let set: std::collections::HashSet<usize> = ids.iter().copied().collect();
+        assert_eq!(set.len(), ids.len());
+        assert!(ids.iter().all(|&i| i < EdgeType::vocab(vocab)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must have members")]
+    fn empty_edge_panics() {
+        Hypergraph::new(3).add_edge(vec![], EdgeType::Temporal);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_member_panics() {
+        Hypergraph::new(2).add_edge(vec![5], EdgeType::Temporal);
+    }
+}

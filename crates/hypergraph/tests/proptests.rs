@@ -1,0 +1,114 @@
+//! Property-based tests on hypergraph construction invariants.
+
+use proptest::prelude::*;
+
+use mbssl_hypergraph::{build_batch_incidence, EdgeType, HypergraphConfig};
+
+fn arb_sequence() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<f32>)> {
+    (1usize..30).prop_flat_map(|len| {
+        (
+            prop::collection::vec(1usize..20, len..=len),
+            prop::collection::vec(prop::sample::select(vec![1usize, 2, 3, 4]), len..=len),
+            prop::collection::vec(prop::sample::select(vec![0.0f32, 1.0]), len..=len),
+        )
+    })
+}
+
+fn config(window: usize, max_item: usize) -> HypergraphConfig {
+    HypergraphConfig {
+        behavior_tags: vec![1, 2, 3, 4],
+        window,
+        max_item_edges: max_item,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn built_hypergraphs_always_validate(
+        (items, behaviors, valid) in arb_sequence(),
+        window in 1usize..10,
+        max_item in 0usize..5
+    ) {
+        let hg = config(window, max_item).build(&items, &behaviors, &valid);
+        prop_assert!(hg.validate().is_ok());
+    }
+
+    #[test]
+    fn valid_nodes_covered_padded_nodes_isolated(
+        (items, behaviors, valid) in arb_sequence(),
+        window in 1usize..10
+    ) {
+        let hg = config(window, 4).build(&items, &behaviors, &valid);
+        for (t, &v) in valid.iter().enumerate() {
+            if v != 0.0 {
+                prop_assert!(hg.node_degree(t) >= 1, "valid node {t} in no edge");
+            } else {
+                prop_assert_eq!(hg.node_degree(t), 0, "padded node {} joined an edge", t);
+            }
+        }
+    }
+
+    #[test]
+    fn behavior_edges_are_homogeneous(
+        (items, behaviors, valid) in arb_sequence()
+    ) {
+        let hg = config(4, 4).build(&items, &behaviors, &valid);
+        for e in 0..hg.num_edges() {
+            if let EdgeType::Behavior(tag) = hg.edge_type(e) {
+                for &m in hg.edge_members(e) {
+                    prop_assert_eq!(behaviors[m], tag);
+                    prop_assert!(valid[m] != 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn item_edges_are_single_item(
+        (items, behaviors, valid) in arb_sequence()
+    ) {
+        let hg = config(4, 8).build(&items, &behaviors, &valid);
+        for e in 0..hg.num_edges() {
+            if hg.edge_type(e) == EdgeType::Item {
+                let members = hg.edge_members(e);
+                prop_assert!(members.len() >= 2);
+                let first = items[members[0]];
+                for &m in members {
+                    prop_assert_eq!(items[m], first);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_incidence_consistent_with_edge_valid(
+        (items, behaviors, valid) in arb_sequence(),
+        window in 1usize..8
+    ) {
+        let len = items.len();
+        let cfg = config(window, 3);
+        let bi = build_batch_incidence(&cfg, &items, &behaviors, &valid, 1, len, 5);
+        prop_assert_eq!(bi.num_edges, cfg.num_edge_slots(len));
+        for e in 0..bi.num_edges {
+            let any = (0..len).any(|t| bi.membership[e * len + t] != 0.0);
+            prop_assert_eq!(any, bi.edge_valid[e] != 0.0);
+        }
+        // Edge-type ids in range for the embedding table.
+        for &id in &bi.edge_type_ids {
+            prop_assert!(id < EdgeType::vocab(5));
+        }
+    }
+
+    #[test]
+    fn temporal_slots_grow_with_length(window in 2usize..10) {
+        let cfg = config(window, 0);
+        let mut last = 0;
+        for len in 1..60 {
+            let n = cfg.num_temporal_edges(len);
+            prop_assert!(n >= last, "temporal slot count not monotone");
+            last = n;
+        }
+    }
+}

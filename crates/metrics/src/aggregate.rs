@@ -1,0 +1,113 @@
+//! Grouped metric aggregation (for cold-start / sequence-length
+//! breakdowns).
+
+use serde::Serialize;
+
+use crate::ranking::RankingMetrics;
+
+/// A labeled bucket over instance indices.
+#[derive(Clone, Debug, Serialize)]
+pub struct Group {
+    pub label: String,
+    pub indices: Vec<usize>,
+}
+
+/// Buckets instances by a numeric key and half-open boundaries.
+///
+/// `boundaries = [5, 10, 20]` produces groups `≤5`, `6–10`, `11–20`, `>20`.
+pub fn bucket_by(keys: &[usize], boundaries: &[usize]) -> Vec<Group> {
+    assert!(
+        boundaries.windows(2).all(|w| w[0] < w[1]),
+        "boundaries must be strictly increasing"
+    );
+    let mut groups: Vec<Group> = Vec::with_capacity(boundaries.len() + 1);
+    for (gi, &b) in boundaries.iter().enumerate() {
+        let label = if gi == 0 {
+            format!("<={b}")
+        } else {
+            format!("{}-{b}", boundaries[gi - 1] + 1)
+        };
+        groups.push(Group {
+            label,
+            indices: Vec::new(),
+        });
+    }
+    groups.push(Group {
+        label: format!(">{}", boundaries.last().copied().unwrap_or(0)),
+        indices: Vec::new(),
+    });
+    for (i, &key) in keys.iter().enumerate() {
+        let gi = boundaries.iter().position(|&b| key <= b).unwrap_or(boundaries.len());
+        groups[gi].indices.push(i);
+    }
+    groups
+}
+
+/// Ranking metrics computed per group from global per-instance ranks.
+#[derive(Clone, Debug, Serialize)]
+pub struct GroupedMetrics {
+    pub label: String,
+    pub metrics: RankingMetrics,
+}
+
+pub fn metrics_by_group(ranks: &[usize], groups: &[Group]) -> Vec<GroupedMetrics> {
+    groups
+        .iter()
+        .map(|g| {
+            let group_ranks: Vec<usize> = g.indices.iter().map(|&i| ranks[i]).collect();
+            GroupedMetrics {
+                label: g.label.clone(),
+                metrics: RankingMetrics::from_ranks(&group_ranks),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_and_partition() {
+        let keys = vec![1, 5, 6, 10, 11, 50];
+        let groups = bucket_by(&keys, &[5, 10, 20]);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].indices, vec![0, 1]); // <=5
+        assert_eq!(groups[1].indices, vec![2, 3]); // 6-10
+        assert_eq!(groups[2].indices, vec![4]); // 11-20
+        assert_eq!(groups[3].indices, vec![5]); // >20
+        let total: usize = groups.iter().map(|g| g.indices.len()).sum();
+        assert_eq!(total, keys.len());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let groups = bucket_by(&[], &[5, 10]);
+        let labels: Vec<&str> = groups.iter().map(|g| g.label.as_str()).collect();
+        assert_eq!(labels, vec!["<=5", "6-10", ">10"]);
+    }
+
+    #[test]
+    fn grouped_metrics_use_only_member_ranks() {
+        let ranks = vec![0, 50, 0, 50];
+        let groups = vec![
+            Group {
+                label: "good".into(),
+                indices: vec![0, 2],
+            },
+            Group {
+                label: "bad".into(),
+                indices: vec![1, 3],
+            },
+        ];
+        let gm = metrics_by_group(&ranks, &groups);
+        assert_eq!(gm[0].metrics.hr10, 1.0);
+        assert_eq!(gm[1].metrics.hr10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_boundaries_panic() {
+        bucket_by(&[1], &[10, 5]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Beyond-accuracy metrics: catalog coverage and intra-list diversity.
+//!
+//! Multi-interest recommenders are motivated not only by accuracy but by
+//! recommendation *diversity* (ComiRec evaluates it explicitly): a model
+//! with K interests should surface items from more distinct categories
+//! than a single-vector model.
+
+use std::collections::HashSet;
+
+use serde::Serialize;
+
+/// Fraction of the catalog that appears in at least one user's top-K list.
+pub fn catalog_coverage(top_k_lists: &[Vec<u32>], num_items: usize) -> f64 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let distinct: HashSet<u32> = top_k_lists.iter().flatten().copied().collect();
+    distinct.len() as f64 / num_items as f64
+}
+
+/// Mean intra-list diversity: for each list, the fraction of item pairs
+/// whose categories differ, averaged over lists. `item_category[item]`
+/// maps item ids to category labels (e.g. the simulator's topics).
+pub fn intra_list_diversity(top_k_lists: &[Vec<u32>], item_category: &[usize]) -> f64 {
+    let mut total = 0.0f64;
+    let mut lists = 0usize;
+    for list in top_k_lists {
+        if list.len() < 2 {
+            continue;
+        }
+        let mut diff_pairs = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                pairs += 1;
+                if item_category[list[i] as usize] != item_category[list[j] as usize] {
+                    diff_pairs += 1;
+                }
+            }
+        }
+        total += diff_pairs as f64 / pairs as f64;
+        lists += 1;
+    }
+    if lists == 0 {
+        0.0
+    } else {
+        total / lists as f64
+    }
+}
+
+/// Number of distinct categories per list, averaged.
+pub fn mean_distinct_categories(top_k_lists: &[Vec<u32>], item_category: &[usize]) -> f64 {
+    if top_k_lists.is_empty() {
+        return 0.0;
+    }
+    let total: usize = top_k_lists
+        .iter()
+        .map(|list| {
+            list.iter()
+                .map(|&i| item_category[i as usize])
+                .collect::<HashSet<_>>()
+                .len()
+        })
+        .sum();
+    total as f64 / top_k_lists.len() as f64
+}
+
+/// Bundle of beyond-accuracy metrics for one model's top-K output.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct DiversityMetrics {
+    pub catalog_coverage: f64,
+    pub intra_list_diversity: f64,
+    pub mean_distinct_categories: f64,
+}
+
+/// Computes the full bundle.
+pub fn diversity_metrics(
+    top_k_lists: &[Vec<u32>],
+    num_items: usize,
+    item_category: &[usize],
+) -> DiversityMetrics {
+    DiversityMetrics {
+        catalog_coverage: catalog_coverage(top_k_lists, num_items),
+        intra_list_diversity: intra_list_diversity(top_k_lists, item_category),
+        mean_distinct_categories: mean_distinct_categories(top_k_lists, item_category),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Categories: items 1-2 → 0, items 3-4 → 1.
+    fn cats() -> Vec<usize> {
+        vec![usize::MAX, 0, 0, 1, 1]
+    }
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let lists = vec![vec![1, 2], vec![2, 3]];
+        assert!((catalog_coverage(&lists, 4) - 0.75).abs() < 1e-12);
+        assert_eq!(catalog_coverage(&[], 4), 0.0);
+        assert_eq!(catalog_coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn diversity_zero_for_same_category() {
+        let lists = vec![vec![1, 2]];
+        assert_eq!(intra_list_diversity(&lists, &cats()), 0.0);
+    }
+
+    #[test]
+    fn diversity_one_for_all_different() {
+        let lists = vec![vec![1, 3]];
+        assert_eq!(intra_list_diversity(&lists, &cats()), 1.0);
+    }
+
+    #[test]
+    fn diversity_mixed_list() {
+        // Pairs: (1,2) same, (1,3) diff, (2,3) diff → 2/3.
+        let lists = vec![vec![1, 2, 3]];
+        assert!((intra_list_diversity(&lists, &cats()) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_lists_ignored() {
+        let lists = vec![vec![1]];
+        assert_eq!(intra_list_diversity(&lists, &cats()), 0.0);
+    }
+
+    #[test]
+    fn distinct_categories_counted() {
+        let lists = vec![vec![1, 2, 3], vec![1, 2]];
+        // 2 categories in first list, 1 in second → mean 1.5.
+        assert!((mean_distinct_categories(&lists, &cats()) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bundle_consistent_with_parts() {
+        let lists = vec![vec![1, 3], vec![2, 4]];
+        let m = diversity_metrics(&lists, 4, &cats());
+        assert!((m.catalog_coverage - 1.0).abs() < 1e-12);
+        assert!((m.intra_list_diversity - 1.0).abs() < 1e-12);
+        assert!((m.mean_distinct_categories - 2.0).abs() < 1e-12);
+    }
+}

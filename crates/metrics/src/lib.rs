@@ -1,0 +1,10 @@
+//! `mbssl-metrics` — ranking metrics, aggregation, and significance tests
+//! for the mbssl evaluation protocol.
+
+pub mod aggregate;
+pub mod diversity;
+pub mod ranking;
+pub mod stats;
+
+pub use ranking::{PerInstanceMetrics, RankingMetrics};
+pub use stats::{paired_t_test, PairedTTest};

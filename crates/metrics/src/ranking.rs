@@ -1,0 +1,217 @@
+//! Ranking metrics for the 1-vs-N evaluation protocol.
+//!
+//! Evaluation produces, per instance, a score for each candidate where
+//! **candidate 0 is the positive target**. Metrics are computed from the
+//! rank of the target among all candidates (ties broken pessimistically:
+//! equal-scored candidates count as ranked ahead, so degenerate constant
+//! scorers do not look good).
+
+use serde::Serialize;
+
+/// The 0-based rank of candidate 0 given candidate scores.
+pub fn target_rank(scores: &[f32]) -> usize {
+    assert!(!scores.is_empty(), "no candidates");
+    let target = scores[0];
+    scores[1..]
+        .iter()
+        .filter(|&&s| s >= target)
+        .count()
+}
+
+/// Hit Rate@K for a single instance (1.0 if the target ranks in the top K).
+pub fn hit_at_k(rank: usize, k: usize) -> f64 {
+    if rank < k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG@K for a single instance with one relevant item.
+pub fn ndcg_at_k(rank: usize, k: usize) -> f64 {
+    if rank < k {
+        1.0 / ((rank + 2) as f64).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank for a single instance.
+pub fn reciprocal_rank(rank: usize) -> f64 {
+    1.0 / (rank + 1) as f64
+}
+
+/// Aggregated ranking metrics over a set of instances.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct RankingMetrics {
+    pub hr5: f64,
+    pub hr10: f64,
+    pub hr20: f64,
+    pub ndcg5: f64,
+    pub ndcg10: f64,
+    pub ndcg20: f64,
+    pub mrr: f64,
+    pub count: usize,
+}
+
+impl RankingMetrics {
+    /// Computes metrics from the per-instance target ranks.
+    pub fn from_ranks(ranks: &[usize]) -> RankingMetrics {
+        if ranks.is_empty() {
+            return RankingMetrics::default();
+        }
+        let n = ranks.len() as f64;
+        let mut m = RankingMetrics {
+            count: ranks.len(),
+            ..Default::default()
+        };
+        for &r in ranks {
+            m.hr5 += hit_at_k(r, 5);
+            m.hr10 += hit_at_k(r, 10);
+            m.hr20 += hit_at_k(r, 20);
+            m.ndcg5 += ndcg_at_k(r, 5);
+            m.ndcg10 += ndcg_at_k(r, 10);
+            m.ndcg20 += ndcg_at_k(r, 20);
+            m.mrr += reciprocal_rank(r);
+        }
+        m.hr5 /= n;
+        m.hr10 /= n;
+        m.hr20 /= n;
+        m.ndcg5 /= n;
+        m.ndcg10 /= n;
+        m.ndcg20 /= n;
+        m.mrr /= n;
+        m
+    }
+
+    /// Computes metrics from per-instance candidate score lists.
+    pub fn from_score_lists(score_lists: &[Vec<f32>]) -> RankingMetrics {
+        let ranks: Vec<usize> = score_lists.iter().map(|s| target_rank(s)).collect();
+        RankingMetrics::from_ranks(&ranks)
+    }
+
+    /// One-line summary for experiment tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "HR@5={:.4} HR@10={:.4} NDCG@5={:.4} NDCG@10={:.4} MRR={:.4} (n={})",
+            self.hr5, self.hr10, self.ndcg5, self.ndcg10, self.mrr, self.count
+        )
+    }
+}
+
+/// Per-instance metric vectors, needed for paired significance tests and
+/// per-group slicing.
+#[derive(Clone, Debug, Default)]
+pub struct PerInstanceMetrics {
+    pub ranks: Vec<usize>,
+}
+
+impl PerInstanceMetrics {
+    pub fn from_score_lists(score_lists: &[Vec<f32>]) -> Self {
+        PerInstanceMetrics {
+            ranks: score_lists.iter().map(|s| target_rank(s)).collect(),
+        }
+    }
+
+    /// Per-instance NDCG@K values.
+    pub fn ndcg_at(&self, k: usize) -> Vec<f64> {
+        self.ranks.iter().map(|&r| ndcg_at_k(r, k)).collect()
+    }
+
+    /// Per-instance HR@K values.
+    pub fn hr_at(&self, k: usize) -> Vec<f64> {
+        self.ranks.iter().map(|&r| hit_at_k(r, k)).collect()
+    }
+
+    pub fn aggregate(&self) -> RankingMetrics {
+        RankingMetrics::from_ranks(&self.ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_zero_when_target_strictly_best() {
+        assert_eq!(target_rank(&[5.0, 1.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn ties_count_against_target() {
+        assert_eq!(target_rank(&[2.0, 2.0, 1.0]), 1);
+        assert_eq!(target_rank(&[0.0, 0.0, 0.0]), 2);
+    }
+
+    #[test]
+    fn rank_last_when_target_worst() {
+        assert_eq!(target_rank(&[0.0, 1.0, 2.0, 3.0]), 3);
+    }
+
+    #[test]
+    fn hit_rates_threshold() {
+        assert_eq!(hit_at_k(4, 5), 1.0);
+        assert_eq!(hit_at_k(5, 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_top_rank_is_one() {
+        assert!((ndcg_at_k(0, 10) - 1.0).abs() < 1e-12);
+        assert!(ndcg_at_k(1, 10) < 1.0);
+        assert_eq!(ndcg_at_k(10, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_rank() {
+        let vals: Vec<f64> = (0..10).map(|r| ndcg_at_k(r, 10)).collect();
+        assert!(vals.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn mrr_known_values() {
+        assert_eq!(reciprocal_rank(0), 1.0);
+        assert_eq!(reciprocal_rank(1), 0.5);
+        assert_eq!(reciprocal_rank(9), 0.1);
+    }
+
+    #[test]
+    fn aggregate_matches_hand_computation() {
+        // Ranks 0 and 10: HR@10 = 0.5, NDCG@10 = (1 + 0)/2.
+        let m = RankingMetrics::from_ranks(&[0, 10]);
+        assert!((m.hr10 - 0.5).abs() < 1e-12);
+        assert!((m.ndcg10 - 0.5).abs() < 1e-12);
+        assert!((m.mrr - (1.0 + 1.0 / 11.0) / 2.0).abs() < 1e-12);
+        assert_eq!(m.count, 2);
+    }
+
+    #[test]
+    fn empty_ranks_are_zero() {
+        let m = RankingMetrics::from_ranks(&[]);
+        assert_eq!(m.count, 0);
+        assert_eq!(m.hr10, 0.0);
+    }
+
+    #[test]
+    fn from_score_lists_end_to_end() {
+        let lists = vec![vec![3.0, 1.0, 2.0], vec![0.0, 5.0, 4.0]];
+        let m = RankingMetrics::from_score_lists(&lists);
+        assert!((m.hr5 - 1.0).abs() < 1e-12); // ranks 0 and 2, both < 5
+        assert_eq!(m.count, 2);
+    }
+
+    #[test]
+    fn metric_bounds_hold() {
+        let lists: Vec<Vec<f32>> = (0..50)
+            .map(|i| (0..100).map(|j| ((i * 31 + j * 17) % 97) as f32).collect())
+            .collect();
+        let m = RankingMetrics::from_score_lists(&lists);
+        for v in [m.hr5, m.hr10, m.hr20, m.ndcg5, m.ndcg10, m.ndcg20, m.mrr] {
+            assert!((0.0..=1.0).contains(&v), "metric out of bounds: {v}");
+        }
+        // HR is monotone in K; NDCG likewise.
+        assert!(m.hr5 <= m.hr10 && m.hr10 <= m.hr20);
+        assert!(m.ndcg5 <= m.ndcg10 && m.ndcg10 <= m.ndcg20);
+        // NDCG@K <= HR@K always.
+        assert!(m.ndcg10 <= m.hr10 + 1e-12);
+    }
+}

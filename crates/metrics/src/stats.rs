@@ -1,0 +1,188 @@
+//! Statistical utilities: paired t-tests and descriptive aggregation, used
+//! for the "significantly outperforms" claims of the comparison table.
+
+use serde::Serialize;
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PairedTTest {
+    /// Mean of the differences (a - b).
+    pub mean_diff: f64,
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (n - 1).
+    pub df: usize,
+    /// Two-sided p-value (normal approximation, accurate for the large
+    /// per-user samples used in recommendation evaluation).
+    pub p_value: f64,
+}
+
+impl PairedTTest {
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Paired t-test on matched samples `a[i]` vs `b[i]`.
+///
+/// # Panics
+/// Panics when lengths differ or fewer than 2 pairs are given.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> PairedTTest {
+    assert_eq!(a.len(), b.len(), "paired test needs matched samples");
+    assert!(a.len() >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b.iter()).map(|(&x, &y)| x - y).collect();
+    let m = mean(&diffs);
+    let s = std_dev(&diffs);
+    let n = diffs.len() as f64;
+    let t = if s == 0.0 {
+        if m == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * m.signum()
+        }
+    } else {
+        m / (s / n.sqrt())
+    };
+    let p = 2.0 * (1.0 - std_normal_cdf(t.abs()));
+    PairedTTest {
+        mean_diff: m,
+        t,
+        df: diffs.len() - 1,
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ~1.5e-7, ample for significance reporting).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Mean with a normal-approximation 95% confidence half-width.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MeanCi {
+    pub mean: f64,
+    pub half_width: f64,
+    pub n: usize,
+}
+
+pub fn mean_ci95(xs: &[f64]) -> MeanCi {
+    let n = xs.len();
+    let m = mean(xs);
+    let hw = if n < 2 {
+        0.0
+    } else {
+        1.96 * std_dev(xs) / (n as f64).sqrt()
+    };
+    MeanCi {
+        mean: m,
+        half_width: hw,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [0.5, 0.6, 0.7, 0.8];
+        let t = paired_t_test(&a, &a);
+        assert_eq!(t.mean_diff, 0.0);
+        assert!(!t.significant_at(0.05));
+    }
+
+    #[test]
+    fn clearly_better_sample_is_significant() {
+        let a: Vec<f64> = (0..100).map(|i| 0.8 + 0.001 * (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 0.5 + 0.001 * (i % 5) as f64).collect();
+        let t = paired_t_test(&a, &b);
+        assert!(t.mean_diff > 0.25);
+        assert!(t.significant_at(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn noisy_equal_means_not_significant() {
+        let a: Vec<f64> = (0..50).map(|i| ((i * 37) % 100) as f64 / 100.0).collect();
+        let b: Vec<f64> = a.iter().rev().copied().collect();
+        let t = paired_t_test(&a, &b);
+        assert!(!t.significant_at(0.01), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn constant_nonzero_diff_is_infinitely_significant() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [0.5, 0.5, 0.5];
+        let t = paired_t_test(&a, &b);
+        assert!(t.t.is_infinite());
+        assert!(t.significant_at(0.001));
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 3) as f64).collect();
+        assert!(mean_ci95(&large).half_width < mean_ci95(&small).half_width);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched samples")]
+    fn mismatched_lengths_panic() {
+        paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

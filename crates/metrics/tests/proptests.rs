@@ -1,0 +1,86 @@
+//! Property-based tests for ranking metrics and statistics.
+
+use proptest::prelude::*;
+
+use mbssl_metrics::aggregate::bucket_by;
+use mbssl_metrics::ranking::{hit_at_k, ndcg_at_k, reciprocal_rank, target_rank, RankingMetrics};
+use mbssl_metrics::stats::{mean, mean_ci95, paired_t_test, std_normal_cdf};
+
+proptest! {
+    #[test]
+    fn target_rank_bounded(scores in prop::collection::vec(-100.0f32..100.0, 1..50)) {
+        let r = target_rank(&scores);
+        prop_assert!(r < scores.len());
+    }
+
+    #[test]
+    fn raising_target_score_never_worsens_rank(
+        mut scores in prop::collection::vec(-10.0f32..10.0, 2..50),
+        boost in 0.0f32..20.0
+    ) {
+        let before = target_rank(&scores);
+        scores[0] += boost;
+        let after = target_rank(&scores);
+        prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn metrics_bounded_and_monotone(ranks in prop::collection::vec(0usize..200, 1..100)) {
+        let m = RankingMetrics::from_ranks(&ranks);
+        for v in [m.hr5, m.hr10, m.hr20, m.ndcg5, m.ndcg10, m.ndcg20, m.mrr] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert!(m.hr5 <= m.hr10 && m.hr10 <= m.hr20);
+        prop_assert!(m.ndcg5 <= m.ndcg10 && m.ndcg10 <= m.ndcg20);
+        prop_assert!(m.ndcg10 <= m.hr10 + 1e-12);
+        prop_assert!(m.mrr <= m.hr20 + (1.0 / 21.0)); // mrr tail bound
+    }
+
+    #[test]
+    fn per_rank_metrics_monotone_in_rank(r1 in 0usize..100, r2 in 0usize..100) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(hit_at_k(lo, 10) >= hit_at_k(hi, 10));
+        prop_assert!(ndcg_at_k(lo, 10) >= ndcg_at_k(hi, 10));
+        prop_assert!(reciprocal_rank(lo) >= reciprocal_rank(hi));
+    }
+
+    #[test]
+    fn t_test_antisymmetric(
+        a in prop::collection::vec(0.0f64..1.0, 5..40),
+        shift in -0.5f64..0.5
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let ab = paired_t_test(&a, &b);
+        let ba = paired_t_test(&b, &a);
+        prop_assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-12);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(x in -5.0f64..5.0, dx in 0.001f64..2.0) {
+        prop_assert!(std_normal_cdf(x + dx) >= std_normal_cdf(x));
+        prop_assert!((0.0..=1.0).contains(&std_normal_cdf(x)));
+    }
+
+    #[test]
+    fn ci_contains_mean(xs in prop::collection::vec(-10.0f64..10.0, 2..50)) {
+        let ci = mean_ci95(&xs);
+        prop_assert!((ci.mean - mean(&xs)).abs() < 1e-12);
+        prop_assert!(ci.half_width >= 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_all_indices(
+        keys in prop::collection::vec(0usize..100, 0..100)
+    ) {
+        let groups = bucket_by(&keys, &[10, 30, 60]);
+        let mut seen = vec![false; keys.len()];
+        for g in &groups {
+            for &i in &g.indices {
+                prop_assert!(!seen[i], "index in two buckets");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "index missing from buckets");
+    }
+}

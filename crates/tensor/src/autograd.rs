@@ -1,0 +1,107 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The tape is implicit: every op output stores its parents and a backward
+//! closure (see [`crate::tensor`]). `backward` walks the graph once in
+//! reverse topological order so each node's gradient is complete before the
+//! node distributes it to its parents — this is what makes gradient
+//! accumulation correct for nodes consumed by several downstream ops.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+
+use crate::tensor::Tensor;
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Whether op outputs currently record autograd history.
+#[inline]
+pub fn is_grad_enabled() -> bool {
+    GRAD_ENABLED.with(|c| c.get())
+}
+
+/// Runs `f` with gradient recording disabled (evaluation / inference mode).
+/// Restores the previous mode afterwards, even on panic.
+pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+    struct Guard(bool);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            GRAD_ENABLED.with(|c| c.set(self.0));
+        }
+    }
+    let prev = GRAD_ENABLED.with(|c| c.replace(false));
+    let _guard = Guard(prev);
+    f()
+}
+
+/// Reverse topological order of the subgraph reachable from `root`,
+/// restricted to tracked nodes. Iterative DFS (training graphs for long
+/// sequences can be thousands of nodes deep through a GRU).
+fn topo_order(root: &Tensor) -> Vec<Tensor> {
+    let mut order: Vec<Tensor> = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    // Stack frames: (node, next-parent-index-to-visit).
+    let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
+    visited.insert(root.id());
+    while let Some((node, pi)) = stack.pop() {
+        let parents = node.parents();
+        if pi < parents.len() {
+            let parent = parents[pi].clone();
+            stack.push((node, pi + 1));
+            if parent.is_tracked() && !visited.contains(&parent.id()) {
+                visited.insert(parent.id());
+                stack.push((parent, 0));
+            }
+        } else {
+            order.push(node);
+        }
+    }
+    order
+}
+
+/// Runs the backward pass from `root` seeded with `seed`.
+pub(crate) fn backward(root: &Tensor, seed: Vec<f32>) {
+    if !root.is_tracked() {
+        return;
+    }
+    root.seed_grad(seed);
+    let order = topo_order(root);
+    // `order` is post-order (parents before children); reverse for the
+    // backward sweep so consumers run before producers.
+    for node in order.iter().rev() {
+        node.run_backward();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_grad_disables_and_restores() {
+        assert!(is_grad_enabled());
+        no_grad(|| {
+            assert!(!is_grad_enabled());
+            no_grad(|| assert!(!is_grad_enabled()));
+            assert!(!is_grad_enabled());
+        });
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn no_grad_restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            no_grad(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(is_grad_enabled());
+    }
+
+    #[test]
+    fn backward_on_untracked_is_noop() {
+        let t = Tensor::scalar(1.0);
+        t.backward(); // must not panic
+        assert!(t.grad().is_none());
+    }
+}

@@ -1,0 +1,414 @@
+//! Raw `&[f32]` compute kernels.
+//!
+//! Everything here is plain slice math with no knowledge of tensors or
+//! autograd, so it can be unit-tested and benchmarked in isolation. The GEMM
+//! kernels use register-blocked inner loops and split rows across OS threads
+//! (`std::thread::scope`) once the work is large enough to amortize spawn
+//! cost — the engine's training workloads are batch-sized matrices where
+//! this matters.
+
+/// Work (in multiply-adds) below which GEMM stays single-threaded.
+const PAR_GEMM_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Returns the number of worker threads to use for `work` units.
+fn thread_count(work: usize, threshold: usize) -> usize {
+    if work < threshold {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// C += A(m×k) · B(k×n), all row-major. `C` must be zeroed by the caller if
+/// plain assignment is wanted.
+pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
+    if threads <= 1 || m < 2 {
+        gemm_nn_rows(a, b, c, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut c_rest = c;
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (c_chunk, rest) = c_rest.split_at_mut(take * n);
+            c_rest = rest;
+            let a_chunk = &a[row * k..(row + take) * k];
+            scope.spawn(move || gemm_nn_rows(a_chunk, b, c_chunk, k, n));
+            row += take;
+        }
+    });
+}
+
+/// Row-panel worker for [`gemm_nn`]: C(rows×n) += A(rows×k)·B(k×n).
+fn gemm_nn_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let rows = c.len() / n.max(1);
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        // i-k-j loop order: the inner loop is a contiguous axpy over B's
+        // row, which auto-vectorizes well.
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// C += A(m×k) · Bᵀ where B is stored row-major as (n×k).
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
+    if threads <= 1 || m < 2 {
+        gemm_nt_rows(a, b, c, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut c_rest = c;
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (c_chunk, rest) = c_rest.split_at_mut(take * n);
+            c_rest = rest;
+            let a_chunk = &a[row * k..(row + take) * k];
+            scope.spawn(move || gemm_nt_rows(a_chunk, b, c_chunk, k, n));
+            row += take;
+        }
+    });
+}
+
+fn gemm_nt_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let rows = c.len().checked_div(n).unwrap_or(0);
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *c_v += dot(a_row, b_row);
+        }
+    }
+}
+
+/// C += Aᵀ · B where A is stored row-major as (k×m) and B as (k×n);
+/// C is (m×n). Used by matmul backward for the lhs-transposed product.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    // Process as rank-1 updates: for each p, C += A[p, :]ᵀ · B[p, :].
+    // Parallelize over output rows instead to avoid write contention.
+    let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
+    if threads <= 1 || m < 2 {
+        gemm_tn_rows(a, b, c, 0, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut c_rest = c;
+        let mut row = 0usize;
+        while row < m {
+            let take = rows_per.min(m - row);
+            let (c_chunk, rest) = c_rest.split_at_mut(take * n);
+            c_rest = rest;
+            scope.spawn(move || gemm_tn_rows(a, b, c_chunk, row, take, k, n));
+            row += take;
+        }
+    });
+}
+
+fn gemm_tn_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    let m = a.len().checked_div(k).unwrap_or(0);
+    for p in 0..k {
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..rows {
+            let a_pi = a[p * m + row0 + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // 4-way unrolled accumulation: keeps several FMA chains in flight.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let o = i * 4;
+        s0 += a[o] * b[o];
+        s1 += a[o + 1] * b[o + 1];
+        s2 += a[o + 2] * b[o + 2];
+        s3 += a[o + 3] * b[o + 3];
+    }
+    let mut rest = 0.0f32;
+    for i in chunks * 4..a.len() {
+        rest += a[i] * b[i];
+    }
+    s0 + s1 + s2 + s3 + rest
+}
+
+/// y += alpha * x.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (y_v, &x_v) in y.iter_mut().zip(x.iter()) {
+        *y_v += alpha * x_v;
+    }
+}
+
+/// In-place numerically stable softmax over each row of an (rows×cols)
+/// matrix.
+pub fn softmax_rows(data: &mut [f32], cols: usize) {
+    if cols == 0 {
+        return;
+    }
+    for row in data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// In-place log-softmax over each row.
+pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
+    if cols == 0 {
+        return;
+    }
+    for row in data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter() {
+            sum += (*v - max).exp();
+        }
+        let log_z = max + sum.ln();
+        for v in row.iter_mut() {
+            *v -= log_z;
+        }
+    }
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(data: &[f32]) -> f32 {
+    data.iter().sum()
+}
+
+/// Squared L2 norm.
+#[inline]
+pub fn sq_norm(data: &[f32]) -> f32 {
+    data.iter().map(|v| v * v).sum()
+}
+
+/// Transposes a row-major (rows×cols) matrix into `out` (cols×rows).
+pub fn transpose(src: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    // Simple blocked transpose for cache friendliness.
+    const B: usize = 32;
+    for i0 in (0..rows).step_by(B) {
+        for j0 in (0..cols).step_by(B) {
+            let i_end = (i0 + B).min(rows);
+            let j_end = (j0 + B).min(cols);
+            for i in i0..i_end {
+                for j in j0..j_end {
+                    out[j * rows + i] = src[i * cols + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7 + 3) % 13) as f32 * 0.25 - 1.0).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive_small() {
+        let (m, k, n) = (3, 4, 5);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_gemm(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive_large_parallel() {
+        let (m, k, n) = (70, 65, 72); // exceeds PAR threshold
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_gemm(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_nn_accumulates() {
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![10.0; 4];
+        gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &[11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive() {
+        let (m, k, n) = (4, 6, 3);
+        let a = seq(m * k);
+        let b_t = seq(n * k); // stored as n×k
+        // Build row-major B from Bᵀ for the reference.
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = b_t[j * k + p];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_nt(&a, &b_t, &mut c, m, k, n);
+        assert_close(&c, &naive_gemm(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        let (m, k, n) = (5, 4, 3);
+        let a_t = seq(k * m); // stored as k×m
+        let b = seq(k * n);
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_tn(&a_t, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_gemm(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn gemm_tn_parallel_matches_naive() {
+        let (m, k, n) = (80, 70, 66);
+        let a_t = seq(k * m);
+        let b = seq(k * n);
+        let mut a = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_tn(&a_t, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_gemm(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn dot_handles_remainder() {
+        let a = seq(11);
+        let b = seq(11);
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut data = seq(12);
+        softmax_rows(&mut data, 4);
+        for row in data.chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_with_large_values() {
+        let mut data = vec![1000.0, 1001.0, 1002.0];
+        softmax_rows(&mut data, 3);
+        assert!(data.iter().all(|v| v.is_finite()));
+        assert!((data.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let src = seq(8);
+        let mut sm = src.clone();
+        softmax_rows(&mut sm, 4);
+        let mut lsm = src;
+        log_softmax_rows(&mut lsm, 4);
+        for (l, s) in lsm.iter().zip(sm.iter()) {
+            assert!((l - s.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let src = seq(6 * 9);
+        let mut t = vec![0.0; 54];
+        let mut back = vec![0.0; 54];
+        transpose(&src, &mut t, 6, 9);
+        transpose(&t, &mut back, 9, 6);
+        assert_close(&src, &back);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_close(&y, &[10.5, 21.0]);
+    }
+}

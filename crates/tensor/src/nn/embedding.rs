@@ -1,0 +1,122 @@
+//! Embedding layer with optional padding index.
+
+use rand::Rng;
+
+use crate::init;
+use crate::nn::{join_name, Module, ParamMap};
+use crate::tensor::Tensor;
+
+/// A `[vocab, dim]` lookup table.
+///
+/// If `padding_idx` is set, that row is zeroed at construction; its gradient
+/// updates are harmless for padded batches because padded positions are
+/// masked out of every loss in this workspace, but zeroing keeps the
+/// representation clean for inspection.
+pub struct Embedding {
+    weight: Tensor,
+    vocab: usize,
+    dim: usize,
+    padding_idx: Option<usize>,
+}
+
+impl Embedding {
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Embedding {
+            weight: init::embedding_table(vocab, dim, rng).requires_grad(),
+            vocab,
+            dim,
+            padding_idx: None,
+        }
+    }
+
+    /// Zeroes the row at `idx` (conventionally the padding token, id 0).
+    pub fn with_padding_idx(self, idx: usize) -> Self {
+        assert!(idx < self.vocab, "padding idx out of range");
+        {
+            let mut data = self.weight.data_mut();
+            for v in &mut data[idx * self.dim..(idx + 1) * self.dim] {
+                *v = 0.0;
+            }
+        }
+        Embedding {
+            padding_idx: Some(idx),
+            ..self
+        }
+    }
+
+    /// Looks up a flat list of ids: `[N] -> [N, D]`.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        self.weight.embedding(ids)
+    }
+
+    /// Looks up a padded batch: `[B*L] -> [B, L, D]`.
+    pub fn forward_seq(&self, ids: &[usize], batch: usize, len: usize) -> Tensor {
+        self.weight.embedding_seq(ids, batch, len)
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn padding_idx(&self) -> Option<usize> {
+        self.padding_idx
+    }
+
+    /// The full table, e.g. for scoring all items at once.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Embedding {
+    fn collect_params(&self, prefix: &str, map: &mut ParamMap) {
+        map.insert(join_name(prefix, "weight"), self.weight.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(10, 4, &mut rng);
+        assert_eq!(e.forward(&[1, 2, 3]).dims(), &[3, 4]);
+        assert_eq!(e.forward_seq(&[1, 2, 3, 4], 2, 2).dims(), &[2, 2, 4]);
+    }
+
+    #[test]
+    fn padding_row_zeroed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(10, 4, &mut rng).with_padding_idx(0);
+        assert_eq!(e.forward(&[0]).to_vec(), vec![0.0; 4]);
+        assert_eq!(e.padding_idx(), Some(0));
+        // Other rows untouched.
+        assert!(e.forward(&[1]).to_vec().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn params_include_table() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(10, 4, &mut rng);
+        let map = e.param_map("emb");
+        assert_eq!(map.numel(), 40);
+    }
+
+    #[test]
+    fn lookups_share_gradients_with_table() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(5, 2, &mut rng);
+        e.forward(&[2, 2]).sum_all().backward();
+        let g = e.weight().grad().unwrap();
+        assert_eq!(&g[4..6], &[2.0, 2.0]); // row 2 hit twice
+        assert_eq!(&g[0..2], &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Position-wise feed-forward network (the transformer MLP block).
+
+use rand::Rng;
+
+use crate::nn::{join_name, Linear, Mode, Module, ParamMap};
+use crate::tensor::Tensor;
+
+/// Inner activation of the FFN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Gelu,
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Gelu => x.gelu(),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// `Linear -> activation -> dropout -> Linear`.
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+    activation: Activation,
+    dropout: f32,
+}
+
+impl FeedForward {
+    pub fn new(dim: usize, hidden: usize, activation: Activation, dropout: f32, rng: &mut impl Rng) -> Self {
+        FeedForward {
+            lin1: Linear::new(dim, hidden, rng),
+            lin2: Linear::new(hidden, dim, rng),
+            activation,
+            dropout,
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor, mode: &mut Mode) -> Tensor {
+        let h = self.activation.apply(&self.lin1.forward(x));
+        let h = mode.dropout(&h, self.dropout);
+        self.lin2.forward(&h)
+    }
+}
+
+impl Module for FeedForward {
+    fn collect_params(&self, prefix: &str, map: &mut ParamMap) {
+        self.lin1.collect_params(&join_name(prefix, "lin1"), map);
+        self.lin2.collect_params(&join_name(prefix, "lin2"), map);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ffn = FeedForward::new(8, 32, Activation::Gelu, 0.0, &mut rng);
+        let x = Tensor::ones([2, 5, 8]);
+        assert_eq!(ffn.forward(&x, &mut Mode::Eval).dims(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn four_params_registered() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ffn = FeedForward::new(4, 8, Activation::Relu, 0.1, &mut rng);
+        assert_eq!(ffn.param_map("ffn").len(), 4);
+    }
+
+    #[test]
+    fn eval_mode_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ffn = FeedForward::new(4, 8, Activation::Relu, 0.5, &mut rng);
+        let x = Tensor::ones([1, 4]);
+        let a = ffn.forward(&x, &mut Mode::Eval).to_vec();
+        let b = ffn.forward(&x, &mut Mode::Eval).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activations_differ() {
+        let x = Tensor::from_slice(&[-1.0, 1.0], [2]);
+        assert_eq!(Activation::Relu.apply(&x).to_vec(), vec![0.0, 1.0]);
+        assert!(Activation::Gelu.apply(&x).to_vec()[0] < 0.0);
+        assert!((Activation::Tanh.apply(&x).to_vec()[1] - 1.0f32.tanh()).abs() < 1e-6);
+    }
+}

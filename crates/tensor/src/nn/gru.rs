@@ -1,0 +1,189 @@
+//! Gated recurrent unit over padded batches.
+
+use rand::Rng;
+
+use crate::init;
+use crate::nn::{join_name, Module, ParamMap};
+use crate::tensor::Tensor;
+
+/// A single-layer GRU.
+///
+/// Update gate `z`, reset gate `r`, candidate `h~`:
+/// ```text
+/// z = σ(x·Wz + h·Uz + bz)
+/// r = σ(x·Wr + h·Ur + br)
+/// h~ = tanh(x·Wh + (r ⊙ h)·Uh + bh)
+/// h' = (1 − z) ⊙ h + z ⊙ h~
+/// ```
+/// Padded steps (validity 0) carry the previous hidden state through
+/// unchanged, so right-padded and left-padded batches both work.
+pub struct Gru {
+    wz: Tensor,
+    uz: Tensor,
+    bz: Tensor,
+    wr: Tensor,
+    ur: Tensor,
+    br: Tensor,
+    wh: Tensor,
+    uh: Tensor,
+    bh: Tensor,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl Gru {
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        Gru {
+            wz: init::xavier_uniform(input_dim, hidden_dim, rng).requires_grad(),
+            uz: init::xavier_uniform(hidden_dim, hidden_dim, rng).requires_grad(),
+            bz: Tensor::zeros([hidden_dim]).requires_grad(),
+            wr: init::xavier_uniform(input_dim, hidden_dim, rng).requires_grad(),
+            ur: init::xavier_uniform(hidden_dim, hidden_dim, rng).requires_grad(),
+            br: Tensor::zeros([hidden_dim]).requires_grad(),
+            wh: init::xavier_uniform(input_dim, hidden_dim, rng).requires_grad(),
+            uh: init::xavier_uniform(hidden_dim, hidden_dim, rng).requires_grad(),
+            bh: Tensor::zeros([hidden_dim]).requires_grad(),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: `x [B, D]`, `h [B, H]` → new `h [B, H]`.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let z = x
+            .matmul(&self.wz)
+            .add(&h.matmul(&self.uz))
+            .add(&self.bz)
+            .sigmoid();
+        let r = x
+            .matmul(&self.wr)
+            .add(&h.matmul(&self.ur))
+            .add(&self.br)
+            .sigmoid();
+        let h_cand = x
+            .matmul(&self.wh)
+            .add(&r.mul(h).matmul(&self.uh))
+            .add(&self.bh)
+            .tanh();
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(h).add(&z.mul(&h_cand))
+    }
+
+    /// Runs the GRU over `x [B, L, D]` with per-position validity
+    /// `valid [B, L]` (1 = real token). Returns `(all_states [B, L, H],
+    /// final_state [B, H])`, where the final state is the hidden state
+    /// after the last valid position of each sequence.
+    pub fn forward(&self, x: &Tensor, valid: &Tensor) -> (Tensor, Tensor) {
+        let (b, l, d) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        debug_assert_eq!(d, self.input_dim);
+        debug_assert_eq!(valid.dims(), &[b, l]);
+        let mut h = Tensor::zeros([b, self.hidden_dim]);
+        let mut states: Vec<Tensor> = Vec::with_capacity(l);
+        for t in 0..l {
+            let x_t = x.narrow(1, t, 1).reshape([b, d]);
+            let m_t = valid.narrow(1, t, 1); // [B, 1]
+            let h_new = self.step(&x_t, &h);
+            // Masked update: padded steps keep the previous state.
+            let keep = m_t.neg().add_scalar(1.0);
+            h = m_t.mul(&h_new).add(&keep.mul(&h));
+            states.push(h.clone());
+        }
+        let refs: Vec<&Tensor> = states.iter().collect();
+        let stacked = Tensor::stack(&refs) // [L, B, H]
+            .permute(&[1, 0, 2]); // [B, L, H]
+        (stacked, h)
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+impl Module for Gru {
+    fn collect_params(&self, prefix: &str, map: &mut ParamMap) {
+        for (leaf, t) in [
+            ("wz", &self.wz),
+            ("uz", &self.uz),
+            ("bz", &self.bz),
+            ("wr", &self.wr),
+            ("ur", &self.ur),
+            ("br", &self.br),
+            ("wh", &self.wh),
+            ("uh", &self.uh),
+            ("bh", &self.bh),
+        ] {
+            map.insert(join_name(prefix, leaf), t.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(4, 6, &mut rng);
+        let x = Tensor::ones([2, 3, 4]);
+        let valid = Tensor::ones([2, 3]);
+        let (all, last) = gru.forward(&x, &valid);
+        assert_eq!(all.dims(), &[2, 3, 6]);
+        assert_eq!(last.dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn padded_steps_keep_state() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(2, 3, &mut rng);
+        // Sequence of length 3 with only the first step valid.
+        let x = Tensor::from_vec(vec![1.0; 6], [1, 3, 2]);
+        let valid = Tensor::from_slice(&[1.0, 0.0, 0.0], [1, 3]);
+        let (all, last) = gru.forward(&x, &valid);
+        let a = all.to_vec();
+        // States at t=1 and t=2 equal the state at t=0.
+        assert_eq!(&a[0..3], &a[3..6]);
+        assert_eq!(&a[0..3], &a[6..9]);
+        assert_eq!(&a[0..3], last.to_vec().as_slice());
+    }
+
+    #[test]
+    fn final_state_depends_on_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(2, 3, &mut rng);
+        let valid = Tensor::ones([1, 2]);
+        let x1 = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], [1, 2, 2]);
+        let x2 = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0], [1, 2, 2]);
+        let (_, h1) = gru.forward(&x1, &valid);
+        let (_, h2) = gru.forward(&x2, &valid);
+        let d: f32 = h1
+            .to_vec()
+            .iter()
+            .zip(h2.to_vec().iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-4);
+    }
+
+    #[test]
+    fn nine_parameter_tensors() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(2, 3, &mut rng);
+        assert_eq!(gru.param_map("gru").len(), 9);
+    }
+
+    #[test]
+    fn backward_reaches_all_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(2, 3, &mut rng);
+        let x = Tensor::ones([1, 4, 2]);
+        let valid = Tensor::ones([1, 4]);
+        let (_, h) = gru.forward(&x, &valid);
+        h.sum_all().backward();
+        for (name, t) in gru.param_map("gru").iter() {
+            assert!(t.grad().is_some(), "{name} missing grad");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Layer-normalization module wrapping the fused op.
+
+use crate::nn::{join_name, Module, ParamMap};
+use crate::tensor::Tensor;
+
+/// LayerNorm over the last axis with learnable affine parameters.
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+    dim: usize,
+}
+
+impl LayerNorm {
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::ones([dim]).requires_grad(),
+            beta: Tensor::zeros([dim]).requires_grad(),
+            eps: 1e-5,
+            dim,
+        }
+    }
+
+    pub fn with_eps(mut self, eps: f32) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        debug_assert_eq!(*x.dims().last().unwrap(), self.dim, "layernorm dim mismatch");
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Module for LayerNorm {
+    fn collect_params(&self, prefix: &str, map: &mut ParamMap) {
+        map.insert(join_name(prefix, "gamma"), self.gamma.clone());
+        map.insert(join_name(prefix, "beta"), self.beta.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [1, 4]);
+        let y = ln.forward(&x).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn registers_two_params() {
+        let ln = LayerNorm::new(8);
+        let map = ln.param_map("ln");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.numel(), 16);
+    }
+}

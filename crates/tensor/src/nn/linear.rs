@@ -1,0 +1,129 @@
+//! Dense affine layer.
+
+use rand::Rng;
+
+use crate::init;
+use crate::nn::{join_name, Module, ParamMap};
+use crate::tensor::Tensor;
+
+/// `y = x · W (+ b)`, applied to the last axis of any-rank input.
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer with bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: init::xavier_uniform(in_dim, out_dim, rng).requires_grad(),
+            bias: Some(Tensor::zeros([out_dim]).requires_grad()),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Without a bias term.
+    pub fn new_no_bias(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: init::xavier_uniform(in_dim, out_dim, rng).requires_grad(),
+            bias: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        debug_assert_eq!(
+            *x.dims().last().unwrap(),
+            self.in_dim,
+            "linear input dim mismatch"
+        );
+        let y = x.matmul(&self.weight);
+        match &self.bias {
+            Some(b) => y.add(b),
+            None => y,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Direct access to the weight (used by tied-embedding heads).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Linear {
+    fn collect_params(&self, prefix: &str, map: &mut ParamMap) {
+        map.insert(join_name(prefix, "weight"), self.weight.clone());
+        if let Some(b) = &self.bias {
+            map.insert(join_name(prefix, "bias"), b.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::ones([2, 5, 4]);
+        let y = l.forward(&x);
+        assert_eq!(y.dims(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn identity_weight_passes_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new_no_bias(2, 2, &mut rng);
+        l.weight = Tensor::from_slice(&[1.0, 0.0, 0.0, 1.0], [2, 2]).requires_grad();
+        let x = Tensor::from_slice(&[3.0, 4.0], [1, 2]);
+        assert_eq!(l.forward(&x).to_vec(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn bias_added() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.weight = Tensor::zeros([2, 2]).requires_grad();
+        l.bias = Some(Tensor::from_slice(&[1.0, -1.0], [2]).requires_grad());
+        let x = Tensor::ones([3, 2]);
+        assert_eq!(l.forward(&x).to_vec(), vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn params_registered() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(4, 3, &mut rng);
+        let map = l.param_map("layer");
+        assert_eq!(map.len(), 2);
+        assert!(map.get("layer.weight").is_some());
+        assert!(map.get("layer.bias").is_some());
+        assert_eq!(map.numel(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn gradients_reach_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        l.forward(&x).sum_all().backward();
+        for t in l.param_map("l").tensors() {
+            assert!(t.grad().is_some(), "param missing grad");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Broadcast-aware elementwise binary operations (`+`, `-`, `*`, `/`) and
+//! scalar variants.
+
+use crate::shape::{broadcast_strides, for_each_broadcast, BroadcastPlan};
+use crate::tensor::Tensor;
+
+/// Generic broadcast binary op.
+///
+/// `fwd(a, b)` computes the output element; `da(a, b, g)` and `db(a, b, g)`
+/// compute the gradient contributions to each operand given the output
+/// gradient `g` at the corresponding element.
+fn binary_op(
+    lhs: &Tensor,
+    rhs: &Tensor,
+    fwd: impl Fn(f32, f32) -> f32,
+    da: impl Fn(f32, f32, f32) -> f32 + 'static,
+    db: impl Fn(f32, f32, f32) -> f32 + 'static,
+) -> Tensor {
+    let out_shape = lhs
+        .shape()
+        .broadcast(rhs.shape())
+        .unwrap_or_else(|| panic!("cannot broadcast {} with {}", lhs.shape(), rhs.shape()));
+    let a = lhs.data();
+    let b = rhs.data();
+    let mut out = vec![0.0f32; out_shape.numel()];
+    match BroadcastPlan::build(lhs.shape(), rhs.shape(), &out_shape) {
+        BroadcastPlan::SameShape => {
+            for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+                *o = fwd(x, y);
+            }
+        }
+        BroadcastPlan::ScalarRhs => {
+            let y = b[0];
+            for (o, &x) in out.iter_mut().zip(a.iter()) {
+                *o = fwd(x, y);
+            }
+        }
+        BroadcastPlan::ScalarLhs => {
+            let x = a[0];
+            for (o, &y) in out.iter_mut().zip(b.iter()) {
+                *o = fwd(x, y);
+            }
+        }
+        BroadcastPlan::TrailingRhs { block } => {
+            for (chunk, o_chunk) in a.chunks(block).zip(out.chunks_mut(block)) {
+                for ((o, &x), &y) in o_chunk.iter_mut().zip(chunk.iter()).zip(b.iter()) {
+                    *o = fwd(x, y);
+                }
+            }
+        }
+        BroadcastPlan::General {
+            out_shape: os,
+            lhs_strides,
+            rhs_strides,
+        } => {
+            for_each_broadcast(&os, &lhs_strides, &rhs_strides, |o, l, r| {
+                out[o] = fwd(a[l], b[r]);
+            });
+        }
+    }
+    drop(a);
+    drop(b);
+
+    let lhs_c = lhs.clone();
+    let rhs_c = rhs.clone();
+    let out_shape_c = out_shape.clone();
+    Tensor::make_op(
+        out_shape,
+        out,
+        vec![lhs.clone(), rhs.clone()],
+        move |out_t: &Tensor| {
+            let g_ref = out_t.grad_ref();
+            let g = g_ref.as_ref().expect("output gradient missing");
+            let a = lhs_c.data();
+            let b = rhs_c.data();
+            let ls = broadcast_strides(lhs_c.shape(), &out_shape_c);
+            let rs = broadcast_strides(rhs_c.shape(), &out_shape_c);
+            // `accumulate_grad` touches only the gradient cell, so holding
+            // the data borrows of `a`/`b` across it is safe.
+            if lhs_c.is_tracked() {
+                let mut ga = vec![0.0f32; lhs_c.numel()];
+                for_each_broadcast(&out_shape_c, &ls, &rs, |o, l, r| {
+                    ga[l] += da(a[l], b[r], g[o]);
+                });
+                lhs_c.accumulate_grad(&ga);
+            }
+            if rhs_c.is_tracked() {
+                let mut gb = vec![0.0f32; rhs_c.numel()];
+                for_each_broadcast(&out_shape_c, &ls, &rs, |o, l, r| {
+                    gb[r] += db(a[l], b[r], g[o]);
+                });
+                rhs_c.accumulate_grad(&gb);
+            }
+        },
+    )
+}
+
+impl Tensor {
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        binary_op(self, rhs, |a, b| a + b, |_, _, g| g, |_, _, g| g)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        binary_op(self, rhs, |a, b| a - b, |_, _, g| g, |_, _, g| -g)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        binary_op(self, rhs, |a, b| a * b, |_, b, g| g * b, |a, _, g| g * a)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, rhs: &Tensor) -> Tensor {
+        binary_op(
+            self,
+            rhs,
+            |a, b| a / b,
+            |_, b, g| g / b,
+            |a, b, g| -g * a / (b * b),
+        )
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x + c).collect();
+        let src = self.clone();
+        Tensor::make_op(
+            self.shape().clone(),
+            out,
+            vec![self.clone()],
+            move |out_t| {
+                let g_ref = out_t.grad_ref();
+                let g = g_ref.as_ref().unwrap();
+                src.accumulate_grad(g);
+            },
+        )
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn mul_scalar(&self, c: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x * c).collect();
+        let src = self.clone();
+        Tensor::make_op(
+            self.shape().clone(),
+            out,
+            vec![self.clone()],
+            move |out_t| {
+                let g_ref = out_t.grad_ref();
+                let g = g_ref.as_ref().unwrap();
+                let scaled: Vec<f32> = g.iter().map(|&v| v * c).collect();
+                src.accumulate_grad(&scaled);
+            },
+        )
+    }
+
+    /// `max(self, other)` elementwise with broadcasting; gradient routes to
+    /// the larger operand (ties go to `self`).
+    pub fn maximum(&self, rhs: &Tensor) -> Tensor {
+        binary_op(
+            self,
+            rhs,
+            f32::max,
+            |a, b, g| if a >= b { g } else { 0.0 },
+            |a, b, g| if b > a { g } else { 0.0 },
+        )
+    }
+
+    /// `min(self, other)` elementwise with broadcasting.
+    pub fn minimum(&self, rhs: &Tensor) -> Tensor {
+        binary_op(
+            self,
+            rhs,
+            f32::min,
+            |a, b, g| if a <= b { g } else { 0.0 },
+            |a, b, g| if b < a { g } else { 0.0 },
+        )
+    }
+}
+
+impl std::ops::Add for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs)
+    }
+}
+
+impl std::ops::Div for &Tensor {
+    type Output = Tensor;
+    fn div(self, rhs: &Tensor) -> Tensor {
+        Tensor::div(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_slice(&[1.0, 2.0], [2]);
+        let b = Tensor::from_slice(&[10.0, 20.0], [2]);
+        assert_eq!((&a + &b).to_vec(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn add_bias_broadcast() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_slice(&[10.0, 20.0], [2]);
+        assert_eq!((&a + &b).to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn mul_scalar_tensor_broadcast() {
+        let a = Tensor::from_slice(&[1.0, 2.0], [2]);
+        let s = Tensor::scalar(3.0);
+        assert_eq!((&a * &s).to_vec(), vec![3.0, 6.0]);
+        assert_eq!((&s * &a).to_vec(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn div_values() {
+        let a = Tensor::from_slice(&[6.0, 8.0], [2]);
+        let b = Tensor::from_slice(&[2.0, 4.0], [2]);
+        assert_eq!((&a / &b).to_vec(), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn add_backward_broadcast_reduces() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad();
+        let b = Tensor::from_slice(&[1.0, 1.0], [2]).requires_grad();
+        let out = (&a + &b).sum_all();
+        out.backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0; 4]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 2.0]); // summed over rows
+    }
+
+    #[test]
+    fn mul_backward_product_rule() {
+        let a = Tensor::from_slice(&[2.0, 3.0], [2]).requires_grad();
+        let b = Tensor::from_slice(&[5.0, 7.0], [2]).requires_grad();
+        (&a * &b).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![5.0, 7.0]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn sub_backward_negates_rhs() {
+        let a = Tensor::from_slice(&[1.0], [1]).requires_grad();
+        let b = Tensor::from_slice(&[2.0], [1]).requires_grad();
+        (&a - &b).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0]);
+        assert_eq!(b.grad().unwrap(), vec![-1.0]);
+    }
+
+    #[test]
+    fn reuse_of_operand_accumulates() {
+        // y = x * x => dy/dx = 2x
+        let x = Tensor::from_slice(&[3.0], [1]).requires_grad();
+        (&x * &x).sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![6.0]);
+    }
+
+    #[test]
+    fn maximum_routes_gradient() {
+        let a = Tensor::from_slice(&[1.0, 5.0], [2]).requires_grad();
+        let b = Tensor::from_slice(&[3.0, 2.0], [2]).requires_grad();
+        let m = a.maximum(&b);
+        assert_eq!(m.to_vec(), vec![3.0, 5.0]);
+        m.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![0.0, 1.0]);
+        assert_eq!(b.grad().unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0], [2]).requires_grad();
+        let y = a.mul_scalar(3.0).add_scalar(1.0);
+        assert_eq!(y.to_vec(), vec![4.0, 7.0]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 3]);
+        let _ = &a + &b;
+    }
+}

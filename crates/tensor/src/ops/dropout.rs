@@ -1,0 +1,93 @@
+//! Inverted dropout.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Samples an inverted-dropout mask: each element is `1/(1-p)` with
+/// probability `1-p` and `0` otherwise. Exposed so modules can share one
+/// RNG and tests can fix masks.
+pub fn dropout_mask(n: usize, p: f32, rng: &mut impl Rng) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+    let keep = 1.0 - p;
+    let scale = 1.0 / keep;
+    (0..n)
+        .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+        .collect()
+}
+
+impl Tensor {
+    /// Applies inverted dropout with probability `p`, drawing the mask from
+    /// `rng`. With `p == 0` this is the identity (no op recorded).
+    pub fn dropout(&self, p: f32, rng: &mut impl Rng) -> Tensor {
+        if p <= 0.0 {
+            return self.clone();
+        }
+        let mask = dropout_mask(self.numel(), p, rng);
+        self.dropout_with_mask(&mask)
+    }
+
+    /// Applies a precomputed dropout mask (values 0 or `1/(1-p)`).
+    pub fn dropout_with_mask(&self, mask: &[f32]) -> Tensor {
+        assert_eq!(mask.len(), self.numel(), "dropout mask length mismatch");
+        let out: Vec<f32> = self
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&x, &m)| x * m)
+            .collect();
+        let src = self.clone();
+        let mask_owned: Vec<f32> = mask.to_vec();
+        Tensor::make_op(self.shape().clone(), out, vec![self.clone()], move |out_t| {
+            let g_ref = out_t.grad_ref();
+            let g = g_ref.as_ref().unwrap();
+            let gx: Vec<f32> = g.iter().zip(mask_owned.iter()).map(|(&gv, &m)| gv * m).collect();
+            src.accumulate_grad(&gx);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_p_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::from_slice(&[1.0, 2.0], [2]);
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn mask_scales_survivors() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [4]);
+        let y = x.dropout_with_mask(&[2.0, 0.0, 2.0, 0.0]);
+        assert_eq!(y.to_vec(), vec![2.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let x = Tensor::ones([4]).requires_grad();
+        x.dropout_with_mask(&[2.0, 0.0, 2.0, 0.0]).sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![2.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn expected_value_preserved() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mask = dropout_mask(n, 0.3, &mut rng);
+        let mean: f32 = mask.iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mask mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p must be in")]
+    fn p_one_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        dropout_mask(4, 1.0, &mut rng);
+    }
+}

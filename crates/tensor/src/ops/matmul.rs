@@ -1,0 +1,346 @@
+//! Matrix products, batched matrix products, transposition, and permutation.
+
+use crate::kernels;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · rhs`.
+    ///
+    /// `self` has shape `[.., M, K]` (leading dims flattened into rows) and
+    /// `rhs` must be a 2-D `[K, N]` matrix. The output restores `self`'s
+    /// leading dims with the last one replaced by `N` — this is the "apply a
+    /// linear map to every row" primitive used by dense layers.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(rhs.shape().rank(), 2, "matmul rhs must be 2-D");
+        let (m, k) = self.shape().as_matrix();
+        let (rk, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        assert_eq!(
+            k, rk,
+            "matmul inner dims mismatch: {} vs {}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        kernels::gemm_nn(&self.data(), &rhs.data(), &mut out, m, k, n);
+
+        let mut out_dims: Vec<usize> = self.shape().dims().to_vec();
+        if out_dims.is_empty() {
+            out_dims.push(1);
+        }
+        *out_dims.last_mut().unwrap() = n;
+        let lhs_c = self.clone();
+        let rhs_c = rhs.clone();
+        Tensor::make_op(
+            Shape::new(out_dims),
+            out,
+            vec![self.clone(), rhs.clone()],
+            move |out_t| {
+                let g_ref = out_t.grad_ref();
+                let g = g_ref.as_ref().unwrap();
+                if lhs_c.is_tracked() {
+                    // dA = dC · Bᵀ : (m×n)·(n×k) via gemm_nt with B stored (k? n×k)
+                    let mut ga = vec![0.0f32; m * k];
+                    kernels::gemm_nt(g, &rhs_c.data(), &mut ga, m, n, k);
+                    lhs_c.accumulate_grad(&ga);
+                }
+                if rhs_c.is_tracked() {
+                    // dB = Aᵀ · dC : (k×m)·(m×n) via gemm_tn with A stored (m×k)
+                    let mut gb = vec![0.0f32; k * n];
+                    kernels::gemm_tn(&lhs_c.data(), g, &mut gb, k, m, n);
+                    rhs_c.accumulate_grad(&gb);
+                }
+            },
+        )
+    }
+
+    /// Batched matrix product `[B, M, K] · [B, K, N] -> [B, M, N]`.
+    pub fn bmm(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 3, "bmm lhs must be 3-D");
+        assert_eq!(rhs.shape().rank(), 3, "bmm rhs must be 3-D");
+        let (b, m, k) = (
+            self.shape().dim(0),
+            self.shape().dim(1),
+            self.shape().dim(2),
+        );
+        let (rb, rk, n) = (rhs.shape().dim(0), rhs.shape().dim(1), rhs.shape().dim(2));
+        assert_eq!(b, rb, "bmm batch mismatch");
+        assert_eq!(k, rk, "bmm inner dim mismatch");
+
+        let mut out = vec![0.0f32; b * m * n];
+        {
+            let a = self.data();
+            let bb = rhs.data();
+            for i in 0..b {
+                kernels::gemm_nn(
+                    &a[i * m * k..(i + 1) * m * k],
+                    &bb[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+        let lhs_c = self.clone();
+        let rhs_c = rhs.clone();
+        Tensor::make_op(
+            Shape::new([b, m, n]),
+            out,
+            vec![self.clone(), rhs.clone()],
+            move |out_t| {
+                let g_ref = out_t.grad_ref();
+                let g = g_ref.as_ref().unwrap();
+                if lhs_c.is_tracked() {
+                    let mut ga = vec![0.0f32; b * m * k];
+                    let rb = rhs_c.data();
+                    for i in 0..b {
+                        kernels::gemm_nt(
+                            &g[i * m * n..(i + 1) * m * n],
+                            &rb[i * k * n..(i + 1) * k * n],
+                            &mut ga[i * m * k..(i + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                    drop(rb);
+                    lhs_c.accumulate_grad(&ga);
+                }
+                if rhs_c.is_tracked() {
+                    let mut gb = vec![0.0f32; b * k * n];
+                    let la = lhs_c.data();
+                    for i in 0..b {
+                        kernels::gemm_tn(
+                            &la[i * m * k..(i + 1) * m * k],
+                            &g[i * m * n..(i + 1) * m * n],
+                            &mut gb[i * k * n..(i + 1) * k * n],
+                            k,
+                            m,
+                            n,
+                        );
+                    }
+                    drop(la);
+                    rhs_c.accumulate_grad(&gb);
+                }
+            },
+        )
+    }
+
+    /// Swaps the last two dimensions (contiguous copy). Rank must be ≥ 2.
+    pub fn transpose_last(&self) -> Tensor {
+        let rank = self.shape().rank();
+        assert!(rank >= 2, "transpose_last requires rank >= 2");
+        let dims = self.shape().dims();
+        let (r, c) = (dims[rank - 2], dims[rank - 1]);
+        let batches = self.numel() / (r * c).max(1);
+        let mut out = vec![0.0f32; self.numel()];
+        {
+            let src = self.data();
+            for i in 0..batches {
+                kernels::transpose(
+                    &src[i * r * c..(i + 1) * r * c],
+                    &mut out[i * r * c..(i + 1) * r * c],
+                    r,
+                    c,
+                );
+            }
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims.swap(rank - 2, rank - 1);
+        let src_c = self.clone();
+        Tensor::make_op(
+            Shape::new(out_dims),
+            out,
+            vec![self.clone()],
+            move |out_t| {
+                let g_ref = out_t.grad_ref();
+                let g = g_ref.as_ref().unwrap();
+                let mut gx = vec![0.0f32; g.len()];
+                for i in 0..batches {
+                    kernels::transpose(
+                        &g[i * r * c..(i + 1) * r * c],
+                        &mut gx[i * r * c..(i + 1) * r * c],
+                        c,
+                        r,
+                    );
+                }
+                src_c.accumulate_grad(&gx);
+            },
+        )
+    }
+
+    /// Reorders dimensions by `perm` (a permutation of `0..rank`),
+    /// producing a contiguous copy.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let rank = self.shape().rank();
+        assert_eq!(perm.len(), rank, "permute needs one entry per dim");
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            assert!(p < rank && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let src_dims = self.shape().dims().to_vec();
+        let out_dims: Vec<usize> = perm.iter().map(|&p| src_dims[p]).collect();
+        let out_shape = Shape::new(out_dims);
+        let out = permute_copy(&self.data(), self.shape(), perm);
+
+        // Inverse permutation for the backward pass.
+        let mut inv = vec![0usize; rank];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        let src_c = self.clone();
+        let out_shape_c = out_shape.clone();
+        Tensor::make_op(out_shape, out, vec![self.clone()], move |out_t| {
+            let g_ref = out_t.grad_ref();
+            let g = g_ref.as_ref().unwrap();
+            let gx = permute_copy(g, &out_shape_c, &inv);
+            src_c.accumulate_grad(&gx);
+        })
+    }
+
+    /// Dot product of two equal-shape tensors, as a scalar tensor.
+    pub fn dot(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), rhs.shape(), "dot requires equal shapes");
+        self.mul(rhs).sum_all()
+    }
+}
+
+/// Copies `src` (of `shape`) into a new buffer laid out as `perm(shape)`.
+fn permute_copy(src: &[f32], shape: &Shape, perm: &[usize]) -> Vec<f32> {
+    let rank = shape.rank();
+    let src_strides = shape.strides();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| shape.dims()[p]).collect();
+    // Stride in the source for each output axis.
+    let walk: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
+    let numel = shape.numel();
+    let mut out = vec![0.0f32; numel];
+    let mut idx = vec![0usize; rank];
+    let mut src_off = 0usize;
+    for out_item in out.iter_mut() {
+        *out_item = src[src_off];
+        for axis in (0..rank).rev() {
+            idx[axis] += 1;
+            src_off += walk[axis];
+            if idx[axis] < out_dims[axis] {
+                break;
+            }
+            src_off -= walk[axis] * out_dims[axis];
+            idx[axis] = 0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn matmul_2d() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_slice(&[1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert_eq!(a.matmul(&b).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn matmul_3d_applies_rowwise() {
+        // [2, 2, 3] x [3, 2] -> [2, 2, 2]
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [2, 2, 3]);
+        let w = Tensor::from_slice(&[1.0, 0.0, 0.0, 1.0, 0.0, 0.0], [3, 2]);
+        let y = a.matmul(&w);
+        assert_eq!(y.dims(), &[2, 2, 2]);
+        // Row [0,1,2] -> [0*1+1*0+2*0, 0*0+1*1+2*0] = [0, 1]
+        assert_eq!(y.at(&[0, 0, 0]), 0.0);
+        assert_eq!(y.at(&[0, 0, 1]), 1.0);
+    }
+
+    #[test]
+    fn matmul_backward_shapes_and_values() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad();
+        let b = Tensor::from_slice(&[5.0, 6.0, 7.0, 8.0], [2, 2]).requires_grad();
+        a.matmul(&b).sum_all().backward();
+        // dA = 1 · Bᵀ summed over out cols: each dA[i,p] = sum_j B[p,j]
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        // dB[p,j] = sum_i A[i,p]
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), [2, 2, 3]);
+        let b = Tensor::from_vec((0..18).map(|x| x as f32 * 0.25).collect(), [2, 3, 3]);
+        let y = a.bmm(&b);
+        for batch in 0..2 {
+            let a2 = Tensor::from_vec(
+                a.to_vec()[batch * 6..(batch + 1) * 6].to_vec(),
+                [2, 3],
+            );
+            let b2 = Tensor::from_vec(
+                b.to_vec()[batch * 9..(batch + 1) * 9].to_vec(),
+                [3, 3],
+            );
+            let y2 = a2.matmul(&b2);
+            assert_eq!(
+                &y.to_vec()[batch * 6..(batch + 1) * 6],
+                y2.to_vec().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_last_2d() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let t = a.transpose_last();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_last_batched_backward() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [2, 2, 3]).requires_grad();
+        let t = a.transpose_last();
+        assert_eq!(t.dims(), &[2, 3, 2]);
+        t.sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![1.0; 12]);
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), [2, 3, 4]);
+        let p = a.permute(&[2, 0, 1]);
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), a.at(&[0, 2, 1]));
+        let back = p.permute(&[1, 2, 0]);
+        assert_eq!(back.to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn permute_equals_transpose_for_swap() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]);
+        assert_eq!(a.permute(&[1, 0]).to_vec(), a.transpose_last().to_vec());
+    }
+
+    #[test]
+    fn permute_backward_is_inverse() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]).requires_grad();
+        a.permute(&[1, 0]).mul_scalar(2.0).sum_all().backward();
+        assert_eq!(a.grad().unwrap(), vec![2.0; 6]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0], [3]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0], [3]);
+        assert_eq!(a.dot(&b).item(), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        a.matmul(&b);
+    }
+}

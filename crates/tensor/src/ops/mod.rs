@@ -1,0 +1,81 @@
+//! Differentiable tensor operations.
+//!
+//! Each submodule defines forward kernels plus backward closures recorded on
+//! the autograd tape. Every op here is covered by a numeric gradient check
+//! in `tests/gradcheck.rs` of this crate.
+
+mod binary;
+mod dropout;
+mod embedding;
+mod loss;
+mod matmul;
+mod norm;
+mod reduce;
+mod shape_ops;
+mod softmax;
+mod unary;
+
+pub use dropout::dropout_mask;
+
+use crate::shape::Shape;
+
+/// Reduces a gradient of `out_shape` down to `src_shape` by summing over the
+/// axes that were broadcast, returning a buffer of `src_shape.numel()`.
+///
+/// This is the universal backward rule for broadcasting: every output
+/// element that read a given source element contributes its gradient to it.
+/// Binary ops inline the equivalent logic for speed; this standalone helper
+/// is kept as the reference implementation their tests compare against.
+#[allow(dead_code)]
+pub(crate) fn reduce_grad_to_shape(grad: &[f32], out_shape: &Shape, src_shape: &Shape) -> Vec<f32> {
+    if out_shape == src_shape {
+        return grad.to_vec();
+    }
+    let mut reduced = vec![0.0f32; src_shape.numel()];
+    let strides = crate::shape::broadcast_strides(src_shape, out_shape);
+    let zero = vec![0usize; out_shape.rank()];
+    crate::shape::for_each_broadcast(out_shape, &strides, &zero, |o, s, _| {
+        reduced[s] += grad[o];
+    });
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_grad_identity() {
+        let s = Shape::new([2, 2]);
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(reduce_grad_to_shape(&g, &s, &s), g);
+    }
+
+    #[test]
+    fn reduce_grad_to_scalar() {
+        let out = Shape::new([2, 2]);
+        let src = Shape::scalar();
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(reduce_grad_to_shape(&g, &out, &src), vec![10.0]);
+    }
+
+    #[test]
+    fn reduce_grad_trailing_bias() {
+        let out = Shape::new([2, 3]);
+        let src = Shape::new([3]);
+        let g = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        assert_eq!(reduce_grad_to_shape(&g, &out, &src), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn reduce_grad_middle_axis() {
+        let out = Shape::new([2, 2, 2]);
+        let src = Shape::new([2, 1, 2]);
+        let g: Vec<f32> = (1..=8).map(|x| x as f32).collect();
+        // Sum over axis 1: [[1+3, 2+4]], [[5+7, 6+8]]
+        assert_eq!(
+            reduce_grad_to_shape(&g, &out, &src),
+            vec![4.0, 6.0, 12.0, 14.0]
+        );
+    }
+}

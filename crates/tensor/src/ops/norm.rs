@@ -1,0 +1,159 @@
+//! Fused layer normalization over the last axis.
+
+#![allow(clippy::needless_range_loop)] // multi-array index loops are clearer here
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Layer normalization over the last axis with learnable `gamma`/`beta`
+    /// of shape `[D]`.
+    ///
+    /// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, with mean/var
+    /// computed per row. Fused into one op for numerical stability and a
+    /// cheap backward.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let d = *self
+            .shape()
+            .dims()
+            .last()
+            .expect("layer_norm requires rank >= 1");
+        assert_eq!(gamma.dims(), &[d], "gamma must be [D]");
+        assert_eq!(beta.dims(), &[d], "beta must be [D]");
+        let rows = self.numel() / d.max(1);
+        let mut out = vec![0.0f32; self.numel()];
+        // Saved for backward: normalized activations and inverse std.
+        let mut xhat = vec![0.0f32; self.numel()];
+        let mut inv_std = vec![0.0f32; rows];
+        {
+            let x = self.data();
+            let g = gamma.data();
+            let b = beta.data();
+            for r in 0..rows {
+                let o = r * d;
+                let row = &x[o..o + d];
+                let mean: f32 = row.iter().sum::<f32>() / d as f32;
+                let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                inv_std[r] = istd;
+                for i in 0..d {
+                    let xh = (row[i] - mean) * istd;
+                    xhat[o + i] = xh;
+                    out[o + i] = g[i] * xh + b[i];
+                }
+            }
+        }
+        let x_c = self.clone();
+        let gamma_c = gamma.clone();
+        let beta_c = beta.clone();
+        Tensor::make_op(
+            self.shape().clone(),
+            out,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            move |out_t| {
+                let g_ref = out_t.grad_ref();
+                let gy = g_ref.as_ref().unwrap();
+                let gamma_data = gamma_c.data();
+                if x_c.is_tracked() {
+                    let mut gx = vec![0.0f32; x_c.numel()];
+                    for r in 0..rows {
+                        let o = r * d;
+                        // dxhat = gy * gamma
+                        let mut mean_dxhat = 0.0f32;
+                        let mut mean_dxhat_xhat = 0.0f32;
+                        for i in 0..d {
+                            let dxh = gy[o + i] * gamma_data[i];
+                            mean_dxhat += dxh;
+                            mean_dxhat_xhat += dxh * xhat[o + i];
+                        }
+                        mean_dxhat /= d as f32;
+                        mean_dxhat_xhat /= d as f32;
+                        for i in 0..d {
+                            let dxh = gy[o + i] * gamma_data[i];
+                            gx[o + i] =
+                                inv_std[r] * (dxh - mean_dxhat - xhat[o + i] * mean_dxhat_xhat);
+                        }
+                    }
+                    gx.iter().for_each(|v| debug_assert!(v.is_finite()));
+                    x_c.accumulate_grad(&gx);
+                }
+                if gamma_c.is_tracked() {
+                    let mut gg = vec![0.0f32; d];
+                    for r in 0..rows {
+                        let o = r * d;
+                        for i in 0..d {
+                            gg[i] += gy[o + i] * xhat[o + i];
+                        }
+                    }
+                    gamma_c.accumulate_grad(&gg);
+                }
+                if beta_c.is_tracked() {
+                    let mut gb = vec![0.0f32; d];
+                    for r in 0..rows {
+                        let o = r * d;
+                        for i in 0..d {
+                            gb[i] += gy[o + i];
+                        }
+                    }
+                    beta_c.accumulate_grad(&gb);
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]);
+        let gamma = Tensor::ones([4]);
+        let beta = Tensor::zeros([4]);
+        let y = x.layer_norm(&gamma, &beta, 1e-5);
+        for row in y.to_vec().chunks(4) {
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_applies_affine() {
+        let x = Tensor::from_slice(&[1.0, -1.0], [1, 2]);
+        let gamma = Tensor::from_slice(&[2.0, 2.0], [2]);
+        let beta = Tensor::from_slice(&[1.0, 1.0], [2]);
+        let y = x.layer_norm(&gamma, &beta, 1e-9).to_vec();
+        assert!((y[0] - 3.0).abs() < 1e-3);
+        assert!((y[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_input_grad_sums_to_zero() {
+        // The Jacobian of layernorm annihilates constant shifts, so the
+        // per-row input gradient must sum to ~0 for any upstream gradient.
+        let x = Tensor::from_slice(&[0.3, -1.0, 2.0, 0.7], [1, 4]).requires_grad();
+        let gamma = Tensor::ones([4]);
+        let beta = Tensor::zeros([4]);
+        let w = Tensor::from_slice(&[1.0, -0.5, 2.0, 0.0], [1, 4]);
+        x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all().backward();
+        let g = x.grad().unwrap();
+        let s: f32 = g.iter().sum();
+        assert!(s.abs() < 1e-4, "row grad sum {s}");
+    }
+
+    #[test]
+    fn layer_norm_param_grads() {
+        let x = Tensor::from_slice(&[1.0, 3.0], [1, 2]);
+        let gamma = Tensor::ones([2]).requires_grad();
+        let beta = Tensor::zeros([2]).requires_grad();
+        x.layer_norm(&gamma, &beta, 1e-9).sum_all().backward();
+        // dbeta = sum of output grads = 1 per column.
+        assert_eq!(beta.grad().unwrap(), vec![1.0, 1.0]);
+        // dgamma = sum gy * xhat; xhat = [-1, 1].
+        let gg = gamma.grad().unwrap();
+        assert!((gg[0] + 1.0).abs() < 1e-3);
+        assert!((gg[1] - 1.0).abs() < 1e-3);
+    }
+}

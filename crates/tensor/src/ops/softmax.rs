@@ -1,0 +1,192 @@
+//! Softmax-family ops (fused, numerically stable) and attention masking.
+
+use crate::kernels;
+use crate::shape::{broadcast_strides, for_each_broadcast};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Softmax over the last axis.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let cols = *self
+            .shape()
+            .dims()
+            .last()
+            .expect("softmax requires rank >= 1");
+        let mut out = self.to_vec();
+        kernels::softmax_rows(&mut out, cols);
+        let src = self.clone();
+        Tensor::make_op(self.shape().clone(), out, vec![self.clone()], move |out_t| {
+            let g_ref = out_t.grad_ref();
+            let g = g_ref.as_ref().unwrap();
+            let y = out_t.data();
+            let mut gx = vec![0.0f32; y.len()];
+            // dx = y * (g - sum(g * y)) rowwise.
+            for r in 0..y.len() / cols.max(1) {
+                let o = r * cols;
+                let mut dot = 0.0f32;
+                for i in 0..cols {
+                    dot += g[o + i] * y[o + i];
+                }
+                for i in 0..cols {
+                    gx[o + i] = y[o + i] * (g[o + i] - dot);
+                }
+            }
+            drop(y);
+            src.accumulate_grad(&gx);
+        })
+    }
+
+    /// Log-softmax over the last axis.
+    pub fn log_softmax_lastdim(&self) -> Tensor {
+        let cols = *self
+            .shape()
+            .dims()
+            .last()
+            .expect("log_softmax requires rank >= 1");
+        let mut out = self.to_vec();
+        kernels::log_softmax_rows(&mut out, cols);
+        let src = self.clone();
+        Tensor::make_op(self.shape().clone(), out, vec![self.clone()], move |out_t| {
+            let g_ref = out_t.grad_ref();
+            let g = g_ref.as_ref().unwrap();
+            let y = out_t.data();
+            let mut gx = vec![0.0f32; y.len()];
+            // dx = g - softmax(x) * sum(g) rowwise; softmax = exp(y).
+            for r in 0..y.len() / cols.max(1) {
+                let o = r * cols;
+                let gsum: f32 = g[o..o + cols].iter().sum();
+                for i in 0..cols {
+                    gx[o + i] = g[o + i] - y[o + i].exp() * gsum;
+                }
+            }
+            drop(y);
+            src.accumulate_grad(&gx);
+        })
+    }
+
+    /// Replaces elements where `mask != 0` with `value`; gradient flows
+    /// only through unmasked positions. `mask` broadcasts against `self`
+    /// and is treated as constant (no gradient to the mask).
+    ///
+    /// Typical use: `logits.masked_fill(&pad_mask, -1e9).softmax_lastdim()`.
+    pub fn masked_fill(&self, mask: &Tensor, value: f32) -> Tensor {
+        let out_shape = self
+            .shape()
+            .broadcast(mask.shape())
+            .unwrap_or_else(|| panic!("mask {} incompatible with {}", mask.shape(), self.shape()));
+        assert_eq!(
+            &out_shape,
+            self.shape(),
+            "mask must broadcast to the data shape, not enlarge it"
+        );
+        let ms = broadcast_strides(mask.shape(), &out_shape);
+        let zero = vec![0usize; out_shape.rank()];
+        let mut out = vec![0.0f32; out_shape.numel()];
+        let mut keep = vec![false; out_shape.numel()];
+        {
+            let data = self.data();
+            let m = mask.data();
+            for_each_broadcast(&out_shape, &zero, &ms, |o, _, r| {
+                if m[r] != 0.0 {
+                    out[o] = value;
+                } else {
+                    out[o] = data[o];
+                    keep[o] = true;
+                }
+            });
+        }
+        let src = self.clone();
+        Tensor::make_op(out_shape, out, vec![self.clone()], move |out_t| {
+            let g_ref = out_t.grad_ref();
+            let g = g_ref.as_ref().unwrap();
+            let mut gx = vec![0.0f32; g.len()];
+            for i in 0..g.len() {
+                if keep[i] {
+                    gx[i] = g[i];
+                }
+            }
+            src.accumulate_grad(&gx);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 1.0, 1.0, 1.0], [2, 3]);
+        let y = x.softmax_lastdim();
+        for row in y.to_vec().chunks(3) {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+        // Uniform logits give uniform probabilities.
+        let v = y.to_vec();
+        assert!((v[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_backward_zero_for_uniform_grad() {
+        // d softmax / dx contracted with a constant vector is zero
+        // (softmax is shift-invariant).
+        let x = Tensor::from_slice(&[0.3, -1.2, 2.0], [3]).requires_grad();
+        x.softmax_lastdim().sum_all().backward();
+        for g in x.grad().unwrap() {
+            assert!(g.abs() < 1e-6, "grad {g} should vanish");
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_softmax() {
+        let x = Tensor::from_slice(&[0.5, 1.5, -0.5, 0.0], [2, 2]);
+        let a = x.log_softmax_lastdim().to_vec();
+        let b = x.softmax_lastdim().ln().to_vec();
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_backward_matches_composition() {
+        let x1 = Tensor::from_slice(&[0.1, 0.9, -0.4], [3]).requires_grad();
+        let x2 = Tensor::from_slice(&[0.1, 0.9, -0.4], [3]).requires_grad();
+        // Weighted sum to make the gradient non-trivial.
+        let w = Tensor::from_slice(&[1.0, -2.0, 0.5], [3]);
+        x1.log_softmax_lastdim().mul(&w).sum_all().backward();
+        x2.softmax_lastdim().ln().mul(&w).sum_all().backward();
+        let g1 = x1.grad().unwrap();
+        let g2 = x2.grad().unwrap();
+        for (u, v) in g1.iter().zip(g2.iter()) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn masked_fill_values_and_grad() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [2, 2]).requires_grad();
+        let mask = Tensor::from_slice(&[0.0, 1.0, 0.0, 0.0], [2, 2]);
+        let y = x.masked_fill(&mask, -9.0);
+        assert_eq!(y.to_vec(), vec![1.0, -9.0, 3.0, 4.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn masked_fill_broadcast_mask() {
+        // Mask one column for every row.
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let mask = Tensor::from_slice(&[0.0, 1.0], [2]);
+        let y = x.masked_fill(&mask, 0.0);
+        assert_eq!(y.to_vec(), vec![1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn masked_softmax_ignores_masked_positions() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0], [1, 3]);
+        let mask = Tensor::from_slice(&[0.0, 0.0, 1.0], [1, 3]);
+        let y = x.masked_fill(&mask, -1e9).softmax_lastdim().to_vec();
+        assert!(y[2] < 1e-6);
+        assert!((y[0] + y[1] - 1.0).abs() < 1e-5);
+    }
+}

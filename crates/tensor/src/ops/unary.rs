@@ -1,0 +1,228 @@
+//! Elementwise unary operations and activations.
+
+use crate::tensor::Tensor;
+
+/// Generic elementwise unary op.
+///
+/// `fwd(x)` computes the output; `dfdx(x, y, g)` computes the input gradient
+/// given input `x`, output `y`, and output gradient `g` (having both `x` and
+/// `y` available lets e.g. `sigmoid` reuse the forward result).
+fn unary_op(
+    src: &Tensor,
+    fwd: impl Fn(f32) -> f32,
+    dfdx: impl Fn(f32, f32, f32) -> f32 + 'static,
+) -> Tensor {
+    let out: Vec<f32> = src.data().iter().map(|&x| fwd(x)).collect();
+    let src_c = src.clone();
+    Tensor::make_op(src.shape().clone(), out, vec![src.clone()], move |out_t| {
+        let g_ref = out_t.grad_ref();
+        let g = g_ref.as_ref().unwrap();
+        let x = src_c.data();
+        let y = out_t.data();
+        let mut gx = vec![0.0f32; x.len()];
+        for i in 0..x.len() {
+            gx[i] = dfdx(x[i], y[i], g[i]);
+        }
+        drop(x);
+        drop(y);
+        src_c.accumulate_grad(&gx);
+    })
+}
+
+impl Tensor {
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        unary_op(self, |x| -x, |_, _, g| -g)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        unary_op(self, f32::exp, |_, y, g| g * y)
+    }
+
+    /// Elementwise natural log. Inputs must be positive.
+    pub fn ln(&self) -> Tensor {
+        unary_op(self, f32::ln, |x, _, g| g / x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        unary_op(self, f32::sqrt, |_, y, g| g * 0.5 / y)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        unary_op(self, |x| x * x, |x, _, g| g * 2.0 * x)
+    }
+
+    /// Elementwise power with constant exponent.
+    pub fn pow_scalar(&self, p: f32) -> Tensor {
+        unary_op(
+            self,
+            move |x| x.powf(p),
+            move |x, _, g| g * p * x.powf(p - 1.0),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        unary_op(
+            self,
+            |x| x.max(0.0),
+            |x, _, g| if x > 0.0 { g } else { 0.0 },
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by BERT).
+    pub fn gelu(&self) -> Tensor {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        unary_op(
+            self,
+            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+            |x, _, g| {
+                let inner = C * (x + 0.044715 * x * x * x);
+                let t = inner.tanh();
+                let dt = 1.0 - t * t;
+                let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+                g * (0.5 * (1.0 + t) + 0.5 * x * dt * dinner)
+            },
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        unary_op(
+            self,
+            |x| 1.0 / (1.0 + (-x).exp()),
+            |_, y, g| g * y * (1.0 - y),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        unary_op(self, f32::tanh, |_, y, g| g * (1.0 - y * y))
+    }
+
+    /// Elementwise absolute value (gradient at 0 taken as 0).
+    pub fn abs(&self) -> Tensor {
+        unary_op(
+            self,
+            f32::abs,
+            |x, _, g| {
+                if x > 0.0 {
+                    g
+                } else if x < 0.0 {
+                    -g
+                } else {
+                    0.0
+                }
+            },
+        )
+    }
+
+    /// Clamps below at `min` (gradient passes only where `x > min`).
+    pub fn clamp_min(&self, min: f32) -> Tensor {
+        unary_op(
+            self,
+            move |x| x.max(min),
+            move |x, _, g| if x > min { g } else { 0.0 },
+        )
+    }
+
+    /// Reciprocal, `1/x`.
+    pub fn recip(&self) -> Tensor {
+        unary_op(self, |x| 1.0 / x, |_, y, g| -g * y * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0], [3]).requires_grad();
+        let y = x.relu();
+        assert_eq!(y.to_vec(), vec![0.0, 0.0, 2.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_grad() {
+        let x = Tensor::from_slice(&[0.0], [1]).requires_grad();
+        let y = x.sigmoid();
+        assert_close(&y.to_vec(), &[0.5], 1e-6);
+        y.sum_all().backward();
+        assert_close(&x.grad().unwrap(), &[0.25], 1e-6);
+    }
+
+    #[test]
+    fn tanh_grad() {
+        let x = Tensor::from_slice(&[0.5], [1]).requires_grad();
+        x.tanh().sum_all().backward();
+        let expect = 1.0 - 0.5f32.tanh().powi(2);
+        assert_close(&x.grad().unwrap(), &[expect], 1e-6);
+    }
+
+    #[test]
+    fn exp_ln_inverse() {
+        let x = Tensor::from_slice(&[0.3, 1.7], [2]);
+        let y = x.exp().ln();
+        assert_close(&y.to_vec(), &x.to_vec(), 1e-5);
+    }
+
+    #[test]
+    fn sqrt_square() {
+        let x = Tensor::from_slice(&[4.0, 9.0], [2]);
+        assert_close(&x.sqrt().to_vec(), &[2.0, 3.0], 1e-6);
+        assert_close(&x.square().to_vec(), &[16.0, 81.0], 1e-6);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        let x = Tensor::from_slice(&[0.0, 1.0, -1.0], [3]);
+        let y = x.gelu().to_vec();
+        assert!((y[0]).abs() < 1e-6);
+        assert!((y[1] - 0.8412).abs() < 1e-3);
+        assert!((y[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn clamp_min_blocks_grad() {
+        let x = Tensor::from_slice(&[-2.0, 3.0], [2]).requires_grad();
+        let y = x.clamp_min(0.0);
+        assert_eq!(y.to_vec(), vec![0.0, 3.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn abs_grad_signs() {
+        let x = Tensor::from_slice(&[-2.0, 0.0, 2.0], [3]).requires_grad();
+        x.abs().sum_all().backward();
+        assert_eq!(x.grad().unwrap(), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn recip_values() {
+        let x = Tensor::from_slice(&[2.0, 4.0], [2]);
+        assert_close(&x.recip().to_vec(), &[0.5, 0.25], 1e-6);
+    }
+
+    #[test]
+    fn chained_ops_compose_gradients() {
+        // y = exp(2x); dy/dx = 2 exp(2x)
+        let x = Tensor::from_slice(&[0.5], [1]).requires_grad();
+        x.mul_scalar(2.0).exp().sum_all().backward();
+        let expect = 2.0 * (1.0f32).exp();
+        assert!((x.grad().unwrap()[0] - expect).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,438 @@
+//! Shape algebra: dimension bookkeeping, stride math, and NumPy-style
+//! broadcasting resolution.
+//!
+//! All tensors in this crate are dense, contiguous, and row-major; a
+//! [`Shape`] is therefore just the list of dimension sizes, with strides
+//! derived on demand. Keeping shapes as a standalone value type (instead of
+//! burying them inside the tensor) lets the data pipeline and the
+//! hypergraph crate do shape arithmetic without touching tensor storage.
+
+use std::fmt;
+
+/// The shape of a dense row-major tensor.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes. A zero-sized dimension is
+    /// allowed (producing an empty tensor); an empty list denotes a scalar.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements). A scalar has no strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.0.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Returns true when this shape can be reshaped into `other`
+    /// (i.e. identical element counts).
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+
+    /// Interprets this shape as a matrix `[rows, cols]` by flattening all
+    /// leading dimensions into `rows`. A rank-1 shape `[n]` becomes
+    /// `(1, n)`; a scalar becomes `(1, 1)`.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        match self.0.len() {
+            0 => (1, 1),
+            1 => (1, self.0[0]),
+            _ => {
+                let cols = *self.0.last().unwrap();
+                (self.numel() / cols.max(1), cols)
+            }
+        }
+    }
+
+    /// Resolves a possibly negative axis (Python-style) into an absolute
+    /// one.
+    ///
+    /// # Panics
+    /// Panics when the axis is out of range.
+    pub fn resolve_axis(&self, axis: isize) -> usize {
+        let rank = self.rank() as isize;
+        let resolved = if axis < 0 { axis + rank } else { axis };
+        assert!(
+            (0..rank).contains(&resolved),
+            "axis {axis} out of range for shape {self}"
+        );
+        resolved as usize
+    }
+
+    /// NumPy-style broadcast of two shapes.
+    ///
+    /// Shapes are right-aligned; each pair of dimensions must be equal or
+    /// one of them must be 1. Returns `None` when incompatible.
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0usize; rank];
+        for i in 0..rank {
+            let a = dim_from_right(&self.0, i);
+            let b = dim_from_right(&other.0, i);
+            let idx = rank - 1 - i;
+            dims[idx] = match (a, b) {
+                (x, y) if x == y => x,
+                (1, y) => y,
+                (x, 1) => x,
+                _ => return None,
+            };
+        }
+        Some(Shape(dims))
+    }
+
+    /// Converts a flat row-major offset into a multi-dimensional index.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.rank()];
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            if d == 0 {
+                continue;
+            }
+            idx[i] = offset % d;
+            offset /= d;
+        }
+        idx
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Panics
+    /// Panics when `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn ravel(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut offset = 0usize;
+        for (i, (&x, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            assert!(x < d, "index {x} out of bounds for axis {i} (size {d})");
+            offset = offset * d + x;
+        }
+        offset
+    }
+
+    /// The shape with `axis` removed (used by reductions without keepdim).
+    pub fn squeeze_axis(&self, axis: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims.remove(axis);
+        Shape(dims)
+    }
+
+    /// The shape with `axis` set to 1 (used by reductions with keepdim).
+    pub fn keepdim_axis(&self, axis: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[axis] = 1;
+        Shape(dims)
+    }
+}
+
+#[inline]
+fn dim_from_right(dims: &[usize], from_right: usize) -> usize {
+    if from_right < dims.len() {
+        dims[dims.len() - 1 - from_right]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Plan for evaluating a broadcast binary operation.
+///
+/// Precomputes, for every output element, the flat offsets into the two
+/// operands. The fast paths (`SameShape`, `ScalarRhs`, `ScalarLhs`,
+/// `TrailingRhs`) avoid per-element index arithmetic entirely.
+pub enum BroadcastPlan {
+    /// Both operands already have the output shape.
+    SameShape,
+    /// Right operand is a single element.
+    ScalarRhs,
+    /// Left operand is a single element.
+    ScalarLhs,
+    /// Right operand's shape equals the trailing dimensions of the output
+    /// (e.g. adding a `[D]` bias to a `[B, L, D]` activation): the rhs is
+    /// tiled `repeat` times over blocks of `block` elements.
+    TrailingRhs { block: usize },
+    /// Fully general case: per-element strides for both operands.
+    General {
+        out_shape: Shape,
+        lhs_strides: Vec<usize>,
+        rhs_strides: Vec<usize>,
+    },
+}
+
+impl BroadcastPlan {
+    /// Builds a plan for `lhs op rhs` with the given (already broadcast)
+    /// output shape.
+    pub fn build(lhs: &Shape, rhs: &Shape, out: &Shape) -> BroadcastPlan {
+        if lhs == rhs {
+            return BroadcastPlan::SameShape;
+        }
+        if rhs.numel() == 1 {
+            return BroadcastPlan::ScalarRhs;
+        }
+        if lhs.numel() == 1 {
+            return BroadcastPlan::ScalarLhs;
+        }
+        // Trailing-suffix fast path: rhs dims equal the trailing dims of out
+        // and lhs has the full output shape.
+        if lhs == out {
+            let od = out.dims();
+            let rd = rhs.dims();
+            if rd.len() <= od.len() && od[od.len() - rd.len()..] == *rd {
+                return BroadcastPlan::TrailingRhs { block: rhs.numel() };
+            }
+        }
+        BroadcastPlan::General {
+            out_shape: out.clone(),
+            lhs_strides: broadcast_strides(lhs, out),
+            rhs_strides: broadcast_strides(rhs, out),
+        }
+    }
+}
+
+/// Strides of `src` viewed as broadcast to `out`: broadcast axes get stride
+/// zero so the same element is reused along them.
+pub fn broadcast_strides(src: &Shape, out: &Shape) -> Vec<usize> {
+    let src_strides = src.strides();
+    let rank = out.rank();
+    let offset = rank - src.rank();
+    let mut strides = vec![0usize; rank];
+    for i in 0..src.rank() {
+        strides[offset + i] = if src.dims()[i] == 1 { 0 } else { src_strides[i] };
+    }
+    strides
+}
+
+/// Iterates `f(out_idx, lhs_idx, rhs_idx)` over all output elements of a
+/// general broadcast. Used by the slow path of binary ops and by gradient
+/// reduction tests.
+pub fn for_each_broadcast(
+    out_shape: &Shape,
+    lhs_strides: &[usize],
+    rhs_strides: &[usize],
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let rank = out_shape.rank();
+    let dims = out_shape.dims();
+    let numel = out_shape.numel();
+    let mut idx = vec![0usize; rank];
+    let mut lhs_off = 0usize;
+    let mut rhs_off = 0usize;
+    for out_off in 0..numel {
+        f(out_off, lhs_off, rhs_off);
+        // Odometer increment, maintaining both operand offsets.
+        for axis in (0..rank).rev() {
+            idx[axis] += 1;
+            lhs_off += lhs_strides[axis];
+            rhs_off += rhs_strides[axis];
+            if idx[axis] < dims[axis] {
+                break;
+            }
+            lhs_off -= lhs_strides[axis] * dims[axis];
+            rhs_off -= rhs_strides[axis] * dims[axis];
+            idx[axis] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let s = Shape::new([3, 4, 5]);
+        for off in 0..s.numel() {
+            let idx = s.unravel(off);
+            assert_eq!(s.ravel(&idx), off);
+        }
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let a = Shape::new([2, 3]);
+        assert_eq!(a.broadcast(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_trailing() {
+        let a = Shape::new([2, 3, 4]);
+        let b = Shape::new([4]);
+        assert_eq!(a.broadcast(&b).unwrap(), a);
+        assert_eq!(b.broadcast(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_ones_expand() {
+        let a = Shape::new([2, 1, 4]);
+        let b = Shape::new([1, 3, 1]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new([2, 3, 4]));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new([2, 3]);
+        let b = Shape::new([4, 3]);
+        assert!(a.broadcast(&b).is_none());
+    }
+
+    #[test]
+    fn broadcast_with_scalar() {
+        let a = Shape::new([2, 3]);
+        assert_eq!(a.broadcast(&Shape::scalar()).unwrap(), a);
+    }
+
+    #[test]
+    fn resolve_axis_negative() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.resolve_axis(-1), 2);
+        assert_eq!(s.resolve_axis(0), 0);
+        assert_eq!(s.resolve_axis(-3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resolve_axis_out_of_range() {
+        Shape::new([2]).resolve_axis(3);
+    }
+
+    #[test]
+    fn as_matrix_flattens_leading() {
+        assert_eq!(Shape::new([2, 3, 4]).as_matrix(), (6, 4));
+        assert_eq!(Shape::new([7]).as_matrix(), (1, 7));
+        assert_eq!(Shape::scalar().as_matrix(), (1, 1));
+    }
+
+    #[test]
+    fn squeeze_and_keepdim() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.squeeze_axis(1), Shape::new([2, 4]));
+        assert_eq!(s.keepdim_axis(1), Shape::new([2, 1, 4]));
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded() {
+        let src = Shape::new([1, 3]);
+        let out = Shape::new([2, 3]);
+        assert_eq!(broadcast_strides(&src, &out), vec![0, 1]);
+    }
+
+    #[test]
+    fn general_broadcast_iteration_matches_manual() {
+        let lhs = Shape::new([2, 1]);
+        let rhs = Shape::new([1, 3]);
+        let out = lhs.broadcast(&rhs).unwrap();
+        let ls = broadcast_strides(&lhs, &out);
+        let rs = broadcast_strides(&rhs, &out);
+        let mut triples = Vec::new();
+        for_each_broadcast(&out, &ls, &rs, |o, l, r| triples.push((o, l, r)));
+        assert_eq!(
+            triples,
+            vec![(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 1, 0), (4, 1, 1), (5, 1, 2)]
+        );
+    }
+
+    #[test]
+    fn plan_fast_paths() {
+        let a = Shape::new([2, 3]);
+        let b = Shape::new([3]);
+        let out = a.broadcast(&b).unwrap();
+        assert!(matches!(
+            BroadcastPlan::build(&a, &a, &a),
+            BroadcastPlan::SameShape
+        ));
+        assert!(matches!(
+            BroadcastPlan::build(&a, &Shape::scalar(), &a),
+            BroadcastPlan::ScalarRhs
+        ));
+        assert!(matches!(
+            BroadcastPlan::build(&Shape::scalar(), &a, &a),
+            BroadcastPlan::ScalarLhs
+        ));
+        assert!(matches!(
+            BroadcastPlan::build(&a, &b, &out),
+            BroadcastPlan::TrailingRhs { block: 3 }
+        ));
+    }
+}

@@ -1,0 +1,413 @@
+//! The [`Tensor`] type: dense, contiguous, row-major f32 storage with an
+//! optional autograd tape.
+//!
+//! A tensor is a cheaply clonable handle (`Rc`) to a graph node. Leaf nodes
+//! hold parameters or inputs; interior nodes additionally record their
+//! parents and a backward closure. Graphs are acyclic by construction
+//! (operations only ever create new outputs), so plain `Rc` cannot leak.
+//!
+//! The engine is deliberately single-threaded at the graph level — training
+//! steps build and consume one tape — while the heavy kernels underneath
+//! ([`crate::kernels`]) parallelize across OS threads.
+
+use std::cell::{Cell, Ref, RefCell, RefMut};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::autograd;
+use crate::shape::Shape;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// Backward closure: receives the output node, reads its gradient, and
+/// accumulates into the parents it captured.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor)>;
+
+pub(crate) struct Inner {
+    id: u64,
+    shape: Shape,
+    data: RefCell<Vec<f32>>,
+    grad: RefCell<Option<Vec<f32>>>,
+    requires_grad: bool,
+    pub(crate) parents: Vec<Tensor>,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+/// A dense f32 tensor participating in a dynamic autograd graph.
+#[derive(Clone)]
+pub struct Tensor {
+    inner: Rc<Inner>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------
+
+    /// Creates a leaf tensor from raw data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad: false,
+                parents: Vec::new(),
+                backward: None,
+            }),
+        }
+    }
+
+    /// Creates a leaf tensor from a slice.
+    pub fn from_slice(data: &[f32], shape: impl Into<Shape>) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor::from_vec(vec![0.0; n], shape)
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor::from_vec(vec![1.0; n], shape)
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor::from_vec(vec![value; n], shape)
+    }
+
+    /// Rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor::from_vec(vec![value], Shape::scalar())
+    }
+
+    /// Marks this leaf as a trainable parameter. Must be called before the
+    /// tensor is used in any operation.
+    ///
+    /// # Panics
+    /// Panics when called on a non-leaf (derived) tensor.
+    pub fn requires_grad(self) -> Tensor {
+        assert!(
+            self.inner.parents.is_empty() && self.inner.backward.is_none(),
+            "requires_grad() must be applied to leaf tensors"
+        );
+        // The Rc is fresh from a constructor in the intended usage, but be
+        // defensive: rebuild if shared.
+        match Rc::try_unwrap(self.inner) {
+            Ok(inner) => Tensor {
+                inner: Rc::new(Inner {
+                    requires_grad: true,
+                    ..inner
+                }),
+            },
+            Err(rc) => Tensor {
+                inner: Rc::new(Inner {
+                    id: rc.id,
+                    shape: rc.shape.clone(),
+                    data: RefCell::new(rc.data.borrow().clone()),
+                    grad: RefCell::new(None),
+                    requires_grad: true,
+                    parents: Vec::new(),
+                    backward: None,
+                }),
+            },
+        }
+    }
+
+    /// Internal constructor for op outputs: records parents and the
+    /// backward closure only when grad mode is on and some parent is
+    /// tracked.
+    pub(crate) fn make_op(
+        shape: Shape,
+        data: Vec<f32>,
+        parents: Vec<Tensor>,
+        backward: impl Fn(&Tensor) + 'static,
+    ) -> Tensor {
+        assert_eq!(data.len(), shape.numel(), "op produced wrong element count");
+        let track = autograd::is_grad_enabled() && parents.iter().any(|p| p.is_tracked());
+        Tensor {
+            inner: Rc::new(Inner {
+                id: next_id(),
+                shape,
+                data: RefCell::new(data),
+                grad: RefCell::new(None),
+                requires_grad: track,
+                parents: if track { parents } else { Vec::new() },
+                backward: if track { Some(Box::new(backward)) } else { None },
+            }),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Introspection
+    // ---------------------------------------------------------------
+
+    /// Unique node id (stable for the life of the tensor).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.inner.shape
+    }
+
+    /// Dimension sizes, shorthand for `shape().dims()`.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.inner.shape.dims()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.inner.shape.numel()
+    }
+
+    /// Whether this node participates in gradient computation (either a
+    /// parameter leaf or derived from one under grad mode).
+    #[inline]
+    pub fn is_tracked(&self) -> bool {
+        self.inner.requires_grad
+    }
+
+    /// Whether this is a leaf node (no recorded parents).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.inner.backward.is_none()
+    }
+
+    // ---------------------------------------------------------------
+    // Data access
+    // ---------------------------------------------------------------
+
+    /// Immutable view of the underlying buffer.
+    pub fn data(&self) -> Ref<'_, Vec<f32>> {
+        self.inner.data.borrow()
+    }
+
+    /// Mutable view of the underlying buffer. Intended for optimizers and
+    /// initialization; mutating an interior node invalidates its tape.
+    pub fn data_mut(&self) -> RefMut<'_, Vec<f32>> {
+        self.inner.data.borrow_mut()
+    }
+
+    /// Copies the buffer out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// Extracts the single element of a scalar (or one-element) tensor.
+    ///
+    /// # Panics
+    /// Panics when the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        let data = self.inner.data.borrow();
+        assert_eq!(data.len(), 1, "item() requires a single-element tensor");
+        data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        let off = self.inner.shape.ravel(index);
+        self.inner.data.borrow()[off]
+    }
+
+    /// A new leaf tensor with a copy of this tensor's data and no history
+    /// (stop-gradient).
+    pub fn detach(&self) -> Tensor {
+        Tensor::from_vec(self.to_vec(), self.inner.shape.clone())
+    }
+
+    // ---------------------------------------------------------------
+    // Gradients
+    // ---------------------------------------------------------------
+
+    /// Clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Vec<f32>> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Borrow of the accumulated gradient.
+    pub(crate) fn grad_ref(&self) -> Ref<'_, Option<Vec<f32>>> {
+        self.inner.grad.borrow()
+    }
+
+    /// Clears the gradient buffer.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.borrow_mut() = None;
+    }
+
+    /// Adds `delta` into this tensor's gradient buffer (allocating it on
+    /// first use). No-op for untracked tensors.
+    pub fn accumulate_grad(&self, delta: &[f32]) {
+        if !self.inner.requires_grad {
+            return;
+        }
+        debug_assert_eq!(delta.len(), self.numel(), "gradient shape mismatch");
+        let mut grad = self.inner.grad.borrow_mut();
+        match grad.as_mut() {
+            Some(g) => crate::kernels::axpy(1.0, delta, g),
+            None => *grad = Some(delta.to_vec()),
+        }
+    }
+
+    /// Seeds this tensor's gradient with `seed` (used by `backward`).
+    pub(crate) fn seed_grad(&self, seed: Vec<f32>) {
+        *self.inner.grad.borrow_mut() = Some(seed);
+    }
+
+    /// Runs reverse-mode differentiation from this (scalar) tensor,
+    /// accumulating gradients into every tracked ancestor.
+    ///
+    /// # Panics
+    /// Panics when the tensor is not a scalar; use
+    /// [`Tensor::backward_with`] to seed arbitrary shapes.
+    pub fn backward(&self) {
+        assert_eq!(
+            self.numel(),
+            1,
+            "backward() requires a scalar loss; got shape {}",
+            self.shape()
+        );
+        autograd::backward(self, vec![1.0]);
+    }
+
+    /// Runs reverse-mode differentiation with an explicit output gradient.
+    pub fn backward_with(&self, seed: Vec<f32>) {
+        assert_eq!(seed.len(), self.numel(), "seed gradient shape mismatch");
+        autograd::backward(self, seed);
+    }
+
+    pub(crate) fn parents(&self) -> &[Tensor] {
+        &self.inner.parents
+    }
+
+    pub(crate) fn run_backward(&self) {
+        if let Some(f) = &self.inner.backward {
+            f(self);
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let data = self.inner.data.borrow();
+        let preview: Vec<f32> = data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Tensor(id={}, shape={}, grad={}, data≈{:?}{})",
+            self.inner.id,
+            self.inner.shape,
+            self.inner.requires_grad,
+            preview,
+            if data.len() > 8 { ", …" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(t.numel(), 4);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_len_mismatch_panics() {
+        Tensor::from_vec(vec![1.0], [2, 2]);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros([3]).to_vec(), vec![0.0; 3]);
+        assert_eq!(Tensor::ones([2]).to_vec(), vec![1.0; 2]);
+        assert_eq!(Tensor::full([2], 7.0).to_vec(), vec![7.0; 2]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-element")]
+    fn item_rejects_vectors() {
+        Tensor::ones([2]).item();
+    }
+
+    #[test]
+    fn requires_grad_marks_leaf() {
+        let t = Tensor::zeros([2]).requires_grad();
+        assert!(t.is_tracked());
+        assert!(t.is_leaf());
+    }
+
+    #[test]
+    fn detach_drops_tracking() {
+        let t = Tensor::zeros([2]).requires_grad();
+        let d = t.detach();
+        assert!(!d.is_tracked());
+        assert_eq!(d.to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn accumulate_grad_adds() {
+        let t = Tensor::zeros([2]).requires_grad();
+        t.accumulate_grad(&[1.0, 2.0]);
+        t.accumulate_grad(&[0.5, 0.5]);
+        assert_eq!(t.grad().unwrap(), vec![1.5, 2.5]);
+        t.zero_grad();
+        assert!(t.grad().is_none());
+    }
+
+    #[test]
+    fn accumulate_grad_ignored_for_untracked() {
+        let t = Tensor::zeros([2]);
+        t.accumulate_grad(&[1.0, 1.0]);
+        assert!(t.grad().is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Tensor::zeros([1]);
+        let b = Tensor::zeros([1]);
+        assert_ne!(a.id(), b.id());
+    }
+}

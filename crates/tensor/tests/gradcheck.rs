@@ -1,0 +1,269 @@
+//! Numeric gradient checks: every differentiable op's backward pass is
+//! compared against central finite differences.
+//!
+//! f32 arithmetic limits attainable precision, so the comparison uses a
+//! mixed absolute/relative tolerance. Failures here mean the engine would
+//! train on silently wrong gradients — these are the most load-bearing
+//! tests in the workspace.
+
+use mbssl_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPS: f32 = 1e-2;
+const TOL_ABS: f32 = 2e-2;
+const TOL_REL: f32 = 2e-2;
+
+/// Checks autograd gradients of `f` at `x0` against central differences.
+fn gradcheck(shape: impl Into<Shape>, x0: Vec<f32>, f: impl Fn(&Tensor) -> Tensor) {
+    let shape = shape.into();
+    let x = Tensor::from_vec(x0.clone(), shape.clone()).requires_grad();
+    let loss = f(&x);
+    assert_eq!(loss.numel(), 1, "gradcheck target must be scalar");
+    loss.backward();
+    let analytic = x.grad().expect("no gradient reached the input");
+
+    for i in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus[i] += EPS;
+        let mut minus = x0.clone();
+        minus[i] -= EPS;
+        let fp = f(&Tensor::from_vec(plus, shape.clone())).item();
+        let fm = f(&Tensor::from_vec(minus, shape.clone())).item();
+        let numeric = (fp - fm) / (2.0 * EPS);
+        let a = analytic[i];
+        let err = (a - numeric).abs();
+        let scale = a.abs().max(numeric.abs()).max(1.0);
+        assert!(
+            err <= TOL_ABS.max(TOL_REL * scale),
+            "grad mismatch at index {i}: analytic {a}, numeric {numeric} (err {err})"
+        );
+    }
+}
+
+fn randu(n: usize, rng: &mut StdRng, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[test]
+fn gradcheck_add_broadcast() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let other = Tensor::from_vec(randu(3, &mut rng, -1.0, 1.0), [3]);
+    gradcheck([2, 3], randu(6, &mut rng, -1.0, 1.0), move |x| {
+        x.add(&other).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_mul_broadcast() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let other = Tensor::from_vec(randu(2, &mut rng, 0.5, 1.5), [2, 1]);
+    gradcheck([2, 3], randu(6, &mut rng, -1.0, 1.0), move |x| {
+        x.mul(&other).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_div() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let denom = Tensor::from_vec(randu(4, &mut rng, 1.0, 2.0), [4]);
+    gradcheck([4], randu(4, &mut rng, -1.0, 1.0), move |x| {
+        x.div(&denom).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_div_rhs() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let numer = Tensor::from_vec(randu(4, &mut rng, -1.0, 1.0), [4]);
+    gradcheck([4], randu(4, &mut rng, 1.0, 2.0), move |x| {
+        numer.div(x).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_matmul_lhs() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let w = Tensor::from_vec(randu(12, &mut rng, -1.0, 1.0), [4, 3]);
+    gradcheck([2, 4], randu(8, &mut rng, -1.0, 1.0), move |x| {
+        x.matmul(&w).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_matmul_rhs() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let a = Tensor::from_vec(randu(8, &mut rng, -1.0, 1.0), [2, 4]);
+    gradcheck([4, 3], randu(12, &mut rng, -1.0, 1.0), move |x| {
+        a.matmul(x).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_bmm() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let b = Tensor::from_vec(randu(2 * 3 * 2, &mut rng, -1.0, 1.0), [2, 3, 2]);
+    gradcheck([2, 2, 3], randu(12, &mut rng, -1.0, 1.0), move |x| {
+        x.bmm(&b).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_softmax() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let w = Tensor::from_vec(randu(6, &mut rng, -1.0, 1.0), [2, 3]);
+    gradcheck([2, 3], randu(6, &mut rng, -2.0, 2.0), move |x| {
+        x.softmax_lastdim().mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_log_softmax() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let w = Tensor::from_vec(randu(6, &mut rng, -1.0, 1.0), [2, 3]);
+    gradcheck([2, 3], randu(6, &mut rng, -2.0, 2.0), move |x| {
+        x.log_softmax_lastdim().mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_layer_norm_input() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let gamma = Tensor::from_vec(randu(4, &mut rng, 0.5, 1.5), [4]);
+    let beta = Tensor::from_vec(randu(4, &mut rng, -0.5, 0.5), [4]);
+    let w = Tensor::from_vec(randu(8, &mut rng, -1.0, 1.0), [2, 4]);
+    gradcheck([2, 4], randu(8, &mut rng, -2.0, 2.0), move |x| {
+        x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_layer_norm_gamma() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x = Tensor::from_vec(randu(8, &mut rng, -2.0, 2.0), [2, 4]);
+    let beta = Tensor::zeros([4]);
+    let w = Tensor::from_vec(randu(8, &mut rng, -1.0, 1.0), [2, 4]);
+    gradcheck([4], randu(4, &mut rng, 0.5, 1.5), move |g| {
+        x.layer_norm(g, &beta, 1e-5).mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_cross_entropy() {
+    let mut rng = StdRng::seed_from_u64(12);
+    gradcheck([3, 4], randu(12, &mut rng, -2.0, 2.0), |x| {
+        x.cross_entropy_logits(&[1, 3, 0])
+    });
+}
+
+#[test]
+fn gradcheck_bce_with_logits() {
+    let mut rng = StdRng::seed_from_u64(13);
+    gradcheck([4], randu(4, &mut rng, -2.0, 2.0), |x| {
+        x.bce_with_logits(&[1.0, 0.0, 1.0, 0.0])
+    });
+}
+
+#[test]
+fn gradcheck_activations() {
+    let mut rng = StdRng::seed_from_u64(14);
+    // Stay away from relu's kink.
+    let x0: Vec<f32> = randu(6, &mut rng, 0.2, 2.0);
+    gradcheck([6], x0.clone(), |x| x.relu().square().sum_all());
+    gradcheck([6], x0.clone(), |x| x.gelu().sum_all());
+    gradcheck([6], x0.clone(), |x| x.sigmoid().sum_all());
+    gradcheck([6], x0.clone(), |x| x.tanh().sum_all());
+    gradcheck([6], x0.clone(), |x| x.exp().sum_all());
+    gradcheck([6], x0.clone(), |x| x.ln().sum_all());
+    gradcheck([6], x0.clone(), |x| x.sqrt().sum_all());
+    gradcheck([6], x0.clone(), |x| x.softplus().sum_all());
+    gradcheck([6], x0, |x| x.recip().sum_all());
+}
+
+#[test]
+fn gradcheck_reductions() {
+    let mut rng = StdRng::seed_from_u64(15);
+    let x0 = randu(12, &mut rng, -1.0, 1.0);
+    gradcheck([3, 4], x0.clone(), |x| x.sum_axis(0, false).square().sum_all());
+    gradcheck([3, 4], x0.clone(), |x| x.mean_axis(-1, true).square().sum_all());
+    gradcheck([3, 4], x0, |x| x.mean_all());
+}
+
+#[test]
+fn gradcheck_max_axis_away_from_ties() {
+    // Use well-separated values so the max is stable under perturbation.
+    let x0 = vec![0.1, 1.5, -0.7, 2.2, 0.4, -1.9];
+    gradcheck([2, 3], x0, |x| x.max_axis(-1, false).square().sum_all());
+}
+
+#[test]
+fn gradcheck_shape_ops() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let x0 = randu(12, &mut rng, -1.0, 1.0);
+    gradcheck([3, 4], x0.clone(), |x| x.reshape([4, 3]).square().sum_all());
+    gradcheck([3, 4], x0.clone(), |x| x.narrow(0, 1, 2).square().sum_all());
+    gradcheck([3, 4], x0.clone(), |x| x.transpose_last().square().sum_all());
+    gradcheck([3, 4], x0.clone(), |x| x.permute(&[1, 0]).square().sum_all());
+    gradcheck([3, 4], x0, |x| x.index_select0(&[0, 2, 2]).square().sum_all());
+}
+
+#[test]
+fn gradcheck_embedding() {
+    let mut rng = StdRng::seed_from_u64(17);
+    gradcheck([4, 3], randu(12, &mut rng, -1.0, 1.0), |x| {
+        x.embedding(&[1, 3, 1]).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_concat() {
+    let mut rng = StdRng::seed_from_u64(18);
+    let other = Tensor::from_vec(randu(4, &mut rng, -1.0, 1.0), [2, 2]);
+    gradcheck([2, 2], randu(4, &mut rng, -1.0, 1.0), move |x| {
+        Tensor::concat(&[x, &other], 1).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_masked_fill() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mask = Tensor::from_slice(&[0.0, 1.0, 0.0, 0.0, 1.0, 0.0], [2, 3]);
+    gradcheck([2, 3], randu(6, &mut rng, -1.0, 1.0), move |x| {
+        x.masked_fill(&mask, -5.0).square().sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_l2_normalize() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let w = Tensor::from_vec(randu(6, &mut rng, -1.0, 1.0), [2, 3]);
+    gradcheck([2, 3], randu(6, &mut rng, 0.5, 1.5), move |x| {
+        x.l2_normalize_lastdim(1e-6).mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_composite_attention_like() {
+    // A mini attention computation: softmax(QKᵀ)·V through one input.
+    let mut rng = StdRng::seed_from_u64(21);
+    let k = Tensor::from_vec(randu(6, &mut rng, -1.0, 1.0), [1, 3, 2]);
+    let v = Tensor::from_vec(randu(6, &mut rng, -1.0, 1.0), [1, 3, 2]);
+    gradcheck([1, 3, 2], randu(6, &mut rng, -1.0, 1.0), move |q| {
+        q.bmm(&k.transpose_last())
+            .mul_scalar(0.707)
+            .softmax_lastdim()
+            .bmm(&v)
+            .square()
+            .sum_all()
+    });
+}
+
+#[test]
+fn gradcheck_maximum_minimum() {
+    // Well-separated operands avoid tie ambiguity.
+    let other = Tensor::from_slice(&[0.9, -0.8, 0.05, -0.4], [4]);
+    let x0 = vec![0.3, -0.2, 0.6, -0.9];
+    let o = other.clone();
+    gradcheck([4], x0.clone(), move |x| x.maximum(&o).square().sum_all());
+    gradcheck([4], x0, move |x| x.minimum(&other).square().sum_all());
+}

@@ -1,0 +1,107 @@
+//! Diversity comparison: do K interests actually diversify
+//! recommendations?
+//!
+//! Trains MBMISSL (K = 4) and single-vector SASRec on the same data, takes
+//! each model's top-10 recommendations for a sample of users, and compares
+//! beyond-accuracy metrics (catalog coverage, intra-list topic diversity)
+//! using the simulator's ground-truth item topics. The multi-interest
+//! claim: MBMISSL's lists should span more topics.
+//!
+//! ```bash
+//! cargo run --release --example diversity_comparison
+//! ```
+
+use std::collections::HashSet;
+
+use mbssl::baselines::SasRec;
+use mbssl::core::{
+    recommend_top_n, BehaviorSchema, Mbmissl, ModelConfig, SequentialRecommender, TrainConfig,
+    Trainer,
+};
+use mbssl::data::preprocess::{leave_one_out, SplitConfig};
+use mbssl::data::sampler::NegativeSampler;
+use mbssl::data::synthetic::SyntheticConfig;
+use mbssl::data::ItemId;
+use mbssl::metrics::diversity::diversity_metrics;
+
+fn top_lists<R: SequentialRecommender>(
+    model: &R,
+    dataset: &mbssl::data::Dataset,
+    sampler: &NegativeSampler,
+    users: &[usize],
+    n: usize,
+) -> Vec<Vec<u32>> {
+    users
+        .iter()
+        .map(|&u| {
+            let hist = &dataset.sequences[u];
+            let seen: HashSet<ItemId> = sampler.seen_by(u as u32).iter().copied().collect();
+            recommend_top_n(model, hist, dataset.num_items, n, &seen, 512)
+                .into_iter()
+                .map(|r| r.item)
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let generated = SyntheticConfig::taobao_like(77).scaled(0.1).generate();
+    let dataset = generated.dataset;
+    let truth = generated.truth;
+    let split = leave_one_out(&dataset, &SplitConfig::default());
+    let sampler = NegativeSampler::from_dataset(&dataset);
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 8,
+        patience: 3,
+        ..TrainConfig::default()
+    });
+
+    println!("training MBMISSL (K = 4) …");
+    let schema = BehaviorSchema::new(dataset.behaviors.clone(), dataset.target_behavior);
+    let mbmissl = Mbmissl::new(
+        dataset.num_items,
+        schema,
+        ModelConfig {
+            dim: 32,
+            heads: 2,
+            num_layers: 1,
+            ffn_hidden: 64,
+            num_interests: 4,
+            extractor_hidden: 32,
+            ..ModelConfig::default()
+        },
+    );
+    trainer.fit(&mbmissl, &split, &sampler);
+
+    println!("training SASRec (single interest vector) …");
+    let sasrec = SasRec::new(dataset.num_items, 32, 2, 2, 50, 0.1, 9);
+    trainer.fit(&sasrec, &split, &sampler);
+
+    let users: Vec<usize> = (0..dataset.num_users).step_by(5).take(60).collect();
+    println!("computing top-10 lists for {} users …", users.len());
+    let ours = top_lists(&mbmissl, &dataset, &sampler, &users, 10);
+    let theirs = top_lists(&sasrec, &dataset, &sampler, &users, 10);
+
+    let m_ours = diversity_metrics(&ours, dataset.num_items, &truth.item_topic);
+    let m_theirs = diversity_metrics(&theirs, dataset.num_items, &truth.item_topic);
+
+    println!("\nbeyond-accuracy metrics (top-10 lists):");
+    println!(
+        "{:<12} {:>18} {:>22} {:>20}",
+        "model", "catalog coverage", "intra-list diversity", "distinct topics"
+    );
+    println!(
+        "{:<12} {:>18.3} {:>22.3} {:>20.2}",
+        "MBMISSL", m_ours.catalog_coverage, m_ours.intra_list_diversity, m_ours.mean_distinct_categories
+    );
+    println!(
+        "{:<12} {:>18.3} {:>22.3} {:>20.2}",
+        "SASRec", m_theirs.catalog_coverage, m_theirs.intra_list_diversity, m_theirs.mean_distinct_categories
+    );
+
+    if m_ours.mean_distinct_categories > m_theirs.mean_distinct_categories {
+        println!("\nmulti-interest lists span more topics ✓");
+    } else {
+        println!("\nnote: diversity advantage did not materialize at this scale/epochs");
+    }
+}

@@ -1,0 +1,28 @@
+#!/bin/bash
+# Regenerates every table/figure of the evaluation (DESIGN.md §4).
+# Core tables run at 16 epochs; long sweeps at 8 to bound wall-clock.
+# Usage: ./run_experiments.sh [extra flags appended to every binary,
+#        e.g. --scale 1.0 for paper scale]
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+EXTRA="$@"
+CORE="--epochs 16 --patience 4 $EXTRA"
+SWEEP="--epochs 8 --patience 2 $EXTRA"
+echo "=== mbssl experiment suite ($(date)) ==="
+$BIN/exp_datasets $CORE
+$BIN/exp_overall --significance $CORE
+$BIN/exp_ablation $CORE
+$BIN/exp_hyper --sweep k $SWEEP
+$BIN/exp_hyper --sweep ssl $SWEEP
+$BIN/exp_coldstart $SWEEP
+$BIN/exp_behaviors $SWEEP
+$BIN/exp_efficiency $SWEEP
+$BIN/exp_convergence --epochs 10 --patience 11 $EXTRA
+$BIN/exp_noise $SWEEP
+$BIN/exp_hyper --sweep window $SWEEP
+$BIN/exp_hyper --sweep aux $SWEEP
+$BIN/exp_hyper --sweep extractor $SWEEP
+$BIN/exp_recovery $SWEEP
+python3 scripts/summarize_results.py
+echo "=== suite complete ($(date)) ==="

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Appends the committed-run summary to EXPERIMENTS.md from results/*.json.
+
+Usage: python3 scripts/summarize_results.py [results_dir] [experiments_md]
+Idempotent-ish: truncates everything after the COMMITTED RESULTS marker
+before re-appending.
+"""
+import json
+import os
+import sys
+
+RESULTS = sys.argv[1] if len(sys.argv) > 1 else "results"
+EXP_MD = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+MARKER = "<!-- committed-results:auto -->"
+
+
+def load(name):
+    path = os.path.join(RESULTS, name + ".json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_metrics(m):
+    return (
+        f"{m['hr5']:.4f} | {m['hr10']:.4f} | {m['ndcg5']:.4f} | "
+        f"{m['ndcg10']:.4f} | {m['mrr']:.4f}"
+    )
+
+
+def section_table1(out):
+    data = load("table1_datasets")
+    if not data:
+        return
+    out.append("### Table 1 — dataset statistics (measured)\n")
+    out.append("| dataset | users | items | interactions | avg len | density |")
+    out.append("|---|---|---|---|---|---|")
+    for s in data:
+        out.append(
+            f"| {s['name']} | {s['users']} | {s['items']} | {s['interactions']} "
+            f"| {s['avg_seq_len']:.1f} | {s['density']:.4f} |"
+        )
+    out.append("")
+
+
+def section_table2(out):
+    data = load("table2_overall")
+    if not data:
+        return
+    for block in data:
+        out.append(f"### Table 2 — {block['dataset']} (measured)\n")
+        out.append("| model | HR@5 | HR@10 | NDCG@5 | NDCG@10 | MRR |")
+        out.append("|---|---|---|---|---|---|")
+        for r in block["rows"]:
+            bold = "**" if r["model"] == "MBMISSL" else ""
+            out.append(f"| {bold}{r['model']}{bold} | {fmt_metrics(r['metrics'])} |")
+        sig = block.get("significance")
+        if sig:
+            verdict = "significant at 0.01" if sig["significant_at_001"] else "not significant"
+            out.append(
+                f"\nTable 3: MBMISSL vs {sig['best_baseline']} on per-user "
+                f"{sig['metric']}: t = {sig['t']:.2f}, p = {sig['p_value']:.2e} ({verdict})."
+            )
+        out.append("")
+
+
+def section_ablation(out):
+    data = load("fig3_ablation")
+    if not data:
+        return
+    for block in data:
+        out.append(f"### Figure 3 — ablation, {block['dataset']} (measured)\n")
+        out.append("| variant | HR@10 | NDCG@10 |")
+        out.append("|---|---|---|")
+        for r in block["rows"]:
+            out.append(
+                f"| {r['model']} | {r['metrics']['hr10']:.4f} | {r['metrics']['ndcg10']:.4f} |"
+            )
+        out.append("")
+
+
+def section_sweep(out, name, title, param_fmt=lambda r: r["label"]):
+    data = load(name)
+    if not data:
+        return
+    out.append(f"### {title} (measured)\n")
+    out.append("| setting | HR@10 | NDCG@10 |")
+    out.append("|---|---|---|")
+    for p in data:
+        m = p["result"]["metrics"]
+        out.append(f"| {param_fmt(p)} | {m['hr10']:.4f} | {m['ndcg10']:.4f} |")
+    out.append("")
+
+
+def section_coldstart(out):
+    data = load("fig6_coldstart")
+    if not data:
+        return
+    out.append("### Figure 6 — cold start (measured, NDCG@10 by history length)\n")
+    labels = [g["label"] for g in data[0]["groups"]]
+    out.append("| model | " + " | ".join(labels) + " |")
+    out.append("|" + "---|" * (len(labels) + 1))
+    for block in data:
+        cells = [f"{g['metrics']['ndcg10']:.4f}" for g in block["groups"]]
+        out.append(f"| {block['model']} | " + " | ".join(cells) + " |")
+    out.append("")
+
+
+def section_behaviors(out):
+    data = load("fig7_behaviors")
+    if not data:
+        return
+    out.append(f"### Figure 7 — behavior contribution, {data['dataset']} (measured)\n")
+    out.append("| history behaviors | HR@10 | NDCG@10 | test n |")
+    out.append("|---|---|---|---|")
+    for r in data["rows"]:
+        m = r["metrics"]
+        out.append(f"| {r['model']} | {m['hr10']:.4f} | {m['ndcg10']:.4f} | {m['count']} |")
+    out.append("")
+
+
+def section_efficiency(out):
+    data = load("table5_efficiency")
+    if not data:
+        return
+    out.append("### Table 5 — efficiency (measured, this machine)\n")
+    out.append("| model | params | train ms/batch | infer ms/user |")
+    out.append("|---|---|---|---|")
+    for r in data:
+        out.append(
+            f"| {r['model']} | {r['params']} | {r['train_ms_per_batch']:.1f} "
+            f"| {r['infer_ms_per_user']:.3f} |"
+        )
+    out.append("")
+
+
+def section_convergence(out):
+    data = load("fig8_convergence")
+    if not data:
+        return
+    out.append("### Figure 8 — convergence (measured, val NDCG@10 by epoch)\n")
+    for curve in data:
+        pts = ", ".join(
+            f"e{e}:{v:.3f}" for e, v in zip(curve["epochs"], curve["val_ndcg10"])
+        )
+        out.append(f"- **{curve['label']}**: {pts}")
+    out.append("")
+
+
+def section_noise(out):
+    data = load("fig9_noise")
+    if not data:
+        return
+    out.append("### Figure 9 — noise robustness (measured, NDCG@10)\n")
+    noises = sorted({p["click_noise"] for p in data})
+    models = []
+    for p in data:
+        if p["model"] not in models:
+            models.append(p["model"])
+    out.append("| model | " + " | ".join(f"noise={n}" for n in noises) + " |")
+    out.append("|" + "---|" * (len(noises) + 1))
+    for m in models:
+        cells = []
+        for n in noises:
+            v = next((p["ndcg10"] for p in data if p["model"] == m and p["click_noise"] == n), None)
+            cells.append(f"{v:.4f}" if v is not None else "—")
+        out.append(f"| {m} | " + " | ".join(cells) + " |")
+    out.append("")
+
+
+def section_recovery(out):
+    data = load("fig10_recovery")
+    if not data:
+        return
+    out.append("### Figure 10 — interest recovery (measured)\n")
+    out.append("| variant | purity | coverage | pairwise cos |")
+    out.append("|---|---|---|---|")
+    for r in data:
+        out.append(
+            f"| {r['variant']} | {r['mean_purity']:.3f} | {r['mean_coverage']:.3f} "
+            f"| {r['mean_pairwise_cos']:.3f} |"
+        )
+    out.append("")
+
+
+def main():
+    out = [MARKER, ""]
+    section_table1(out)
+    section_table2(out)
+    section_ablation(out)
+    section_sweep(out, "fig4_interest_sweep", "Figure 4 — interest count K")
+    section_sweep(out, "fig5_ssl_grid", "Figure 5 — SSL weight × temperature")
+    section_coldstart(out)
+    section_behaviors(out)
+    section_efficiency(out)
+    section_convergence(out)
+    section_noise(out)
+    section_sweep(out, "figx_window_sweep", "Extra — hypergraph window")
+    section_sweep(out, "figx_aux_sweep", "Extra — auxiliary-loss weight")
+    section_sweep(out, "figx_extractor", "Extra — extractor comparison")
+    section_recovery(out)
+
+    with open(EXP_MD) as f:
+        text = f.read()
+    if MARKER in text:
+        text = text[: text.index(MARKER)].rstrip() + "\n\n"
+    else:
+        text = text.rstrip() + "\n\n"
+    with open(EXP_MD, "w") as f:
+        f.write(text + "\n".join(out) + "\n")
+    print(f"appended {len(out)} lines to {EXP_MD}")
+
+
+if __name__ == "__main__":
+    main()

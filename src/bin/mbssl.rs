@@ -1,0 +1,218 @@
+//! `mbssl` command-line interface: train, evaluate, and serve
+//! recommendations on your own TSV interaction logs.
+//!
+//! ```text
+//! mbssl train     --data log.tsv --target favorite --model out.ckpt [--epochs N] [--dim D] [--interests K]
+//! mbssl evaluate  --data log.tsv --target favorite --model out.ckpt
+//! mbssl recommend --data log.tsv --target favorite --model out.ckpt --user 42 --top 10
+//! mbssl stats     --data log.tsv --target favorite
+//! ```
+//!
+//! TSV format: `user \t item \t behavior \t timestamp` with behaviors in
+//! {click, cart, favorite, purchase}; a header line is allowed.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use mbssl::core::{
+    evaluate, recommend_top_n, BehaviorSchema, Mbmissl, ModelConfig, TrainConfig, Trainer,
+};
+use mbssl::data::io::load_tsv;
+use mbssl::data::preprocess::{k_core, leave_one_out, SplitConfig};
+use mbssl::data::sampler::{EvalCandidates, NegativeSampler};
+use mbssl::data::{Behavior, Dataset};
+
+struct Args {
+    command: String,
+    values: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut argv = std::env::args().skip(1);
+        let command = argv.next()?;
+        let mut values = Vec::new();
+        let mut key: Option<String> = None;
+        for arg in argv {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    values.push((k, "true".to_string()));
+                }
+                key = Some(stripped.to_string());
+            } else if let Some(k) = key.take() {
+                values.push((k, arg));
+            } else {
+                eprintln!("unexpected positional argument {arg:?}");
+                return None;
+            }
+        }
+        if let Some(k) = key.take() {
+            values.push((k, "true".to_string()));
+        }
+        Some(Args { command, values })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  \
+         mbssl train     --data LOG.tsv --target BEHAVIOR --model OUT.ckpt \
+[--epochs N] [--dim D] [--interests K] [--seed S]\n  \
+         mbssl evaluate  --data LOG.tsv --target BEHAVIOR --model IN.ckpt\n  \
+         mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N]\n  \
+         mbssl stats     --data LOG.tsv --target BEHAVIOR\n\n\
+         BEHAVIOR ∈ {{click, cart, favorite, purchase}}"
+    );
+}
+
+fn load_dataset(args: &Args) -> Result<(Dataset, Behavior), String> {
+    let path = args.require("data")?;
+    let target = Behavior::from_token(args.require("target")?)
+        .ok_or_else(|| "unknown --target behavior".to_string())?;
+    let raw = load_tsv(path, target).map_err(|e| format!("loading {path}: {e}"))?;
+    let dataset = k_core(&raw, 5, 3);
+    if dataset.num_users == 0 {
+        return Err("no users survive 5/3-core filtering".into());
+    }
+    Ok((dataset, target))
+}
+
+fn model_config(args: &Args, seed: u64) -> ModelConfig {
+    ModelConfig {
+        dim: args.get_or("dim", "32").parse().expect("--dim must be an integer"),
+        heads: 2,
+        num_layers: 1,
+        ffn_hidden: 2 * args.get_or("dim", "32").parse::<usize>().unwrap(),
+        num_interests: args
+            .get_or("interests", "4")
+            .parse()
+            .expect("--interests must be an integer"),
+        extractor_hidden: args.get_or("dim", "32").parse().unwrap(),
+        seed,
+        ..ModelConfig::default()
+    }
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = Args::parse() else {
+        usage();
+        return Err("no command given".into());
+    };
+    let seed: u64 = args.get_or("seed", "42").parse().map_err(|_| "bad --seed")?;
+
+    match args.command.as_str() {
+        "stats" => {
+            let (dataset, _) = load_dataset(&args)?;
+            let stats = dataset.stats();
+            println!("dataset: {}", stats.name);
+            println!("  users        : {}", stats.users);
+            println!("  items        : {}", stats.items);
+            println!("  interactions : {}", stats.interactions);
+            for (b, c) in &stats.per_behavior {
+                println!("    {b:>9}: {c}");
+            }
+            println!("  avg seq len  : {:.2}", stats.avg_seq_len);
+            println!("  density      : {:.5}", stats.density);
+            println!("  pop. gini    : {:.3}", dataset.popularity_gini());
+            Ok(())
+        }
+        "train" => {
+            let (dataset, target) = load_dataset(&args)?;
+            let out = args.require("model")?;
+            let epochs: usize = args.get_or("epochs", "20").parse().map_err(|_| "bad --epochs")?;
+            let split = leave_one_out(&dataset, &SplitConfig::default());
+            let sampler = NegativeSampler::from_dataset(&dataset);
+            let schema = BehaviorSchema::new(dataset.behaviors.clone(), target);
+            let model = Mbmissl::new(dataset.num_items, schema, model_config(&args, seed));
+            println!(
+                "training MBMISSL on {} users / {} items ({} train instances) …",
+                dataset.num_users,
+                dataset.num_items,
+                split.train.len()
+            );
+            let trainer = Trainer::new(TrainConfig {
+                epochs,
+                patience: 4,
+                verbose: true,
+                seed,
+                ..TrainConfig::default()
+            });
+            let report = trainer.fit(&model, &split, &sampler);
+            println!(
+                "done: {} epochs, best val NDCG@10 = {:.4}",
+                report.epochs_run, report.best_val_ndcg10
+            );
+            model.save(out).map_err(|e| format!("saving {out}: {e}"))?;
+            println!("model written to {out}");
+            Ok(())
+        }
+        "evaluate" => {
+            let (dataset, target) = load_dataset(&args)?;
+            let ckpt = args.require("model")?;
+            let split = leave_one_out(&dataset, &SplitConfig::default());
+            let sampler = NegativeSampler::from_dataset(&dataset);
+            let schema = BehaviorSchema::new(dataset.behaviors.clone(), target);
+            let model = Mbmissl::new(dataset.num_items, schema, model_config(&args, seed));
+            model.load(ckpt).map_err(|e| format!("loading {ckpt}: {e}"))?;
+            let candidates = EvalCandidates::build(&split.test, &sampler, 99, seed);
+            let metrics = evaluate(&model, &split.test, &candidates, 256).aggregate();
+            println!("test metrics (1-vs-99): {}", metrics.summary());
+            Ok(())
+        }
+        "recommend" => {
+            let (dataset, target) = load_dataset(&args)?;
+            let ckpt = args.require("model")?;
+            let user: usize = args.require("user")?.parse().map_err(|_| "bad --user")?;
+            let top: usize = args.get_or("top", "10").parse().map_err(|_| "bad --top")?;
+            if user >= dataset.num_users {
+                return Err(format!(
+                    "user {user} out of range (dataset has {} users after k-core remapping)",
+                    dataset.num_users
+                ));
+            }
+            let schema = BehaviorSchema::new(dataset.behaviors.clone(), target);
+            let model = Mbmissl::new(dataset.num_items, schema, model_config(&args, seed));
+            model.load(ckpt).map_err(|e| format!("loading {ckpt}: {e}"))?;
+            let history = &dataset.sequences[user];
+            let seen: HashSet<_> = history.items.iter().copied().collect();
+            let recs = recommend_top_n(&model, history, dataset.num_items, top, &seen, 512);
+            println!(
+                "top-{top} recommendations for user {user} ({} history events):",
+                history.len()
+            );
+            for (rank, rec) in recs.iter().enumerate() {
+                println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, rec.item, rec.score);
+            }
+            Ok(())
+        }
+        other => {
+            usage();
+            Err(format!("unknown command {other:?}"))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `mbssl` — facade crate for the Multi-Behavior Multi-Interest
+//! Self-Supervised Learning recommender workspace.
+//!
+//! Re-exports the workspace crates under one roof:
+//! - [`tensor`]: the from-scratch autodiff engine and NN layers;
+//! - [`hypergraph`]: incidence structures and hypergraph transformers;
+//! - [`data`]: datasets, synthetic generators, sampling, augmentation;
+//! - [`metrics`]: ranking metrics and significance tests;
+//! - [`core`]: the MBMISSL model, trainer, and evaluator;
+//! - [`baselines`]: the comparison zoo.
+//!
+//! See `examples/quickstart.rs` for an end-to-end train-and-evaluate run.
+
+pub use mbssl_baselines as baselines;
+pub use mbssl_core as core;
+pub use mbssl_data as data;
+pub use mbssl_hypergraph as hypergraph;
+pub use mbssl_metrics as metrics;
+pub use mbssl_tensor as tensor;

@@ -1,0 +1,97 @@
+//! End-to-end tests of the `mbssl` CLI binary: stats → train → evaluate →
+//! recommend on a generated TSV log.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mbssl::data::io::save_tsv;
+use mbssl::data::synthetic::SyntheticConfig;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mbssl")
+}
+
+fn setup_log(dir: &std::path::Path) -> PathBuf {
+    let dataset = SyntheticConfig::tmall_like(5).scaled(0.05).generate().dataset;
+    let path = dir.join("log.tsv");
+    save_tsv(&dataset, &path).expect("write TSV");
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn mbssl CLI");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn cli_full_workflow() {
+    let dir = std::env::temp_dir().join("mbssl_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = setup_log(&dir);
+    let log_s = log.to_str().unwrap();
+    let ckpt = dir.join("model.ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    // stats
+    let (ok, text) = run(&["stats", "--data", log_s, "--target", "favorite"]);
+    assert!(ok, "stats failed: {text}");
+    assert!(text.contains("users"));
+    assert!(text.contains("favorite"));
+
+    // train (tiny settings)
+    let (ok, text) = run(&[
+        "train", "--data", log_s, "--target", "favorite", "--model", ckpt_s,
+        "--epochs", "2", "--dim", "16", "--interests", "2",
+    ]);
+    assert!(ok, "train failed: {text}");
+    assert!(ckpt.exists(), "checkpoint not written");
+
+    // evaluate with matching dims
+    let (ok, text) = run(&[
+        "evaluate", "--data", log_s, "--target", "favorite", "--model", ckpt_s,
+        "--dim", "16", "--interests", "2",
+    ]);
+    assert!(ok, "evaluate failed: {text}");
+    assert!(text.contains("HR@10"), "no metrics printed: {text}");
+
+    // recommend
+    let (ok, text) = run(&[
+        "recommend", "--data", log_s, "--target", "favorite", "--model", ckpt_s,
+        "--dim", "16", "--interests", "2", "--user", "0", "--top", "5",
+    ]);
+    assert!(ok, "recommend failed: {text}");
+    assert!(text.contains("1."), "no ranked list printed: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    let (ok, text) = run(&["train", "--target", "favorite"]);
+    assert!(!ok);
+    assert!(text.contains("missing --data") || text.contains("error"), "{text}");
+
+    let (ok, _) = run(&["nonsense"]);
+    assert!(!ok);
+
+    let dir = std::env::temp_dir().join("mbssl_cli_test_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = setup_log(&dir);
+    // Mismatched checkpoint dims must fail cleanly, not panic.
+    let ckpt = dir.join("never_written.ckpt");
+    let (ok, text) = run(&[
+        "evaluate", "--data", log.to_str().unwrap(), "--target", "favorite",
+        "--model", ckpt.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(text.contains("error"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
