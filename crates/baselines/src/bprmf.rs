@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 
 use mbssl_core::{SequentialRecommender, TrainableRecommender};
 use mbssl_data::preprocess::TrainInstance;
-use mbssl_data::sampler::{NegativeSampler, NegativeStrategy};
-use mbssl_data::{ItemId, Sequence, UserId};
+use mbssl_data::sampler::{NegativeSampler, NegativeStrategy, PreparedBatch};
+use mbssl_data::{ItemId, Sequence};
 use mbssl_tensor::nn::{Embedding, Module, ParamMap};
 use mbssl_tensor::{no_grad, Tensor};
 
@@ -69,23 +69,32 @@ impl TrainableRecommender for BprMf {
         map
     }
 
-    fn loss_on_batch(
+    fn prepare_batch(
         &self,
         instances: &[&TrainInstance],
         sampler: &NegativeSampler,
         _num_negatives: usize,
         rng: &mut StdRng,
+    ) -> PreparedBatch {
+        // BPR is pairwise: exactly one negative per positive.
+        PreparedBatch::build(instances, sampler, 1, NegativeStrategy::Uniform, None, rng)
+    }
+
+    fn loss_on_prepared(
+        &self,
+        prepared: &PreparedBatch,
+        _sampler: &NegativeSampler,
+        _num_negatives: usize,
+        _rng: &mut StdRng,
     ) -> Tensor {
         // Classic pairwise BPR on (user, pos, neg) triples. The learned
         // user factor is a residual on top of the history fold-in so the
         // fold-in path used at eval time is also trained.
-        let users: Vec<usize> = instances.iter().map(|i| i.user as usize).collect();
-        let histories: Vec<&Sequence> = instances.iter().map(|i| &i.history).collect();
-        let pos_ids: Vec<usize> = instances.iter().map(|i| i.target as usize).collect();
-        let neg_ids: Vec<usize> = instances
-            .iter()
-            .map(|i| sampler.sample_one(i.user as UserId, i.target, NegativeStrategy::Uniform, rng) as usize)
-            .collect();
+        let batch = &prepared.batch;
+        let users: Vec<usize> = batch.users.iter().map(|&u| u as usize).collect();
+        let histories: Vec<&Sequence> = prepared.histories();
+        let pos_ids: Vec<usize> = batch.targets.clone();
+        let neg_ids: Vec<usize> = batch.negatives.clone();
         let u = self
             .fold_in(&histories)
             .add(&self.user_emb.forward(&users));

@@ -13,7 +13,7 @@ use mbssl_core::ssl::augmentation_loss;
 use mbssl_core::{SequentialRecommender, TrainableRecommender};
 use mbssl_data::augment::{default_ops, random_augment};
 use mbssl_data::preprocess::TrainInstance;
-use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy};
+use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy, PreparedBatch};
 use mbssl_data::{ItemId, Sequence};
 use mbssl_tensor::nn::{
     causal_mask, key_padding_mask, Embedding, Mode, Module, ParamMap, TransformerBlock,
@@ -105,30 +105,39 @@ impl TrainableRecommender for Cl4SRec {
         map
     }
 
-    fn loss_on_batch(
+    fn prepare_batch(
         &self,
         instances: &[&TrainInstance],
         sampler: &NegativeSampler,
         num_negatives: usize,
         rng: &mut StdRng,
+    ) -> PreparedBatch {
+        PreparedBatch::build(
+            instances,
+            sampler,
+            num_negatives,
+            NegativeStrategy::Uniform,
+            Some(self.max_seq_len),
+            rng,
+        )
+    }
+
+    fn loss_on_prepared(
+        &self,
+        prepared: &PreparedBatch,
+        _sampler: &NegativeSampler,
+        _num_negatives: usize,
+        rng: &mut StdRng,
     ) -> Tensor {
-        let truncated: Vec<TrainInstance> = instances
-            .iter()
-            .map(|i| TrainInstance {
-                user: i.user,
-                history: i.history.truncate_to_recent(self.max_seq_len),
-                target: i.target,
-            })
-            .collect();
-        let refs: Vec<&TrainInstance> = truncated.iter().collect();
-        let batch = Batch::encode(&refs, sampler, num_negatives, NegativeStrategy::Uniform, rng);
-        let user = self.user_vec(&batch, &mut Mode::Train(rng));
-        let mut loss = crate::common::sampled_softmax_loss(&user, &self.item_emb, &batch);
+        let batch = &prepared.batch;
+        let user = self.user_vec(batch, &mut Mode::Train(rng));
+        let mut loss = crate::common::sampled_softmax_loss(&user, &self.item_emb, batch);
 
         if self.lambda_cl > 0.0 {
             let ops = default_ops();
             let view = |rng: &mut StdRng| -> Batch {
-                let seqs: Vec<Sequence> = refs
+                let seqs: Vec<Sequence> = prepared
+                    .instances
                     .iter()
                     .map(|inst| random_augment(&inst.history, &ops, rng))
                     .collect();

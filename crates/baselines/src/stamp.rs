@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use mbssl_core::{SequentialRecommender, TrainableRecommender};
 use mbssl_data::preprocess::TrainInstance;
-use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy};
+use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy, PreparedBatch};
 use mbssl_data::{ItemId, Sequence};
 use mbssl_tensor::nn::{Embedding, Linear, Module, ParamMap};
 use mbssl_tensor::{no_grad, Tensor};
@@ -107,25 +107,33 @@ impl TrainableRecommender for Stamp {
         map
     }
 
-    fn loss_on_batch(
+    fn prepare_batch(
         &self,
         instances: &[&TrainInstance],
         sampler: &NegativeSampler,
         num_negatives: usize,
         rng: &mut StdRng,
+    ) -> PreparedBatch {
+        PreparedBatch::build(
+            instances,
+            sampler,
+            num_negatives,
+            NegativeStrategy::Uniform,
+            Some(self.max_seq_len),
+            rng,
+        )
+    }
+
+    fn loss_on_prepared(
+        &self,
+        prepared: &PreparedBatch,
+        _sampler: &NegativeSampler,
+        _num_negatives: usize,
+        _rng: &mut StdRng,
     ) -> Tensor {
-        let truncated: Vec<TrainInstance> = instances
-            .iter()
-            .map(|i| TrainInstance {
-                user: i.user,
-                history: i.history.truncate_to_recent(self.max_seq_len),
-                target: i.target,
-            })
-            .collect();
-        let refs: Vec<&TrainInstance> = truncated.iter().collect();
-        let batch = Batch::encode(&refs, sampler, num_negatives, NegativeStrategy::Uniform, rng);
-        let user = self.user_vec(&batch);
-        crate::common::sampled_softmax_loss(&user, &self.item_emb, &batch)
+        let batch = &prepared.batch;
+        let user = self.user_vec(batch);
+        crate::common::sampled_softmax_loss(&user, &self.item_emb, batch)
     }
 }
 

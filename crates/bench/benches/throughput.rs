@@ -1,0 +1,52 @@
+//! End-to-end throughput benchmarks: items/sec through a training step and
+//! through leave-one-out evaluation. Bench names encode how many items one
+//! iteration processes (`itemsN`) so `scripts/bench_smoke.sh` can convert
+//! the iter/s readings into items/sec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbssl_bench::{bench_model_config, build_workload};
+use mbssl_core::{evaluate, BehaviorSchema, Mbmissl, TrainableRecommender};
+use mbssl_data::preprocess::TrainInstance;
+use mbssl_data::sampler::EvalCandidates;
+
+const TRAIN_BATCH: usize = 64;
+const EVAL_USERS: usize = 256;
+
+fn bench_throughput(c: &mut Criterion) {
+    let workload = build_workload("taobao-like", 0.15, 11);
+    let d = &workload.dataset;
+    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
+    let model = Mbmissl::new(d.num_items, schema, bench_model_config(11));
+
+    let batch: Vec<&TrainInstance> = workload.split.train.iter().take(TRAIN_BATCH).collect();
+    let name = format!("throughput_train_step_items{}", batch.len());
+    c.bench_function(&name, |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| {
+            for p in model.params() {
+                p.zero_grad();
+            }
+            model
+                .loss_on_batch(&batch, &workload.sampler, 16, &mut rng)
+                .backward();
+        });
+    });
+
+    let n_eval = workload.split.test.len().min(EVAL_USERS);
+    let test = &workload.split.test[..n_eval];
+    let candidates = EvalCandidates::build(test, &workload.sampler, 99, 0xEA2);
+    let name = format!("throughput_evaluate_items{n_eval}");
+    c.bench_function(&name, |b| {
+        b.iter(|| evaluate(&model, test, &candidates, 64));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -17,6 +17,7 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct EfficiencyRow {
     model: String,
+    threads: usize,
     params: usize,
     train_ms_per_batch: f64,
     infer_ms_per_user: f64,
@@ -67,6 +68,7 @@ fn measure<M: TrainableRecommender>(
 
     EfficiencyRow {
         model: name.to_string(),
+        threads: mbssl_tensor::pool::threads(),
         params: model.params().iter().map(|p| p.numel()).sum(),
         train_ms_per_batch,
         infer_ms_per_user,
@@ -80,7 +82,10 @@ fn main() {
     let d = &workload.dataset;
     let candidates = &workload.test_candidates;
 
-    println!("Table 5 — efficiency on {dataset} (batch 128, 64 negatives)");
+    println!(
+        "Table 5 — efficiency on {dataset} (batch 128, 64 negatives, {} worker thread(s); set MBSSL_THREADS to override)",
+        mbssl_tensor::pool::threads()
+    );
     let mut rows = Vec::new();
     rows.push(measure(
         "GRU4Rec",

@@ -149,6 +149,11 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print progress lines.
     pub verbose: bool,
+    /// Build the next batch (negative sampling + encoding) on a producer
+    /// thread while the current step runs. Results are bit-identical either
+    /// way: batch RNG streams are derived per batch, not from wall-clock
+    /// interleaving.
+    pub prefetch: bool,
 }
 
 impl Default for TrainConfig {
@@ -164,6 +169,7 @@ impl Default for TrainConfig {
             eval_negatives: 99,
             seed: 7,
             verbose: false,
+            prefetch: true,
         }
     }
 }

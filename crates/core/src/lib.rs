@@ -26,4 +26,5 @@ pub mod trainer;
 pub use config::{BehaviorSchema, EncoderKind, ExtractorKind, ModelConfig, TrainConfig};
 pub use model::Mbmissl;
 pub use recommender::{evaluate, recommend_top_n, Recommendation, SequentialRecommender};
+pub use mbssl_data::sampler::PreparedBatch;
 pub use trainer::{TrainReport, TrainableRecommender, Trainer};

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 
 use mbssl_data::augment::{default_ops, random_augment};
 use mbssl_data::preprocess::TrainInstance;
-use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy};
+use mbssl_data::sampler::{Batch, NegativeSampler, NegativeStrategy, PreparedBatch};
 use mbssl_data::{ItemId, Sequence};
 use mbssl_tensor::nn::{Mode, Module, ParamMap};
 use mbssl_tensor::{no_grad, Tensor};
@@ -120,8 +120,10 @@ impl Mbmissl {
 
     /// Full training loss on a batch of instances.
     ///
-    /// Builds the main sampled-softmax loss plus the three SSL terms, with
-    /// the augmented views re-encoded through the same parameters.
+    /// Prepares the batch (truncation + negative sampling + encoding) and
+    /// computes the loss on a single RNG stream. The trainer's prefetch
+    /// pipeline instead calls the two halves separately so preparation
+    /// overlaps the previous step's forward/backward.
     pub fn compute_loss(
         &self,
         instances: &[&TrainInstance],
@@ -129,29 +131,36 @@ impl Mbmissl {
         num_negatives: usize,
         rng: &mut StdRng,
     ) -> Tensor {
-        // Truncate long histories to the configured window before encoding.
-        let truncated: Vec<TrainInstance> = instances
-            .iter()
-            .map(|inst| TrainInstance {
-                user: inst.user,
-                history: inst.history.truncate_to_recent(self.config.max_seq_len),
-                target: inst.target,
-            })
-            .collect();
-        let instances: Vec<&TrainInstance> = truncated.iter().collect();
-        let instances = instances.as_slice();
-        let batch = Batch::encode(
+        let prepared = PreparedBatch::build(
             instances,
             sampler,
             num_negatives,
             NegativeStrategy::Uniform,
+            Some(self.config.max_seq_len),
             rng,
         );
+        self.compute_loss_prepared(&prepared, sampler, num_negatives, rng)
+    }
+
+    /// Graph half of [`compute_loss`]: the main sampled-softmax loss plus
+    /// the three SSL terms, with the augmented views re-encoded through the
+    /// same parameters. `rng` drives dropout, augmentation, and the aux
+    /// objective's in-loss negative sampling.
+    pub fn compute_loss_prepared(
+        &self,
+        prepared: &PreparedBatch,
+        sampler: &NegativeSampler,
+        num_negatives: usize,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let instances = prepared.instance_refs();
+        let instances = instances.as_slice();
+        let batch = &prepared.batch;
         let (b, n) = (batch.size, batch.num_negatives);
 
         let mut mode = Mode::Train(rng);
-        let h = self.encode(&batch, &mut mode);
-        let z_pred = self.interests(&h, &batch);
+        let h = self.encode(batch, &mut mode);
+        let z_pred = self.interests(&h, batch);
 
         // --- Main loss: sampled softmax over [target ; negatives]. ---
         let c = 1 + n;
@@ -389,14 +398,31 @@ impl TrainableRecommender for Mbmissl {
         self.param_map("mbmissl")
     }
 
-    fn loss_on_batch(
+    fn prepare_batch(
         &self,
         instances: &[&TrainInstance],
         sampler: &NegativeSampler,
         num_negatives: usize,
         rng: &mut StdRng,
+    ) -> PreparedBatch {
+        PreparedBatch::build(
+            instances,
+            sampler,
+            num_negatives,
+            NegativeStrategy::Uniform,
+            Some(self.config.max_seq_len),
+            rng,
+        )
+    }
+
+    fn loss_on_prepared(
+        &self,
+        prepared: &PreparedBatch,
+        sampler: &NegativeSampler,
+        num_negatives: usize,
+        rng: &mut StdRng,
     ) -> Tensor {
-        self.compute_loss(instances, sampler, num_negatives, rng)
+        self.compute_loss_prepared(prepared, sampler, num_negatives, rng)
     }
 }
 

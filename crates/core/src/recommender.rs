@@ -2,13 +2,21 @@
 //! models (core + baselines) run through — the "same pipeline for every
 //! method" fairness contract of the evaluation.
 
+use std::sync::Mutex;
+
 use mbssl_data::preprocess::EvalInstance;
 use mbssl_data::sampler::EvalCandidates;
 use mbssl_data::{ItemId, Sequence};
 use mbssl_metrics::PerInstanceMetrics;
+use mbssl_tensor::pool;
 
 /// Anything that can score candidate items given a user history.
-pub trait SequentialRecommender {
+///
+/// Implementations must be `Sync`: [`evaluate`] scores batches from several
+/// threads sharing one `&self`. Models are read-only during scoring (all
+/// mutation happens in training), so this is a formality for any
+/// tensor-backed model.
+pub trait SequentialRecommender: Sync {
     /// Human-readable model name (with salient hyperparameters).
     fn name(&self) -> String;
 
@@ -21,6 +29,11 @@ pub trait SequentialRecommender {
 /// (index 0 = positive), processing `batch_size` instances per scoring
 /// call. Returns the per-instance ranks for aggregation and significance
 /// testing.
+///
+/// Scoring chunks run in parallel on the shared worker pool; each chunk
+/// writes into its own slot, and slots are drained in chunk order, so the
+/// returned metrics are identical to the sequential loop for any pool
+/// size (including `MBSSL_THREADS=1`).
 pub fn evaluate<R: SequentialRecommender + ?Sized>(
     model: &R,
     instances: &[EvalInstance],
@@ -33,8 +46,13 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
         "one candidate list per instance"
     );
     assert!(batch_size > 0);
-    let mut score_lists: Vec<Vec<f32>> = Vec::with_capacity(instances.len());
-    for chunk_start in (0..instances.len()).step_by(batch_size) {
+    let n_chunks = instances.len().div_ceil(batch_size);
+    // One slot per scoring chunk. The per-slot mutex is uncontended (each
+    // chunk index is claimed by exactly one pool thread); it exists to keep
+    // the indexed writes safe without unsafe code.
+    let slots: Vec<Mutex<Vec<Vec<f32>>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    pool::parallel_for(n_chunks, |ci| {
+        let chunk_start = ci * batch_size;
         let chunk_end = (chunk_start + batch_size).min(instances.len());
         let histories: Vec<&Sequence> = instances[chunk_start..chunk_end]
             .iter()
@@ -44,7 +62,11 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
             .iter()
             .map(|l| l.as_slice())
             .collect();
-        score_lists.extend(model.score_batch(&histories, &cand_refs));
+        *slots[ci].lock().unwrap() = model.score_batch(&histories, &cand_refs);
+    });
+    let mut score_lists: Vec<Vec<f32>> = Vec::with_capacity(instances.len());
+    for slot in slots {
+        score_lists.extend(slot.into_inner().unwrap());
     }
     PerInstanceMetrics::from_score_lists(&score_lists)
 }
@@ -60,6 +82,32 @@ pub struct Recommendation {
 /// catalog in chunks. `exclude` (typically the user's already-interacted
 /// items) are skipped. This is the serving-style entry point; evaluation
 /// uses [`evaluate`] with candidate sets instead.
+/// Heap key ordering top-n retention: "smallest" is the entry to evict —
+/// lowest score, ties broken toward the *highest* item id so that equal
+/// scores keep the earliest-scored (lowest-id) item, matching the old
+/// bounded-insertion behavior exactly.
+#[derive(PartialEq)]
+struct RankKey {
+    score: f32,
+    item: ItemId,
+}
+
+impl Eq for RankKey {}
+
+impl Ord for RankKey {
+    fn cmp(&self, other: &RankKey) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then(other.item.cmp(&self.item))
+    }
+}
+
+impl PartialOrd for RankKey {
+    fn partial_cmp(&self, other: &RankKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
     model: &R,
     history: &Sequence,
@@ -68,17 +116,13 @@ pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
     exclude: &std::collections::HashSet<ItemId>,
     chunk_size: usize,
 ) -> Vec<Recommendation> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     assert!(n > 0 && chunk_size > 0);
-    let mut heap: Vec<Recommendation> = Vec::with_capacity(n + 1);
-    let mut push = |rec: Recommendation| {
-        // Simple bounded insertion (n is small in serving scenarios).
-        let pos = heap
-            .iter()
-            .position(|r| rec.score > r.score)
-            .unwrap_or(heap.len());
-        heap.insert(pos, rec);
-        heap.truncate(n);
-    };
+    // Min-heap of the best n seen so far: O(log n) per candidate instead of
+    // the old O(n) bounded `Vec::insert`.
+    let mut heap: BinaryHeap<Reverse<RankKey>> = BinaryHeap::with_capacity(n + 1);
     let mut start: ItemId = 1;
     while (start as usize) <= num_items {
         let end = ((start as usize + chunk_size - 1).min(num_items)) as ItemId;
@@ -86,12 +130,23 @@ pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
         if !chunk.is_empty() {
             let scores = model.score_batch(&[history], &[&chunk]);
             for (&item, &score) in chunk.iter().zip(scores[0].iter()) {
-                push(Recommendation { item, score });
+                heap.push(Reverse(RankKey { score, item }));
+                if heap.len() > n {
+                    heap.pop();
+                }
             }
         }
         start = end + 1;
     }
-    heap
+    let mut recs: Vec<Recommendation> = heap
+        .into_iter()
+        .map(|Reverse(k)| Recommendation {
+            item: k.item,
+            score: k.score,
+        })
+        .collect();
+    recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+    recs
 }
 
 #[cfg(test)]
@@ -223,5 +278,146 @@ mod tests {
         let a = recommend_top_n(&ByIdScorer, &h, 25, 5, &exclude, 3);
         let b = recommend_top_n(&ByIdScorer, &h, 25, 5, &exclude, 25);
         assert_eq!(a, b, "chunk size changed recommendations");
+    }
+
+    /// Deterministic pseudo-random scorer with deliberate score ties, for
+    /// checking the heap-based top-n against the old bounded-insertion
+    /// reference.
+    struct HashScorer;
+    impl SequentialRecommender for HashScorer {
+        fn name(&self) -> String {
+            "hash".into()
+        }
+        fn score_batch(&self, _h: &[&Sequence], candidates: &[&[ItemId]]) -> Vec<Vec<f32>> {
+            candidates
+                .iter()
+                .map(|l| {
+                    l.iter()
+                        // Bucketed scores so ties occur and tie-breaking
+                        // behavior is exercised.
+                        .map(|&i| ((i as u64 * 2654435761) % 17) as f32)
+                        .collect()
+                })
+                .collect()
+        }
+    }
+
+    /// The pre-heap implementation, kept verbatim as the behavioral
+    /// reference for ranking output.
+    fn reference_top_n<R: SequentialRecommender + ?Sized>(
+        model: &R,
+        history: &Sequence,
+        num_items: usize,
+        n: usize,
+        exclude: &std::collections::HashSet<ItemId>,
+        chunk_size: usize,
+    ) -> Vec<Recommendation> {
+        let mut heap: Vec<Recommendation> = Vec::with_capacity(n + 1);
+        let mut push = |rec: Recommendation| {
+            let pos = heap
+                .iter()
+                .position(|r| rec.score > r.score)
+                .unwrap_or(heap.len());
+            heap.insert(pos, rec);
+            heap.truncate(n);
+        };
+        let mut start: ItemId = 1;
+        while (start as usize) <= num_items {
+            let end = ((start as usize + chunk_size - 1).min(num_items)) as ItemId;
+            let chunk: Vec<ItemId> = (start..=end).filter(|i| !exclude.contains(i)).collect();
+            if !chunk.is_empty() {
+                let scores = model.score_batch(&[history], &[&chunk]);
+                for (&item, &score) in chunk.iter().zip(scores[0].iter()) {
+                    push(Recommendation { item, score });
+                }
+            }
+            start = end + 1;
+        }
+        heap
+    }
+
+    #[test]
+    fn heap_top_n_matches_bounded_insertion_reference() {
+        let mut h = Sequence::new();
+        h.push(1, Behavior::Click);
+        let exclude: std::collections::HashSet<ItemId> = [13, 57, 251].into_iter().collect();
+        for &(num_items, n, chunk) in
+            &[(300usize, 10usize, 37usize), (300, 1, 300), (50, 50, 7), (300, 25, 64)]
+        {
+            let got = recommend_top_n(&HashScorer, &h, num_items, n, &exclude, chunk);
+            let expect = reference_top_n(&HashScorer, &h, num_items, n, &exclude, chunk);
+            assert_eq!(got, expect, "num_items={num_items} n={n} chunk={chunk}");
+        }
+    }
+
+    /// The sequential evaluation loop `evaluate` replaced, kept as the
+    /// behavioral reference.
+    fn reference_evaluate<R: SequentialRecommender + ?Sized>(
+        model: &R,
+        instances: &[EvalInstance],
+        candidates: &EvalCandidates,
+        batch_size: usize,
+    ) -> PerInstanceMetrics {
+        let mut score_lists: Vec<Vec<f32>> = Vec::with_capacity(instances.len());
+        for chunk_start in (0..instances.len()).step_by(batch_size) {
+            let chunk_end = (chunk_start + batch_size).min(instances.len());
+            let histories: Vec<&Sequence> = instances[chunk_start..chunk_end]
+                .iter()
+                .map(|i| &i.history)
+                .collect();
+            let cand_refs: Vec<&[ItemId]> = candidates.lists[chunk_start..chunk_end]
+                .iter()
+                .map(|l| l.as_slice())
+                .collect();
+            score_lists.extend(model.score_batch(&histories, &cand_refs));
+        }
+        PerInstanceMetrics::from_score_lists(&score_lists)
+    }
+
+    /// Scorer whose output depends on the instance identity (history item
+    /// and candidate ids), so any ordering mistake in the parallel
+    /// evaluator shows up as changed per-instance ranks.
+    struct InstanceSensitiveScorer;
+    impl SequentialRecommender for InstanceSensitiveScorer {
+        fn name(&self) -> String {
+            "instance-sensitive".into()
+        }
+        fn score_batch(&self, histories: &[&Sequence], candidates: &[&[ItemId]]) -> Vec<Vec<f32>> {
+            histories
+                .iter()
+                .zip(candidates.iter())
+                .map(|(h, l)| {
+                    let seed = h.items.first().copied().unwrap_or(0) as u64;
+                    l.iter()
+                        .map(|&c| (((seed * 31 + c as u64) * 2654435761) % 1000) as f32)
+                        .collect()
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn parallel_evaluate_matches_sequential_reference() {
+        // Seeded synthetic instances: enough chunks (odd batch size) to
+        // exercise multi-threaded chunk claiming and the tail chunk.
+        let mut instances = Vec::new();
+        let mut lists = Vec::new();
+        for u in 0..457u32 {
+            let mut h = Sequence::new();
+            h.push(u % 91 + 1, Behavior::Click);
+            h.push(u % 17 + 1, Behavior::Purchase);
+            instances.push(EvalInstance {
+                user: u,
+                history: h,
+                target: u % 50 + 1,
+            });
+            lists.push((0..100).map(|c| (u + c) % 997 + 1).collect());
+        }
+        let cands = EvalCandidates { lists };
+        for batch_size in [1usize, 13, 64, 457, 1000] {
+            let par = evaluate(&InstanceSensitiveScorer, &instances, &cands, batch_size);
+            let seq = reference_evaluate(&InstanceSensitiveScorer, &instances, &cands, batch_size);
+            assert_eq!(par.ranks, seq.ranks, "batch_size={batch_size}");
+        }
     }
 }

@@ -1,14 +1,18 @@
 //! The shared training loop: Adam + gradient clipping + early stopping on
-//! validation NDCG@10, with best-checkpoint restore.
+//! validation NDCG@10, with best-checkpoint restore and a double-buffered
+//! batch prefetch pipeline (see DESIGN.md "Threading model").
 
+use std::sync::mpsc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
 use mbssl_data::preprocess::{Split, TrainInstance};
-use mbssl_data::sampler::{BatchIterator, EvalCandidates, NegativeSampler};
+use mbssl_data::sampler::{
+    BatchIterator, EvalCandidates, NegativeSampler, NegativeStrategy, PreparedBatch,
+};
 use mbssl_tensor::nn::ParamMap;
 use mbssl_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use mbssl_tensor::Tensor;
@@ -16,22 +20,62 @@ use mbssl_tensor::Tensor;
 use crate::config::TrainConfig;
 use crate::recommender::{evaluate, SequentialRecommender};
 
-/// A model the [`Trainer`] can fit: exposes parameters and a differentiable
-/// loss over raw training instances (each model owns its batch encoding, so
-/// augmented views and model-specific inputs stay internal).
+/// A model the [`Trainer`] can fit. Each training step is split in two:
+/// [`prepare_batch`](TrainableRecommender::prepare_batch) is the data half
+/// (truncation, negative sampling, encoding) which the trainer may run on a
+/// prefetch thread, and [`loss_on_prepared`](TrainableRecommender::loss_on_prepared)
+/// is the graph half that builds the differentiable loss.
 pub trait TrainableRecommender: SequentialRecommender {
     fn params(&self) -> Vec<Tensor>;
 
     /// Parameters with stable names (checkpointing).
     fn named_params(&self) -> ParamMap;
 
+    /// Data half of a training step: history truncation, negative sampling,
+    /// and batch encoding. Must not touch parameters — the trainer runs it
+    /// on a producer thread while the previous step's forward/backward is
+    /// still in flight.
+    fn prepare_batch(
+        &self,
+        instances: &[&TrainInstance],
+        sampler: &NegativeSampler,
+        num_negatives: usize,
+        rng: &mut StdRng,
+    ) -> PreparedBatch {
+        PreparedBatch::build(
+            instances,
+            sampler,
+            num_negatives,
+            NegativeStrategy::Uniform,
+            None,
+            rng,
+        )
+    }
+
+    /// Graph half of a training step: the differentiable loss from an
+    /// already-prepared batch. `rng` drives graph-time stochasticity only
+    /// (dropout, augmented views); `sampler`/`num_negatives` are available
+    /// for models with auxiliary in-loss objectives.
+    fn loss_on_prepared(
+        &self,
+        prepared: &PreparedBatch,
+        sampler: &NegativeSampler,
+        num_negatives: usize,
+        rng: &mut StdRng,
+    ) -> Tensor;
+
+    /// Prepares and computes in one call on a single RNG stream — the
+    /// non-pipelined path used by unit tests and ad-hoc callers.
     fn loss_on_batch(
         &self,
         instances: &[&TrainInstance],
         sampler: &NegativeSampler,
         num_negatives: usize,
         rng: &mut StdRng,
-    ) -> Tensor;
+    ) -> Tensor {
+        let prepared = self.prepare_batch(instances, sampler, num_negatives, rng);
+        self.loss_on_prepared(&prepared, sampler, num_negatives, rng)
+    }
 }
 
 /// Per-epoch training statistics.
@@ -68,6 +112,12 @@ impl Trainer {
 
     /// Fits `model` on `split.train`, early-stopping on `split.val`
     /// NDCG@10 and restoring the best parameters before returning.
+    ///
+    /// With `config.prefetch` (the default) a producer thread shuffles,
+    /// samples negatives, and encodes the next batch while the current
+    /// step's forward/backward runs. Both paths draw the data RNG stream
+    /// and per-batch graph RNG seeds identically, so training results are
+    /// bit-for-bit the same with prefetching on or off.
     pub fn fit<M: TrainableRecommender + ?Sized>(
         &self,
         model: &M,
@@ -75,10 +125,74 @@ impl Trainer {
         sampler: &NegativeSampler,
     ) -> TrainReport {
         let cfg = &self.config;
+        assert!(cfg.batch_size > 0, "batch_size must be positive");
+        // Clamp training negatives to the catalog so tiny test datasets
+        // keep well-formed sampled-softmax candidate sets.
+        let num_negatives = cfg.num_negatives.min(sampler.num_items().saturating_sub(2));
+
+        if cfg.prefetch && !split.train.is_empty() {
+            // Double-buffered pipeline: channel depth 1 means the producer
+            // works on batch t+1 while the consumer trains on batch t.
+            std::thread::scope(|scope| {
+                let (tx, rx) = mpsc::sync_channel::<(PreparedBatch, StdRng)>(1);
+                let (seed, batch_size) = (cfg.seed, cfg.batch_size);
+                scope.spawn(move || {
+                    let mut data_rng = StdRng::seed_from_u64(seed);
+                    loop {
+                        let mut iter = BatchIterator::new(&split.train, batch_size, &mut data_rng);
+                        while let Some(chunk) = iter.next_chunk() {
+                            let prepared =
+                                model.prepare_batch(&chunk, sampler, num_negatives, &mut data_rng);
+                            let graph_rng = StdRng::seed_from_u64(data_rng.gen());
+                            if tx.send((prepared, graph_rng)).is_err() {
+                                return; // trainer finished or stopped early
+                            }
+                        }
+                    }
+                });
+                // `rx` drops when this closure returns, unblocking the
+                // producer's pending send before the scope joins it.
+                self.fit_loop(model, split, sampler, num_negatives, &mut || rx.recv().ok())
+            })
+        } else {
+            // Inline path: same RNG discipline, no producer thread.
+            let mut data_rng = StdRng::seed_from_u64(cfg.seed);
+            let mut iter: Option<BatchIterator> = None;
+            let (train, batch_size) = (&split.train, cfg.batch_size);
+            self.fit_loop(model, split, sampler, num_negatives, &mut || {
+                if train.is_empty() {
+                    return None;
+                }
+                loop {
+                    if let Some(it) = iter.as_mut() {
+                        if let Some(chunk) = it.next_chunk() {
+                            let prepared =
+                                model.prepare_batch(&chunk, sampler, num_negatives, &mut data_rng);
+                            let graph_rng = StdRng::seed_from_u64(data_rng.gen());
+                            return Some((prepared, graph_rng));
+                        }
+                        iter = None; // epoch exhausted; reshuffle below
+                    } else {
+                        iter = Some(BatchIterator::new(train, batch_size, &mut data_rng));
+                    }
+                }
+            })
+        }
+    }
+
+    /// The epoch loop proper, fed by `next_batch` (prefetched or inline).
+    fn fit_loop<M: TrainableRecommender + ?Sized>(
+        &self,
+        model: &M,
+        split: &Split,
+        sampler: &NegativeSampler,
+        num_negatives: usize,
+        next_batch: &mut dyn FnMut() -> Option<(PreparedBatch, StdRng)>,
+    ) -> TrainReport {
+        let cfg = &self.config;
         let params = model.params();
         let num_params: usize = params.iter().map(|p| p.numel()).sum();
         let mut opt = Adam::new(params.clone(), cfg.lr);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         let val_candidates = if split.val.is_empty() {
             None
@@ -91,26 +205,29 @@ impl Trainer {
             ))
         };
 
-        // Clamp training negatives to the catalog so tiny test datasets
-        // keep well-formed sampled-softmax candidate sets.
-        let num_negatives = cfg.num_negatives.min(sampler.num_items().saturating_sub(2));
-
+        let batches_per_epoch = split.train.len().div_ceil(cfg.batch_size);
         let start = Instant::now();
         let mut history = Vec::new();
         let mut best_ndcg = f64::NEG_INFINITY;
         let mut best_epoch = 0usize;
-        let mut best_snapshot: Option<Vec<Vec<f32>>> = None;
+        // Preallocated checkpoint buffers, reused on every improvement.
+        let mut best_snapshot: Vec<Vec<f32>> =
+            params.iter().map(|p| vec![0.0f32; p.numel()]).collect();
+        let mut have_snapshot = false;
         let mut epochs_without_improvement = 0usize;
         let mut epochs_run = 0usize;
 
         for epoch in 0..cfg.epochs {
             let epoch_start = Instant::now();
-            let mut iter = BatchIterator::new(&split.train, cfg.batch_size, &mut rng);
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
-            while let Some(chunk) = iter.next_chunk() {
+            for _ in 0..batches_per_epoch {
+                let Some((prepared, mut graph_rng)) = next_batch() else {
+                    break;
+                };
                 opt.zero_grad();
-                let loss = model.loss_on_batch(&chunk, sampler, num_negatives, &mut rng);
+                let loss =
+                    model.loss_on_prepared(&prepared, sampler, num_negatives, &mut graph_rng);
                 loss_sum += loss.item();
                 batches += 1;
                 loss.backward();
@@ -152,7 +269,10 @@ impl Trainer {
                 if ndcg > best_ndcg {
                     best_ndcg = ndcg;
                     best_epoch = epoch;
-                    best_snapshot = Some(params.iter().map(|p| p.to_vec()).collect());
+                    for (dst, p) in best_snapshot.iter_mut().zip(params.iter()) {
+                        dst.copy_from_slice(&p.data());
+                    }
+                    have_snapshot = true;
                     epochs_without_improvement = 0;
                 } else {
                     epochs_without_improvement += 1;
@@ -164,9 +284,9 @@ impl Trainer {
         }
 
         // Restore the best validation checkpoint.
-        if let Some(snapshot) = best_snapshot {
-            for (p, values) in params.iter().zip(snapshot) {
-                p.data_mut().copy_from_slice(&values);
+        if have_snapshot {
+            for (p, values) in params.iter().zip(best_snapshot.iter()) {
+                p.data_mut().copy_from_slice(values);
             }
         }
 
@@ -186,7 +306,6 @@ impl Trainer {
 mod tests {
     use super::*;
     use mbssl_data::sampler::Batch;
-    use mbssl_data::sampler::NegativeStrategy;
     use mbssl_data::{ItemId, Sequence};
     use mbssl_tensor::nn::Module;
     use mbssl_tensor::{no_grad, Tensor};
@@ -258,15 +377,15 @@ mod tests {
         fn named_params(&self) -> ParamMap {
             self.emb.param_map("mf")
         }
-        fn loss_on_batch(
+        fn loss_on_prepared(
             &self,
-            instances: &[&TrainInstance],
-            sampler: &NegativeSampler,
-            num_negatives: usize,
-            rng: &mut StdRng,
+            prepared: &PreparedBatch,
+            _sampler: &NegativeSampler,
+            _num_negatives: usize,
+            _rng: &mut StdRng,
         ) -> Tensor {
-            let batch = Batch::encode(instances, sampler, num_negatives, NegativeStrategy::Uniform, rng);
-            let histories: Vec<&Sequence> = instances.iter().map(|i| &i.history).collect();
+            let batch = &prepared.batch;
+            let histories: Vec<&Sequence> = prepared.histories();
             let u = self.user_vec(&histories);
             let c = 1 + batch.num_negatives;
             let mut ids = Vec::with_capacity(batch.size * c);
@@ -342,5 +461,36 @@ mod tests {
             "should stop early, ran {}",
             report.epochs_run
         );
+    }
+
+    #[test]
+    fn prefetch_matches_inline_training_bitwise() {
+        use mbssl_data::preprocess::{leave_one_out, SplitConfig};
+        use mbssl_data::synthetic::SyntheticConfig;
+
+        // Two identical models: one trained with the producer thread, one
+        // inline. Per-batch RNG derivation makes the runs bit-identical.
+        let g = SyntheticConfig::taobao_like(53).scaled(0.05).generate();
+        let split = leave_one_out(&g.dataset, &SplitConfig::default());
+        let sampler = NegativeSampler::from_dataset(&g.dataset);
+        let m1 = TinyMf::new(g.dataset.num_items, 8);
+        let m2 = TinyMf::new(g.dataset.num_items, 8);
+        let base = TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            lr: 0.05,
+            num_negatives: 8,
+            ..TrainConfig::default()
+        };
+        let r1 = Trainer::new(TrainConfig { prefetch: true, ..base.clone() }).fit(&m1, &split, &sampler);
+        let r2 = Trainer::new(TrainConfig { prefetch: false, ..base }).fit(&m2, &split, &sampler);
+
+        let losses1: Vec<f32> = r1.history.iter().map(|e| e.train_loss).collect();
+        let losses2: Vec<f32> = r2.history.iter().map(|e| e.train_loss).collect();
+        assert_eq!(losses1, losses2, "train-loss history diverged");
+        assert_eq!(r1.best_val_ndcg10, r2.best_val_ndcg10);
+        for (a, b) in m1.params().iter().zip(m2.params().iter()) {
+            assert_eq!(a.to_vec(), b.to_vec(), "final parameters diverged");
+        }
     }
 }

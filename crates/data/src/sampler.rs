@@ -294,6 +294,60 @@ impl Batch {
     }
 }
 
+/// A fully materialized training-step input, safe to build off-thread.
+///
+/// Owns everything the graph pass needs (`Send`, no borrows): the possibly
+/// truncated instances and the encoded batch with negatives already sampled.
+/// The trainer's prefetch pipeline builds these on a producer thread so data
+/// preparation overlaps the previous step's forward/backward.
+pub struct PreparedBatch {
+    /// Owned instances, truncated to the model's window when applicable.
+    pub instances: Vec<TrainInstance>,
+    /// Encoded padded batch with sampled negatives.
+    pub batch: Batch,
+}
+
+impl PreparedBatch {
+    /// Truncates histories to the most recent `max_seq_len` events (when
+    /// given) and encodes the batch, sampling `num_negatives` per instance.
+    pub fn build(
+        instances: &[&TrainInstance],
+        sampler: &NegativeSampler,
+        num_negatives: usize,
+        strategy: NegativeStrategy,
+        max_seq_len: Option<usize>,
+        rng: &mut StdRng,
+    ) -> PreparedBatch {
+        let owned: Vec<TrainInstance> = instances
+            .iter()
+            .map(|inst| match max_seq_len {
+                Some(l) => TrainInstance {
+                    user: inst.user,
+                    history: inst.history.truncate_to_recent(l),
+                    target: inst.target,
+                },
+                None => (*inst).clone(),
+            })
+            .collect();
+        let refs: Vec<&TrainInstance> = owned.iter().collect();
+        let batch = Batch::encode(&refs, sampler, num_negatives, strategy, rng);
+        PreparedBatch {
+            instances: owned,
+            batch,
+        }
+    }
+
+    /// Borrowed instance references (the form model forward passes take).
+    pub fn instance_refs(&self) -> Vec<&TrainInstance> {
+        self.instances.iter().collect()
+    }
+
+    /// Borrowed history references.
+    pub fn histories(&self) -> Vec<&Sequence> {
+        self.instances.iter().map(|i| &i.history).collect()
+    }
+}
+
 fn encode_sequence_into(seq: &Sequence, items: &mut [usize], behaviors: &mut [usize], valid: &mut [f32]) {
     for (t, (&it, &b)) in seq.items.iter().zip(seq.behaviors.iter()).enumerate() {
         items[t] = it as usize;

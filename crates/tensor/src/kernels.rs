@@ -1,24 +1,35 @@
 //! Raw `&[f32]` compute kernels.
 //!
 //! Everything here is plain slice math with no knowledge of tensors or
-//! autograd, so it can be unit-tested and benchmarked in isolation. The GEMM
-//! kernels use register-blocked inner loops and split rows across OS threads
-//! (`std::thread::scope`) once the work is large enough to amortize spawn
-//! cost — the engine's training workloads are batch-sized matrices where
-//! this matters.
+//! autograd, so it can be unit-tested and benchmarked in isolation. Kernels
+//! above a per-op work threshold split their output rows across the
+//! persistent worker pool in [`crate::pool`]; chunks claim work from an
+//! atomic counter, and each row's arithmetic is identical to the sequential
+//! code, so results are bit-identical at any thread count.
+
+use crate::pool;
 
 /// Work (in multiply-adds) below which GEMM stays single-threaded.
 const PAR_GEMM_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Elements below which row-wise / elementwise kernels stay
+/// single-threaded: broadcasting a pool job costs on the order of a few
+/// microseconds, which small tensors cannot amortize.
+const PAR_ELEMWISE_THRESHOLD: usize = 1 << 15;
 
 /// Returns the number of worker threads to use for `work` units.
 fn thread_count(work: usize, threshold: usize) -> usize {
     if work < threshold {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    pool::threads()
+}
+
+/// Rows per parallel chunk when `m` rows are split across the pool.
+/// Over-decomposes by 4× relative to the thread count so the atomic chunk
+/// claiming can balance uneven row costs.
+fn rows_per_chunk(m: usize, threads: usize) -> usize {
+    m.div_ceil((threads * 4).min(m).max(1))
 }
 
 /// C += A(m×k) · B(k×n), all row-major. `C` must be zeroed by the caller if
@@ -32,18 +43,12 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
         gemm_nn_rows(a, b, c, k, n);
         return;
     }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut c_rest = c;
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (c_chunk, rest) = c_rest.split_at_mut(take * n);
-            c_rest = rest;
-            let a_chunk = &a[row * k..(row + take) * k];
-            scope.spawn(move || gemm_nn_rows(a_chunk, b, c_chunk, k, n));
-            row += take;
-        }
+    let rows_per = rows_per_chunk(m, threads);
+    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+        let row = ci * rows_per;
+        let take = c_chunk.len() / n;
+        let a_chunk = &a[row * k..(row + take) * k];
+        gemm_nn_rows(a_chunk, b, c_chunk, k, n);
     });
 }
 
@@ -77,18 +82,12 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
         gemm_nt_rows(a, b, c, k, n);
         return;
     }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut c_rest = c;
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (c_chunk, rest) = c_rest.split_at_mut(take * n);
-            c_rest = rest;
-            let a_chunk = &a[row * k..(row + take) * k];
-            scope.spawn(move || gemm_nt_rows(a_chunk, b, c_chunk, k, n));
-            row += take;
-        }
+    let rows_per = rows_per_chunk(m, threads);
+    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+        let row = ci * rows_per;
+        let take = c_chunk.len() / n;
+        let a_chunk = &a[row * k..(row + take) * k];
+        gemm_nt_rows(a_chunk, b, c_chunk, k, n);
     });
 }
 
@@ -117,17 +116,11 @@ pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
         gemm_tn_rows(a, b, c, 0, m, k, n);
         return;
     }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut c_rest = c;
-        let mut row = 0usize;
-        while row < m {
-            let take = rows_per.min(m - row);
-            let (c_chunk, rest) = c_rest.split_at_mut(take * n);
-            c_rest = rest;
-            scope.spawn(move || gemm_tn_rows(a, b, c_chunk, row, take, k, n));
-            row += take;
-        }
+    let rows_per = rows_per_chunk(m, threads);
+    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+        let row = ci * rows_per;
+        let take = c_chunk.len() / n;
+        gemm_tn_rows(a, b, c_chunk, row, take, k, n);
     });
 }
 
@@ -178,24 +171,40 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// Splits a row-major (rows×cols) buffer into row panels across the pool
+/// and applies the sequential `body` to each panel. Row math is untouched,
+/// so results are identical to a plain `body(data)` call.
+fn for_each_row_panel(data: &mut [f32], cols: usize, body: impl Fn(&mut [f32]) + Sync) {
+    let threads = thread_count(data.len(), PAR_ELEMWISE_THRESHOLD);
+    let rows = data.len() / cols.max(1);
+    if threads <= 1 || rows < 2 {
+        body(data);
+        return;
+    }
+    let rows_per = rows_per_chunk(rows, threads);
+    pool::parallel_chunks_mut(data, rows_per * cols, |_ci, panel| body(panel));
+}
+
 /// In-place numerically stable softmax over each row of an (rows×cols)
 /// matrix.
 pub fn softmax_rows(data: &mut [f32], cols: usize) {
     if cols == 0 {
         return;
     }
-    for row in data.chunks_mut(cols) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+    for_each_row_panel(data, cols, |panel| {
+        for row in panel.chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
         }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
+    });
 }
 
 /// In-place log-softmax over each row.
@@ -203,15 +212,181 @@ pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
     if cols == 0 {
         return;
     }
-    for row in data.chunks_mut(cols) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter() {
-            sum += (*v - max).exp();
+    for_each_row_panel(data, cols, |panel| {
+        for row in panel.chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter() {
+                sum += (*v - max).exp();
+            }
+            let log_z = max + sum.ln();
+            for v in row.iter_mut() {
+                *v -= log_z;
+            }
         }
-        let log_z = max + sum.ln();
-        for v in row.iter_mut() {
-            *v -= log_z;
+    });
+}
+
+/// Applies `f` to every element in place, splitting large buffers across
+/// the pool. The per-element computation is position-independent, so the
+/// result is identical to a sequential map.
+pub fn map_inplace(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    let threads = thread_count(data.len(), PAR_ELEMWISE_THRESHOLD);
+    if threads <= 1 {
+        for v in data.iter_mut() {
+            *v = f(*v);
+        }
+        return;
+    }
+    let chunk = data.len().div_ceil((threads * 4).max(1));
+    pool::parallel_chunks_mut(data, chunk.max(1), |_ci, part| {
+        for v in part.iter_mut() {
+            *v = f(*v);
+        }
+    });
+}
+
+/// `out[i] = f(a[i], b[i])` for equal-length slices, splitting large
+/// buffers across the pool.
+pub fn zip_map_into(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32 + Sync) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    let threads = thread_count(out.len(), PAR_ELEMWISE_THRESHOLD);
+    if threads <= 1 {
+        for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+            *o = f(x, y);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil((threads * 4).max(1));
+    pool::parallel_chunks_mut(out, chunk.max(1), |ci, part| {
+        let start = ci * chunk;
+        for (j, o) in part.iter_mut().enumerate() {
+            *o = f(a[start + j], b[start + j]);
+        }
+    });
+}
+
+/// Raw mutable base pointer that may cross thread boundaries. Each chunk
+/// index derives a disjoint window from it, so no two threads alias.
+#[derive(Clone, Copy)]
+struct SendMut(*mut f32);
+unsafe impl Send for SendMut {}
+unsafe impl Sync for SendMut {}
+
+/// Fused layer-norm forward: for each of `rows` rows of width `d`,
+/// normalizes `x` to zero mean / unit variance and applies `gamma`/`beta`.
+/// Writes the output, the normalized activations (`xhat`, saved for
+/// backward), and the per-row inverse std (`inv_std`). Rows are
+/// independent, so large inputs split across the pool.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_forward_rows(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    xhat: &mut [f32],
+    inv_std: &mut [f32],
+    d: usize,
+    eps: f32,
+) {
+    debug_assert_eq!(x.len(), out.len());
+    debug_assert_eq!(x.len(), xhat.len());
+    let rows = inv_std.len();
+    debug_assert_eq!(x.len(), rows * d);
+    let threads = thread_count(x.len(), PAR_ELEMWISE_THRESHOLD);
+    let rows_per = rows_per_chunk(rows, threads);
+    let chunks = rows.div_ceil(rows_per.max(1)).max(1);
+    let (p_out, p_xhat, p_istd) = (
+        SendMut(out.as_mut_ptr()),
+        SendMut(xhat.as_mut_ptr()),
+        SendMut(inv_std.as_mut_ptr()),
+    );
+    let body = move |ci: usize| {
+        // Bind the wrappers themselves: disjoint capture would otherwise
+        // capture the bare non-`Sync` pointers.
+        let (p_out, p_xhat, p_istd) = (p_out, p_xhat, p_istd);
+        let r0 = ci * rows_per;
+        let r1 = (r0 + rows_per).min(rows);
+        for r in r0..r1 {
+            let o = r * d;
+            let row = &x[o..o + d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            unsafe {
+                *p_istd.0.add(r) = istd;
+                for i in 0..d {
+                    let xh = (row[i] - mean) * istd;
+                    *p_xhat.0.add(o + i) = xh;
+                    *p_out.0.add(o + i) = gamma[i] * xh + beta[i];
+                }
+            }
+        }
+    };
+    if threads <= 1 || rows < 2 {
+        for ci in 0..chunks {
+            body(ci);
+        }
+    } else {
+        pool::parallel_for(chunks, body);
+    }
+}
+
+/// Layer-norm input gradient: per row,
+/// `gx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))`
+/// with `dxhat = gy * gamma`. Rows are independent and split across the
+/// pool like the forward pass.
+pub fn layernorm_backward_input_rows(
+    gy: &[f32],
+    gamma: &[f32],
+    xhat: &[f32],
+    inv_std: &[f32],
+    gx: &mut [f32],
+    d: usize,
+) {
+    let rows = inv_std.len();
+    debug_assert_eq!(gy.len(), rows * d);
+    debug_assert_eq!(gx.len(), rows * d);
+    let threads = thread_count(gx.len(), PAR_ELEMWISE_THRESHOLD);
+    if threads <= 1 || rows < 2 {
+        layernorm_backward_input_panel(gy, gamma, xhat, inv_std, gx, 0, rows, d);
+        return;
+    }
+    let rows_per = rows_per_chunk(rows, threads);
+    pool::parallel_chunks_mut(gx, rows_per * d, |ci, gx_panel| {
+        let r0 = ci * rows_per;
+        let take = gx_panel.len() / d;
+        layernorm_backward_input_panel(gy, gamma, xhat, inv_std, gx_panel, r0, take, d);
+    });
+}
+
+fn layernorm_backward_input_panel(
+    gy: &[f32],
+    gamma: &[f32],
+    xhat: &[f32],
+    inv_std: &[f32],
+    gx_panel: &mut [f32],
+    r0: usize,
+    rows: usize,
+    d: usize,
+) {
+    for ri in 0..rows {
+        let r = r0 + ri;
+        let o = r * d;
+        let mut mean_dxhat = 0.0f32;
+        let mut mean_dxhat_xhat = 0.0f32;
+        for i in 0..d {
+            let dxh = gy[o + i] * gamma[i];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xhat[o + i];
+        }
+        mean_dxhat /= d as f32;
+        mean_dxhat_xhat /= d as f32;
+        for i in 0..d {
+            let dxh = gy[o + i] * gamma[i];
+            gx_panel[ri * d + i] =
+                inv_std[r] * (dxh - mean_dxhat - xhat[o + i] * mean_dxhat_xhat);
         }
     }
 }

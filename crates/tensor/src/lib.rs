@@ -7,7 +7,8 @@
 //! - dense row-major f32 [`Tensor`]s with NumPy-style broadcasting
 //!   ([`shape`]),
 //! - reverse-mode autodiff with a dynamic tape ([`autograd`]),
-//! - threaded CPU kernels ([`kernels`]),
+//! - threaded CPU kernels ([`kernels`]) backed by a persistent worker
+//!   pool ([`pool`]),
 //! - an NN layer library ([`nn`]): linear, embedding, layer-norm,
 //!   multi-head attention, transformer blocks, GRU,
 //! - optimizers and LR schedules ([`optim`]),
@@ -32,6 +33,7 @@ pub mod kernels;
 pub mod nn;
 mod ops;
 pub mod optim;
+pub mod pool;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;

@@ -1,6 +1,7 @@
 //! Broadcast-aware elementwise binary operations (`+`, `-`, `*`, `/`) and
 //! scalar variants.
 
+use crate::kernels;
 use crate::shape::{broadcast_strides, for_each_broadcast, BroadcastPlan};
 use crate::tensor::Tensor;
 
@@ -8,13 +9,14 @@ use crate::tensor::Tensor;
 ///
 /// `fwd(a, b)` computes the output element; `da(a, b, g)` and `db(a, b, g)`
 /// compute the gradient contributions to each operand given the output
-/// gradient `g` at the corresponding element.
+/// gradient `g` at the corresponding element. The same-shape and scalar
+/// fast paths split large buffers across the worker pool.
 fn binary_op(
     lhs: &Tensor,
     rhs: &Tensor,
-    fwd: impl Fn(f32, f32) -> f32,
-    da: impl Fn(f32, f32, f32) -> f32 + 'static,
-    db: impl Fn(f32, f32, f32) -> f32 + 'static,
+    fwd: impl Fn(f32, f32) -> f32 + Sync,
+    da: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
+    db: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
     let out_shape = lhs
         .shape()
@@ -25,21 +27,17 @@ fn binary_op(
     let mut out = vec![0.0f32; out_shape.numel()];
     match BroadcastPlan::build(lhs.shape(), rhs.shape(), &out_shape) {
         BroadcastPlan::SameShape => {
-            for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
-                *o = fwd(x, y);
-            }
+            kernels::zip_map_into(&a, &b, &mut out, &fwd);
         }
         BroadcastPlan::ScalarRhs => {
             let y = b[0];
-            for (o, &x) in out.iter_mut().zip(a.iter()) {
-                *o = fwd(x, y);
-            }
+            out.copy_from_slice(&a);
+            kernels::map_inplace(&mut out, |x| fwd(x, y));
         }
         BroadcastPlan::ScalarLhs => {
             let x = a[0];
-            for (o, &y) in out.iter_mut().zip(b.iter()) {
-                *o = fwd(x, y);
-            }
+            out.copy_from_slice(&b);
+            kernels::map_inplace(&mut out, |y| fwd(x, y));
         }
         BroadcastPlan::TrailingRhs { block } => {
             for (chunk, o_chunk) in a.chunks(block).zip(out.chunks_mut(block)) {

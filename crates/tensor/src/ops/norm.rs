@@ -2,6 +2,7 @@
 
 #![allow(clippy::needless_range_loop)] // multi-array index loops are clearer here
 
+use crate::kernels;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -28,19 +29,7 @@ impl Tensor {
             let x = self.data();
             let g = gamma.data();
             let b = beta.data();
-            for r in 0..rows {
-                let o = r * d;
-                let row = &x[o..o + d];
-                let mean: f32 = row.iter().sum::<f32>() / d as f32;
-                let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-                let istd = 1.0 / (var + eps).sqrt();
-                inv_std[r] = istd;
-                for i in 0..d {
-                    let xh = (row[i] - mean) * istd;
-                    xhat[o + i] = xh;
-                    out[o + i] = g[i] * xh + b[i];
-                }
-            }
+            kernels::layernorm_forward_rows(&x, &g, &b, &mut out, &mut xhat, &mut inv_std, d, eps);
         }
         let x_c = self.clone();
         let gamma_c = gamma.clone();
@@ -55,24 +44,14 @@ impl Tensor {
                 let gamma_data = gamma_c.data();
                 if x_c.is_tracked() {
                     let mut gx = vec![0.0f32; x_c.numel()];
-                    for r in 0..rows {
-                        let o = r * d;
-                        // dxhat = gy * gamma
-                        let mut mean_dxhat = 0.0f32;
-                        let mut mean_dxhat_xhat = 0.0f32;
-                        for i in 0..d {
-                            let dxh = gy[o + i] * gamma_data[i];
-                            mean_dxhat += dxh;
-                            mean_dxhat_xhat += dxh * xhat[o + i];
-                        }
-                        mean_dxhat /= d as f32;
-                        mean_dxhat_xhat /= d as f32;
-                        for i in 0..d {
-                            let dxh = gy[o + i] * gamma_data[i];
-                            gx[o + i] =
-                                inv_std[r] * (dxh - mean_dxhat - xhat[o + i] * mean_dxhat_xhat);
-                        }
-                    }
+                    kernels::layernorm_backward_input_rows(
+                        gy,
+                        &gamma_data,
+                        &xhat,
+                        &inv_std,
+                        &mut gx,
+                        d,
+                    );
                     gx.iter().for_each(|v| debug_assert!(v.is_finite()));
                     x_c.accumulate_grad(&gx);
                 }

@@ -1,18 +1,21 @@
 //! Elementwise unary operations and activations.
 
+use crate::kernels;
 use crate::tensor::Tensor;
 
 /// Generic elementwise unary op.
 ///
 /// `fwd(x)` computes the output; `dfdx(x, y, g)` computes the input gradient
 /// given input `x`, output `y`, and output gradient `g` (having both `x` and
-/// `y` available lets e.g. `sigmoid` reuse the forward result).
+/// `y` available lets e.g. `sigmoid` reuse the forward result). Large
+/// buffers split across the worker pool in the forward pass.
 fn unary_op(
     src: &Tensor,
-    fwd: impl Fn(f32) -> f32,
-    dfdx: impl Fn(f32, f32, f32) -> f32 + 'static,
+    fwd: impl Fn(f32) -> f32 + Sync,
+    dfdx: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
-    let out: Vec<f32> = src.data().iter().map(|&x| fwd(x)).collect();
+    let mut out = src.data().to_vec();
+    kernels::map_inplace(&mut out, &fwd);
     let src_c = src.clone();
     Tensor::make_op(src.shape().clone(), out, vec![src.clone()], move |out_t| {
         let g_ref = out_t.grad_ref();

@@ -1,43 +1,44 @@
 //! The [`Tensor`] type: dense, contiguous, row-major f32 storage with an
 //! optional autograd tape.
 //!
-//! A tensor is a cheaply clonable handle (`Rc`) to a graph node. Leaf nodes
-//! hold parameters or inputs; interior nodes additionally record their
-//! parents and a backward closure. Graphs are acyclic by construction
-//! (operations only ever create new outputs), so plain `Rc` cannot leak.
+//! A tensor is a cheaply clonable handle (`Arc`) to a graph node. Leaf
+//! nodes hold parameters or inputs; interior nodes additionally record
+//! their parents and a backward closure. Graphs are acyclic by construction
+//! (operations only ever create new outputs), so plain `Arc` cannot leak.
 //!
-//! The engine is deliberately single-threaded at the graph level — training
-//! steps build and consume one tape — while the heavy kernels underneath
-//! ([`crate::kernels`]) parallelize across OS threads.
+//! Tensors are `Send + Sync`: buffers sit behind `RwLock`s, so read-only
+//! forward passes over shared parameters (e.g. parallel evaluation in
+//! `mbssl-core`) can run from many threads at once. Each training step
+//! still builds and consumes one tape on one thread — the locks make
+//! concurrent *reads* safe and cheap, not concurrent graph mutation —
+//! while the heavy kernels underneath ([`crate::kernels`]) parallelize
+//! across the worker pool ([`crate::pool`]).
 
-use std::cell::{Cell, Ref, RefCell, RefMut};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::autograd;
 use crate::shape::Shape;
 
-thread_local! {
-    static NEXT_ID: Cell<u64> = const { Cell::new(1) };
-}
+/// Process-wide id source: ids must be unique across threads because
+/// `autograd::topo_order` keys visited nodes by id.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 fn next_id() -> u64 {
-    NEXT_ID.with(|c| {
-        let id = c.get();
-        c.set(id + 1);
-        id
-    })
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Backward closure: receives the output node, reads its gradient, and
-/// accumulates into the parents it captured.
-pub(crate) type BackwardFn = Box<dyn Fn(&Tensor)>;
+/// accumulates into the parents it captured. `Send + Sync` so tensors
+/// (and thus whole recorded graphs) can cross thread boundaries.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) + Send + Sync>;
 
 pub(crate) struct Inner {
     id: u64,
     shape: Shape,
-    data: RefCell<Vec<f32>>,
-    grad: RefCell<Option<Vec<f32>>>,
+    data: RwLock<Vec<f32>>,
+    grad: RwLock<Option<Vec<f32>>>,
     requires_grad: bool,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
@@ -46,7 +47,7 @@ pub(crate) struct Inner {
 /// A dense f32 tensor participating in a dynamic autograd graph.
 #[derive(Clone)]
 pub struct Tensor {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 impl Tensor {
@@ -67,11 +68,11 @@ impl Tensor {
             data.len()
         );
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
                 shape,
-                data: RefCell::new(data),
-                grad: RefCell::new(None),
+                data: RwLock::new(data),
+                grad: RwLock::new(None),
                 requires_grad: false,
                 parents: Vec::new(),
                 backward: None,
@@ -120,21 +121,21 @@ impl Tensor {
             self.inner.parents.is_empty() && self.inner.backward.is_none(),
             "requires_grad() must be applied to leaf tensors"
         );
-        // The Rc is fresh from a constructor in the intended usage, but be
+        // The Arc is fresh from a constructor in the intended usage, but be
         // defensive: rebuild if shared.
-        match Rc::try_unwrap(self.inner) {
+        match Arc::try_unwrap(self.inner) {
             Ok(inner) => Tensor {
-                inner: Rc::new(Inner {
+                inner: Arc::new(Inner {
                     requires_grad: true,
                     ..inner
                 }),
             },
-            Err(rc) => Tensor {
-                inner: Rc::new(Inner {
-                    id: rc.id,
-                    shape: rc.shape.clone(),
-                    data: RefCell::new(rc.data.borrow().clone()),
-                    grad: RefCell::new(None),
+            Err(arc) => Tensor {
+                inner: Arc::new(Inner {
+                    id: arc.id,
+                    shape: arc.shape.clone(),
+                    data: RwLock::new(arc.data.read().unwrap().clone()),
+                    grad: RwLock::new(None),
                     requires_grad: true,
                     parents: Vec::new(),
                     backward: None,
@@ -150,16 +151,16 @@ impl Tensor {
         shape: Shape,
         data: Vec<f32>,
         parents: Vec<Tensor>,
-        backward: impl Fn(&Tensor) + 'static,
+        backward: impl Fn(&Tensor) + Send + Sync + 'static,
     ) -> Tensor {
         assert_eq!(data.len(), shape.numel(), "op produced wrong element count");
         let track = autograd::is_grad_enabled() && parents.iter().any(|p| p.is_tracked());
         Tensor {
-            inner: Rc::new(Inner {
+            inner: Arc::new(Inner {
                 id: next_id(),
                 shape,
-                data: RefCell::new(data),
-                grad: RefCell::new(None),
+                data: RwLock::new(data),
+                grad: RwLock::new(None),
                 requires_grad: track,
                 parents: if track { parents } else { Vec::new() },
                 backward: if track { Some(Box::new(backward)) } else { None },
@@ -212,20 +213,22 @@ impl Tensor {
     // Data access
     // ---------------------------------------------------------------
 
-    /// Immutable view of the underlying buffer.
-    pub fn data(&self) -> Ref<'_, Vec<f32>> {
-        self.inner.data.borrow()
+    /// Immutable view of the underlying buffer. Concurrent readers (e.g.
+    /// parallel evaluation threads sharing parameters) do not block each
+    /// other.
+    pub fn data(&self) -> RwLockReadGuard<'_, Vec<f32>> {
+        self.inner.data.read().unwrap()
     }
 
     /// Mutable view of the underlying buffer. Intended for optimizers and
     /// initialization; mutating an interior node invalidates its tape.
-    pub fn data_mut(&self) -> RefMut<'_, Vec<f32>> {
-        self.inner.data.borrow_mut()
+    pub fn data_mut(&self) -> RwLockWriteGuard<'_, Vec<f32>> {
+        self.inner.data.write().unwrap()
     }
 
     /// Copies the buffer out.
     pub fn to_vec(&self) -> Vec<f32> {
-        self.inner.data.borrow().clone()
+        self.inner.data.read().unwrap().clone()
     }
 
     /// Extracts the single element of a scalar (or one-element) tensor.
@@ -233,7 +236,7 @@ impl Tensor {
     /// # Panics
     /// Panics when the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        let data = self.inner.data.borrow();
+        let data = self.inner.data.read().unwrap();
         assert_eq!(data.len(), 1, "item() requires a single-element tensor");
         data[0]
     }
@@ -241,7 +244,7 @@ impl Tensor {
     /// Element at a multi-dimensional index.
     pub fn at(&self, index: &[usize]) -> f32 {
         let off = self.inner.shape.ravel(index);
-        self.inner.data.borrow()[off]
+        self.inner.data.read().unwrap()[off]
     }
 
     /// A new leaf tensor with a copy of this tensor's data and no history
@@ -256,17 +259,17 @@ impl Tensor {
 
     /// Clone of the accumulated gradient, if any.
     pub fn grad(&self) -> Option<Vec<f32>> {
-        self.inner.grad.borrow().clone()
+        self.inner.grad.read().unwrap().clone()
     }
 
     /// Borrow of the accumulated gradient.
-    pub(crate) fn grad_ref(&self) -> Ref<'_, Option<Vec<f32>>> {
-        self.inner.grad.borrow()
+    pub(crate) fn grad_ref(&self) -> RwLockReadGuard<'_, Option<Vec<f32>>> {
+        self.inner.grad.read().unwrap()
     }
 
     /// Clears the gradient buffer.
     pub fn zero_grad(&self) {
-        *self.inner.grad.borrow_mut() = None;
+        *self.inner.grad.write().unwrap() = None;
     }
 
     /// Adds `delta` into this tensor's gradient buffer (allocating it on
@@ -276,7 +279,7 @@ impl Tensor {
             return;
         }
         debug_assert_eq!(delta.len(), self.numel(), "gradient shape mismatch");
-        let mut grad = self.inner.grad.borrow_mut();
+        let mut grad = self.inner.grad.write().unwrap();
         match grad.as_mut() {
             Some(g) => crate::kernels::axpy(1.0, delta, g),
             None => *grad = Some(delta.to_vec()),
@@ -285,7 +288,7 @@ impl Tensor {
 
     /// Seeds this tensor's gradient with `seed` (used by `backward`).
     pub(crate) fn seed_grad(&self, seed: Vec<f32>) {
-        *self.inner.grad.borrow_mut() = Some(seed);
+        *self.inner.grad.write().unwrap() = Some(seed);
     }
 
     /// Runs reverse-mode differentiation from this (scalar) tensor,
@@ -323,7 +326,7 @@ impl Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let data = self.inner.data.borrow();
+        let data = self.inner.data.read().unwrap();
         let preview: Vec<f32> = data.iter().take(8).copied().collect();
         write!(
             f,
@@ -409,5 +412,27 @@ mod tests {
         let a = Tensor::zeros([1]);
         let b = Tensor::zeros([1]);
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn tensors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
+    }
+
+    #[test]
+    fn ids_stay_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| (0..256).map(|_| Tensor::zeros([1]).id()).collect::<Vec<u64>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4 * 256);
     }
 }

@@ -1,0 +1,156 @@
+//! Equivalence of the pool-parallelized kernels with single-threaded
+//! references (ISSUE: pooled GEMM must match the sequential kernel).
+//!
+//! Two layers of checking:
+//! - small random shapes against a naive triple-loop reference (tolerance
+//!   compare — catches chunk-routing bugs like wrong row offsets);
+//! - shapes above the parallel threshold against row-at-a-time calls of the
+//!   same public kernel, which take the sequential path (`m < 2`). Per-row
+//!   arithmetic order is identical under any chunking, so these must match
+//!   bit for bit.
+
+use mbssl_tensor::kernels;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fill(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Naive C += A·B (A row-major m×k, B k×n).
+fn naive_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a[i * k + p] as f64;
+            for j in 0..n {
+                c[i * n + j] += a_ip * b[p * n + j] as f64;
+            }
+        }
+    }
+    c.into_iter().map(|v| v as f32).collect()
+}
+
+/// Naive C += A·Bᵀ (A m×k, B n×k).
+fn naive_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                c[i * n + j] += a[i * k + p] as f64 * b[j * k + p] as f64;
+            }
+        }
+    }
+    c.into_iter().map(|v| v as f32).collect()
+}
+
+/// Naive C += Aᵀ·B (A k×m, B k×n).
+fn naive_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f64; m * n];
+    for p in 0..k {
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] += a[p * m + i] as f64 * b[p * n + j] as f64;
+            }
+        }
+    }
+    c.into_iter().map(|v| v as f32).collect()
+}
+
+fn assert_close(got: &[f32], want: &[f32], k: usize) {
+    // Accumulation-order differences grow with the reduction length.
+    let tol = 1e-4f32 * (k as f32).sqrt().max(1.0);
+    for (idx, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            (g - w).abs() <= tol * w.abs().max(1.0),
+            "mismatch at {idx}: {g} vs {w}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn gemm_nn_matches_naive(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        let mut c = vec![0.0f32; m * n];
+        kernels::gemm_nn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_nn(&a, &b, m, k, n), k);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, n * k));
+        let mut c = vec![0.0f32; m * n];
+        kernels::gemm_nt(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_nt(&a, &b, m, k, n), k);
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive(m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, k * m), fill(&mut rng, k * n));
+        let mut c = vec![0.0f32; m * n];
+        kernels::gemm_tn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive_tn(&a, &b, m, k, n), k);
+    }
+
+    // Shapes above PAR_GEMM_THRESHOLD (64³ work elements): the pooled path
+    // must be bit-identical to single-row sequential calls.
+    #[test]
+    fn pooled_gemm_nn_bitwise_equals_rowwise(m in 96usize..128, k in 56usize..72, n in 56usize..72, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        let mut pooled = vec![0.0f32; m * n];
+        kernels::gemm_nn(&a, &b, &mut pooled, m, k, n);
+        let mut rowwise = vec![0.0f32; m * n];
+        for i in 0..m {
+            kernels::gemm_nn(&a[i * k..(i + 1) * k], &b, &mut rowwise[i * n..(i + 1) * n], 1, k, n);
+        }
+        prop_assert_eq!(pooled, rowwise);
+    }
+
+    #[test]
+    fn pooled_gemm_nt_bitwise_equals_rowwise(m in 96usize..128, k in 56usize..72, n in 56usize..72, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, n * k));
+        let mut pooled = vec![0.0f32; m * n];
+        kernels::gemm_nt(&a, &b, &mut pooled, m, k, n);
+        let mut rowwise = vec![0.0f32; m * n];
+        for i in 0..m {
+            kernels::gemm_nt(&a[i * k..(i + 1) * k], &b, &mut rowwise[i * n..(i + 1) * n], 1, k, n);
+        }
+        prop_assert_eq!(pooled, rowwise);
+    }
+
+    #[test]
+    fn pooled_gemm_tn_bitwise_equals_rowwise(m in 96usize..128, k in 56usize..72, n in 56usize..72, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, k * m), fill(&mut rng, k * n));
+        let mut pooled = vec![0.0f32; m * n];
+        kernels::gemm_tn(&a, &b, &mut pooled, m, k, n);
+        let mut rowwise = vec![0.0f32; m * n];
+        for i in 0..m {
+            // Column i of the k×m A, as a k×1 operand.
+            let a_col: Vec<f32> = (0..k).map(|p| a[p * m + i]).collect();
+            kernels::gemm_tn(&a_col, &b, &mut rowwise[i * n..(i + 1) * n], 1, k, n);
+        }
+        prop_assert_eq!(pooled, rowwise);
+    }
+
+    // Pooled softmax keeps per-row math sequential: rows must be identical
+    // to softmaxing each row alone (small buffers take the sequential path).
+    #[test]
+    fn pooled_softmax_rows_bitwise_equals_per_row(rows in 256usize..512, cols in 64usize..96, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut full = fill(&mut rng, rows * cols);
+        let mut per_row = full.clone();
+        kernels::softmax_rows(&mut full, cols);
+        for r in per_row.chunks_mut(cols) {
+            kernels::softmax_rows(r, cols);
+        }
+        prop_assert_eq!(full, per_row);
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Quick throughput smoke: runs the criterion throughput bench in quick mode
+# and distills items/sec figures into BENCH_throughput.json at the repo root.
+#
+# Usage: scripts/bench_smoke.sh [extra cargo-bench args]
+# Env:   MBSSL_THREADS — forwarded to the worker pool (see DESIGN.md §Threading).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+CRITERION_QUICK=1 CRITERION_JSON="$raw" \
+    cargo bench -p mbssl-bench --bench throughput "$@"
+
+python3 - "$raw" > BENCH_throughput.json <<'PY'
+import json, re, sys
+
+rows = []
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        m = re.search(r"items(\d+)$", rec["name"])
+        items = int(m.group(1)) if m else 1
+        rows.append({
+            "name": rec["name"],
+            "ns_per_iter": rec["ns_per_iter"],
+            "items_per_iter": items,
+            "items_per_sec": round(rec["iters_per_sec"] * items, 1),
+        })
+
+json.dump({"unit": "items/sec", "benchmarks": rows}, sys.stdout, indent=2)
+print()
+PY
+
+echo "wrote BENCH_throughput.json:" >&2
+cat BENCH_throughput.json >&2

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Measures each benchmark with an adaptive wall-clock loop (calibrate →
+//! batch → median over samples) and prints one line per benchmark. Two
+//! environment variables integrate it with the repo's tooling:
+//!
+//! - `CRITERION_QUICK=1` (or a `--quick` CLI flag): shrink warmup/samples
+//!   for smoke runs, as used by `scripts/bench_smoke.sh`;
+//! - `CRITERION_JSON=<path>`: append one JSON line per benchmark
+//!   (`{"name": ..., "ns_per_iter": ..., "iters_per_sec": ...}`) so scripts
+//!   can build machine-readable throughput reports.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v != "0").unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Benchmark harness entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        if quick_mode() {
+            Criterion {
+                sample_count: 3,
+                target_sample_time: Duration::from_millis(5),
+            }
+        } else {
+            Criterion {
+                sample_count: 12,
+                target_sample_time: Duration::from_millis(25),
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for upstream compatibility; the shim interprets it as a cap
+    /// on its own (much smaller) sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = self.sample_count.min(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_count, self.target_sample_time, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Namespaced benchmark collection (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(
+            &full,
+            self.criterion.sample_count,
+            self.criterion.target_sample_time,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(
+            &full,
+            self.criterion.sample_count,
+            self.criterion.target_sample_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = self.criterion.sample_count.min(n.max(2));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times and records the total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    target_sample_time: Duration,
+    f: &mut F,
+) {
+    // Calibrate: one iteration to size the batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let iters_per_sec = 1.0e9 / median;
+
+    println!("bench: {name:<48} {median:>14.1} ns/iter ({iters_per_sec:>12.1} iter/s)");
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_sec\": {:.3}}}",
+                    name.replace('"', "'"),
+                    median,
+                    iters_per_sec
+                );
+            }
+        }
+    }
+}
+
+/// Declares a group runner function (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_count: 2,
+            target_sample_time: Duration::from_micros(200),
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        let id = BenchmarkId::from_parameter(64);
+        assert_eq!(id.0, "64");
+        let id = BenchmarkId::new("gemm", 128);
+        assert_eq!(id.0, "gemm/128");
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline stand-in for the `rand_distr` crate: `Uniform`, `Normal`,
+//! `Gamma`, and `Zipf` over the workspace's [`rand`] shim.
+//!
+//! Samplers use standard textbook algorithms (Box–Muller, Marsaglia–Tsang,
+//! Hörmann–Derflinger rejection-inversion); none of the workspace code
+//! depends on upstream `rand_distr` sample streams, only on the
+//! distributions' shapes.
+
+use rand::{Rng, RngCore};
+
+/// Error for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistError(pub &'static str);
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Types that can sample values of `T` (mirrors `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Float scalars the generic distributions are parameterised over. A single
+/// generic `impl` (rather than one per concrete type) keeps calls like
+/// `Uniform::new(0.0f32, 1.0)` unambiguous, matching upstream ergonomics.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn finite(self) -> bool;
+}
+
+impl Float for f32 {
+    #[inline]
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Float for f64 {
+    #[inline]
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<F> {
+    low: f64,
+    span: f64,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: Float> Uniform<F> {
+    pub fn new(low: F, high: F) -> Uniform<F> {
+        assert!(low < high, "Uniform requires low < high");
+        Uniform {
+            low: low.to_f64(),
+            span: high.to_f64() - low.to_f64(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u: f64 = rng.gen();
+        F::from_f64(self.low + u * self.span)
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F> {
+    mean: f64,
+    std: f64,
+    _marker: std::marker::PhantomData<F>,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std: F) -> Result<Normal<F>, DistError> {
+        if !std.finite() || std.to_f64() < 0.0 {
+            return Err(DistError("normal std must be finite and non-negative"));
+        }
+        Ok(Normal {
+            mean: mean.to_f64(),
+            std: std.to_f64(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; the second variate is discarded so `sample` can stay
+        // `&self`.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean + self.std * z)
+    }
+}
+
+/// Gamma distribution with the given shape `k` and scale `θ`.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma, DistError> {
+        if !(shape > 0.0) || !(scale > 0.0) {
+            return Err(DistError("gamma shape and scale must be positive"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang squeeze method; the shape < 1 case boosts a
+        // shape+1 draw by U^(1/shape).
+        let (shape, boost) = if self.shape < 1.0 {
+            let u: f64 = loop {
+                let u: f64 = rng.gen();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let normal = Normal::<f64>::new(0.0, 1.0).unwrap();
+        loop {
+            let x = normal.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f64 = rng.gen();
+            if u < 1.0 - 0.0331 * x * x * x * x
+                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+            {
+                return d * v * self.scale * boost;
+            }
+        }
+    }
+}
+
+/// Zipf distribution over `{1, …, n}` with exponent `s > 0`: `P(k) ∝ k⁻ˢ`.
+///
+/// Sampled with Hörmann–Derflinger rejection-inversion, O(1) per draw.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    inv_accept: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Zipf, DistError> {
+        if n == 0 {
+            return Err(DistError("zipf needs at least one element"));
+        }
+        if !(s > 0.0) || !s.is_finite() {
+            return Err(DistError("zipf exponent must be positive and finite"));
+        }
+        let nf = n as f64;
+        let h_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_n = Self::h_integral(nf + 0.5, s);
+        let inv_accept = 2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Ok(Zipf {
+            n: nf,
+            s,
+            h_x1,
+            h_n,
+            inv_accept,
+        })
+    }
+
+    /// ∫ x⁻ˢ dx (antiderivative, shifted so the s→1 limit is log).
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        if (1.0 - s).abs() < 1e-9 {
+            log_x
+        } else {
+            ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+        }
+    }
+
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    fn h_integral_inv(x: f64, s: f64) -> f64 {
+        if (1.0 - s).abs() < 1e-9 {
+            x.exp()
+        } else {
+            let t = (x * (1.0 - s)).max(-1.0);
+            (t.ln_1p() / (1.0 - s)).exp()
+        }
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen();
+            let u = self.h_n + u * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inv(u, self.s);
+            let k = x.round().clamp(1.0, self.n);
+            if (k - x).abs() <= self.inv_accept
+                || u >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::<f64>::new(2.0, 3.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new(-1.0f32, 4.0);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((-1.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(shape, scale) in &[(1.0, 1.0), (2.5, 0.5), (0.5, 2.0)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let n = 50_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            let expect = shape * scale;
+            assert!(
+                (mean - expect).abs() < 0.15 * expect.max(0.5),
+                "gamma({shape},{scale}) mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_in_range_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Zipf::new(100, 1.1).unwrap();
+        let n = 20_000;
+        let mut ones = 0usize;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            assert_eq!(v, v.round());
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        // Rank 1 should hold far more than the uniform 1% of the mass.
+        assert!(ones > n / 20, "rank-1 mass too small: {ones}/{n}");
+    }
+
+    #[test]
+    fn zipf_handles_exponent_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Zipf::new(50, 1.0).unwrap();
+        for _ in 0..5_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=50.0).contains(&v));
+        }
+    }
+}

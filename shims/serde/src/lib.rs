@@ -1,0 +1,274 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde abstracts over data formats; the only format this workspace
+//! uses is JSON (via the sibling `serde_json` shim), so the traits here
+//! convert directly to and from an in-memory JSON [`value::Value`] tree.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` come from the
+//! `serde_derive` shim and target these traits.
+
+// Let the derive macros' `::serde::` paths resolve inside this crate's own
+// tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    /// An in-memory JSON document.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// All numbers are carried as `f64` (ample for this workspace:
+        /// counts, metrics, and ids all fit in 53 bits).
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        /// Insertion-ordered key/value pairs.
+        Obj(Vec<(String, Value)>),
+    }
+}
+
+use value::Value;
+
+/// Conversion into a JSON value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+// ----------------------------------------------------------------------
+// Serialize impls for std types
+// ----------------------------------------------------------------------
+
+macro_rules! serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Deserialize impls for std types
+// ----------------------------------------------------------------------
+
+macro_rules! deserialize_num {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    _ => Err(format!("expected number, found {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, found {v:?}")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(format!("expected string, found {v:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(format!("expected array, found {v:?}")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(format!("expected 2-element array, found {v:?}")),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => Err(format!("expected object, found {v:?}")),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => Err(format!("expected object, found {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        name: String,
+        tags: Vec<u32>,
+        extra: Option<bool>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Kind {
+        Plain,
+        Tagged(usize),
+        Pair(u32, u32),
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: 1.5,
+            name: "a\"b".into(),
+            tags: vec![1, 2, 3],
+            extra: None,
+        };
+        let v = p.to_value();
+        let back = Point::from_value(&v).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        for k in [Kind::Plain, Kind::Tagged(7), Kind::Pair(1, 2)] {
+            let v = k.to_value();
+            let back = Kind::from_value(&v).unwrap();
+            assert_eq!(k, back);
+        }
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = Value::Obj(vec![("x".into(), Value::Num(1.0))]);
+        assert!(Point::from_value(&v).is_err());
+    }
+}

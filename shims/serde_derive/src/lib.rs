@@ -1,0 +1,363 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the workspace actually uses — structs with named fields, enums
+//! with unit variants, and enums with tuple variants — by walking the raw
+//! token stream (the container has no `syn`/`quote`). Anything fancier
+//! (generics, struct variants, serde attributes) is rejected with a clear
+//! compile error so misuse fails loudly instead of silently.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Obj(vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::value::Value::Str(\"{v}\".to_string()),",
+                        name = item.name,
+                        v = v.name
+                    ),
+                    1 => format!(
+                        "{name}::{v}(x0) => ::serde::value::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(x0))]),",
+                        name = item.name,
+                        v = v.name
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::value::Value::Obj(vec![(\"{v}\".to_string(), ::serde::value::Value::Arr(vec![{vals}]))]),",
+                            name = item.name,
+                            v = v.name,
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n fn to_value(&self) -> ::serde::value::Value {{ {} }}\n}}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match obj.iter().find(|(k, _)| k == \"{f}\") {{\n\
+                           Some((_, fv)) => ::serde::Deserialize::from_value(fv)?,\n\
+                           None => return Err(concat!(\"missing field `\", \"{f}\", \"`\").to_string()),\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = match v {{\n\
+                   ::serde::value::Value::Obj(m) => m,\n\
+                   _ => return Err(\"expected JSON object\".to_string()),\n\
+                 }};\n\
+                 Ok({name} {{ {inits} }})",
+                name = item.name,
+                inits = inits.join(",\n")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| {
+                    format!(
+                        "if s == \"{v}\" {{ return Ok({name}::{v}); }}",
+                        name = item.name,
+                        v = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    if v.arity == 1 {
+                        format!(
+                            "if k == \"{v}\" {{ return Ok({name}::{v}(::serde::Deserialize::from_value(val)?)); }}",
+                            name = item.name,
+                            v = v.name
+                        )
+                    } else {
+                        let gets: Vec<String> = (0..v.arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \"tuple variant too short\".to_string())?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "if k == \"{v}\" {{\n\
+                               let items = match val {{\n\
+                                 ::serde::value::Value::Arr(a) => a,\n\
+                                 _ => return Err(\"expected array for tuple variant\".to_string()),\n\
+                               }};\n\
+                               return Ok({name}::{v}({gets}));\n\
+                             }}",
+                            name = item.name,
+                            v = v.name,
+                            gets = gets.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                   ::serde::value::Value::Str(s) => {{ {units} Err(format!(\"unknown variant `{{s}}`\")) }}\n\
+                   ::serde::value::Value::Obj(m) if m.len() == 1 => {{\n\
+                     let (k, val) = &m[0];\n\
+                     {payloads}\n\
+                     Err(format!(\"unknown variant `{{k}}`\"))\n\
+                   }}\n\
+                   _ => Err(\"expected string or single-key object for enum\".to_string()),\n\
+                 }}",
+                units = unit_arms.join(" "),
+                payloads = payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {} {{\n fn from_value(v: &::serde::value::Value) -> Result<Self, String> {{ {} }}\n}}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// Number of tuple fields (0 for unit variants).
+    arity: usize,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (`#[...]`) and visibility/qualifier keywords.
+    let mut is_enum = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [..] group
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        i += 1;
+                        // Skip `(crate)` etc. after `pub`.
+                        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            i += 1;
+                        }
+                    }
+                    "struct" => {
+                        is_enum = Some(false);
+                        i += 1;
+                        break;
+                    }
+                    "enum" => {
+                        is_enum = Some(true);
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    let is_enum = is_enum.expect("derive input must be a struct or enum");
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("shim serde_derive does not support generic types (deriving for `{name}`)");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1, // e.g. `where` clauses would land here (unused)
+            None => panic!("no braced body found for `{name}` (tuple structs unsupported)"),
+        }
+    };
+
+    let kind = if is_enum {
+        ItemKind::Enum(parse_variants(body, &name))
+    } else {
+        ItemKind::Struct(parse_fields(body, &name))
+    };
+    Item { name, kind }
+}
+
+/// Parses `field: Type, ...` lists, tracking angle-bracket depth so commas
+/// inside `Vec<(A, B)>`-style types don't split fields.
+fn parse_fields(body: TokenStream, container: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("unexpected token in `{container}` fields: {other}"),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("expected `:` after field `{fname}` in `{container}`"),
+        }
+        // Consume the type: until a comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream, container: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("unexpected token in `{container}` variants: {other}"),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("shim serde_derive does not support struct variants (`{container}::{vname}`)")
+                }
+                _ => {}
+            }
+        }
+        // Skip to past the next top-level comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name: vname, arity });
+    }
+    variants
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
