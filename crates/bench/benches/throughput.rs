@@ -1,9 +1,14 @@
 //! End-to-end throughput benchmarks: items/sec through a training step and
-//! through leave-one-out evaluation. Bench names encode how many items one
+//! through leave-one-out evaluation, plus microbenches over the GEMM shapes
+//! those passes are made of. Bench names encode how many items one
 //! iteration processes (`itemsN`) so `scripts/bench_smoke.sh` can convert
 //! the iter/s readings into items/sec.
+//!
+//! After all benchmarks run, a summary line with the buffer-recycling
+//! allocator's counters is appended to `CRITERION_JSON` (picked up by
+//! `bench_smoke.sh` as the `allocator` section of `BENCH_throughput.json`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -11,6 +16,7 @@ use mbssl_bench::{bench_model_config, build_workload};
 use mbssl_core::{evaluate, BehaviorSchema, Mbmissl, TrainableRecommender};
 use mbssl_data::preprocess::TrainInstance;
 use mbssl_data::sampler::EvalCandidates;
+use mbssl_tensor::{alloc, kernels};
 
 const TRAIN_BATCH: usize = 64;
 const EVAL_USERS: usize = 256;
@@ -44,9 +50,99 @@ fn bench_throughput(c: &mut Criterion) {
     });
 }
 
+/// The GEMM shapes one encoder/backward pass is made of, with the bench
+/// model config (dim 32, ffn 64, batch 64 × seq 50 ⇒ 3200 flattened rows):
+/// encoder projections (`nn`), the FFN expansion (`nn`), the weight-gradient
+/// reduction (`tn`, long k — the packed-A case), and the data gradient
+/// (`nt`).
+fn bench_gemm_shapes(c: &mut Criterion) {
+    const ROWS: usize = 64 * 50;
+    const DIM: usize = 32;
+    const FFN: usize = 64;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut fill = |n: usize| -> Vec<f32> {
+        use rand::Rng;
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    };
+
+    // Encoder projection: [3200, 32] · [32, 32].
+    let (a, b) = (fill(ROWS * DIM), fill(DIM * DIM));
+    c.bench_function("gemm_nn_encoder_3200x32x32", |bch| {
+        let mut out = vec![0.0f32; ROWS * DIM];
+        bch.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, ROWS, DIM, DIM);
+        });
+    });
+
+    // FFN expansion: [3200, 32] · [32, 64].
+    let (a, b) = (fill(ROWS * DIM), fill(DIM * FFN));
+    c.bench_function("gemm_nn_ffn_3200x32x64", |bch| {
+        let mut out = vec![0.0f32; ROWS * FFN];
+        bch.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, ROWS, DIM, FFN);
+        });
+    });
+
+    // Weight gradient: xᵀ·g = [32, 3200]ᵀ-view · [3200, 64] (k = 3200).
+    let (a, b) = (fill(ROWS * DIM), fill(ROWS * FFN));
+    c.bench_function("gemm_tn_wgrad_32x3200x64", |bch| {
+        let mut out = vec![0.0f32; DIM * FFN];
+        bch.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_tn(black_box(&a), black_box(&b), &mut out, DIM, ROWS, FFN);
+        });
+    });
+
+    // Data gradient: g·Wᵀ = [3200, 64] · [32, 64]ᵀ.
+    let (a, b) = (fill(ROWS * FFN), fill(DIM * FFN));
+    c.bench_function("gemm_nt_dgrad_3200x64x32", |bch| {
+        let mut out = vec![0.0f32; ROWS * DIM];
+        bch.iter(|| {
+            out.fill(0.0);
+            kernels::gemm_nt(black_box(&a), black_box(&b), &mut out, ROWS, FFN, DIM);
+        });
+    });
+}
+
+/// Appends the allocator counters accumulated over the whole bench run to
+/// `CRITERION_JSON` (no timing; `bench_smoke.sh` routes this record into a
+/// separate section of the report).
+fn emit_alloc_stats(_c: &mut Criterion) {
+    let s = alloc::stats();
+    println!(
+        "alloc: hits {} misses {} recycled {} bytes_reused {} hit_rate {:.1}%",
+        s.hits,
+        s.misses,
+        s.recycled,
+        s.bytes_reused,
+        s.hit_rate_pct()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"alloc_stats\", \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"recycled\": {}, \"bytes_reused\": {}, \"hit_rate_pct\": {:.2}}}",
+                    alloc::enabled(),
+                    s.hits,
+                    s.misses,
+                    s.recycled,
+                    s.bytes_reused,
+                    s.hit_rate_pct()
+                );
+            }
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_throughput
+    targets = bench_throughput, bench_gemm_shapes, emit_alloc_stats
 }
 criterion_main!(benches);

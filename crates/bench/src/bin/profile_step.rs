@@ -1,0 +1,56 @@
+//! Direct wall-clock timing of the training step, bypassing criterion:
+//! runs warmup + N measured steps and prints items/sec per repeat so
+//! run-to-run variance on a loaded box is visible.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mbssl_bench::{bench_model_config, build_workload};
+use mbssl_core::{BehaviorSchema, Mbmissl, TrainableRecommender};
+use mbssl_data::preprocess::TrainInstance;
+
+fn main() {
+    let batch_size = 64;
+    let workload = build_workload("taobao-like", 0.15, 11);
+    let d = &workload.dataset;
+    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
+    let model = Mbmissl::new(d.num_items, schema, bench_model_config(11));
+    let batch: Vec<&TrainInstance> = workload.split.train.iter().take(batch_size).collect();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let step = |rng: &mut StdRng| {
+        for p in model.params() {
+            p.zero_grad();
+        }
+        model
+            .loss_on_batch(&batch, &workload.sampler, 16, rng)
+            .backward();
+    };
+
+    // Warmup (also primes the allocator free lists).
+    for _ in 0..3 {
+        step(&mut rng);
+    }
+
+    let repeats: usize = std::env::var("PROFILE_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let steps_per_repeat: usize = 4;
+    let mut best = 0.0f64;
+    for r in 0..repeats {
+        let t0 = Instant::now();
+        for _ in 0..steps_per_repeat {
+            step(&mut rng);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let ips = (batch_size * steps_per_repeat) as f64 / dt;
+        if ips > best {
+            best = ips;
+        }
+        println!("repeat {r}: {ips:.1} items/sec");
+    }
+    println!("best: {best:.1} items/sec");
+}

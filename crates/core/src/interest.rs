@@ -68,7 +68,7 @@ impl InterestExtractor {
         match self {
             InterestExtractor::SelfAttentive { w1, w2, k } => {
                 // [B, L, K] attention logits.
-                let logits = h.matmul(w1).tanh().matmul(w2);
+                let logits = h.matmul(w1).into_tanh().matmul(w2);
                 // Mask disallowed positions, softmax over L.
                 let blocked: Vec<f32> = allowed.iter().map(|&v| 1.0 - v).collect();
                 let blocked_t = Tensor::from_vec(blocked, [b, l, 1]);
@@ -121,7 +121,7 @@ impl InterestExtractor {
         let (b, l, _) = (h.dims()[0], h.dims()[1], h.dims()[2]);
         match self {
             InterestExtractor::SelfAttentive { w1, w2, .. } => {
-                let logits = h.matmul(w1).tanh().matmul(w2);
+                let logits = h.matmul(w1).into_tanh().matmul(w2);
                 let blocked: Vec<f32> = allowed.iter().map(|&v| 1.0 - v).collect();
                 let blocked_t = Tensor::from_vec(blocked, [b, l, 1]);
                 logits

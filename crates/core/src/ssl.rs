@@ -21,7 +21,7 @@ pub fn info_nce(anchors: &Tensor, positives: &Tensor, temperature: f32, row_vali
     }
     let a = anchors.l2_normalize_lastdim(1e-8);
     let p = positives.l2_normalize_lastdim(1e-8);
-    let logits = a.matmul(&p.transpose_last()).mul_scalar(1.0 / temperature); // [N, N]
+    let logits = a.matmul(&p.transpose_last()).into_mul_scalar(1.0 / temperature); // [N, N]
     let log_probs = logits.log_softmax_lastdim();
     // Extract the diagonal via an identity mask.
     let mut eye = vec![0.0f32; n * n];

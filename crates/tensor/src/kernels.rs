@@ -7,10 +7,38 @@
 //! atomic counter, and each row's arithmetic is identical to the sequential
 //! code, so results are bit-identical at any thread count.
 
+use crate::alloc;
 use crate::pool;
 
 /// Work (in multiply-adds) below which GEMM stays single-threaded.
 const PAR_GEMM_THRESHOLD: usize = 64 * 64 * 64;
+
+/// B footprint (k·n elements) above which [`gemm_nn`] takes the packed
+/// path. Below it the whole of B stays L1-resident for the naive axpy
+/// sweep and packing is pure overhead — measured on the model's skinny
+/// shapes (k, n ≤ 64) the naive kernel wins, while at 128³ and beyond the
+/// packed microkernel does. Both paths are bit-identical, so the cutoff is
+/// purely a performance choice.
+const PACK_MIN_BN: usize = 8192;
+
+/// C footprint (m·n elements) above which [`gemm_tn`] takes the packed
+/// path. The naive p-sweep re-reads all of C every k step, which is free
+/// while C is L1-resident (the weight-gradient shapes) and ruinous once it
+/// is not.
+const PACK_MIN_CMN: usize = 4096;
+
+/// Work (m·k·n multiply-adds) above which [`gemm_nt`] packs Bᵀ into
+/// NR-lane strips; the packing cost (n·k moves) is amortized over m rows.
+const PACK_NT_MIN_WORK: usize = 16 * 16 * 16;
+
+/// Microkernel tile height: rows of C held in registers per inner call.
+const MR: usize = 4;
+/// Microkernel tile width: columns of C per call (two 4-lane SIMD vectors).
+const NR: usize = 8;
+/// k-dimension block size: pack panels of at most this many k-steps so the
+/// active A strip (MR·KC) and B strip (NR·KC) stay cache-resident while the
+/// microkernel streams over them.
+const KC: usize = 256;
 
 /// Elements below which row-wise / elementwise kernels stay
 /// single-threaded: broadcasting a pool job costs on the order of a few
@@ -32,29 +60,132 @@ fn rows_per_chunk(m: usize, threads: usize) -> usize {
     m.div_ceil((threads * 4).min(m).max(1))
 }
 
+/// Number of output rows a (rows×n) buffer holds; 0 when either side is
+/// empty. All row helpers share this guard so empty dimensions behave
+/// identically across kernels.
+#[inline]
+fn rows_of(c_len: usize, n: usize) -> usize {
+    c_len.checked_div(n).unwrap_or(0)
+}
+
 /// C += A(m×k) · B(k×n), all row-major. `C` must be zeroed by the caller if
 /// plain assignment is wanted.
+///
+/// Large products run the packed cache-blocked path ([`gemm_nn_packed`]),
+/// small ones the naive row kernel ([`gemm_nn_naive`]); both produce
+/// bit-identical results, so the dispatch is invisible to callers.
 pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
-    if threads <= 1 || m < 2 {
-        gemm_nn_rows(a, b, c, k, n);
+    if m < 2 * MR || k * n < PACK_MIN_BN {
+        if threads <= 1 || m < 2 {
+            gemm_nn_rows_fast(a, b, c, k, n);
+        } else {
+            let rows_per = rows_per_chunk(m, threads);
+            pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+                let row = ci * rows_per;
+                let take = c_chunk.len() / n;
+                gemm_nn_rows_fast(&a[row * k..(row + take) * k], b, c_chunk, k, n);
+            });
+        }
         return;
     }
-    let rows_per = rows_per_chunk(m, threads);
-    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
-        let row = ci * rows_per;
-        let take = c_chunk.len() / n;
-        let a_chunk = &a[row * k..(row + take) * k];
-        gemm_nn_rows(a_chunk, b, c_chunk, k, n);
-    });
+    let bpack = pack_b_panels(b, k, n);
+    if threads <= 1 {
+        gemm_nn_packed_panel(a, &bpack, c, k, n);
+    } else {
+        let rows_per = rows_per_chunk(m, threads);
+        pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+            let row = ci * rows_per;
+            let take = c_chunk.len() / n;
+            let a_chunk = &a[row * k..(row + take) * k];
+            gemm_nn_packed_panel(a_chunk, &bpack, c_chunk, k, n);
+        });
+    }
+    alloc::recycle(bpack);
+}
+
+/// Sequential naive reference for [`gemm_nn`]. Retained as the ground
+/// truth the packed path is pinned against (bit-for-bit) in tests.
+pub fn gemm_nn_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_nn_rows(a, b, c, k, n);
+}
+
+/// Sequential packed path for [`gemm_nn`]; public so tests can exercise it
+/// directly on shapes the size dispatch would otherwise route to the naive
+/// kernel.
+pub fn gemm_nn_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let bpack = pack_b_panels(b, k, n);
+    gemm_nn_packed_panel(a, &bpack, c, k, n);
+    alloc::recycle(bpack);
+}
+
+/// Unrolled row-panel worker the [`gemm_nn`] dispatcher uses below the
+/// packing threshold: four k-steps per pass over the C row, quartering the
+/// C load/store traffic. Each output element still receives its
+/// contributions one `+=` at a time in ascending-p order (never a combined
+/// sum) and the `a == 0.0` skip applies per step, so results are
+/// bit-identical to [`gemm_nn_rows`]; blocks with a zero step fall back to
+/// single-step updates in the same order.
+fn gemm_nn_rows_fast(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let rows = rows_of(c.len(), n);
+    let k4 = k - k % 4;
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        // Rows containing exact zeros (post-dropout activations) take the
+        // reference loop — its per-step skip already saves the work, and
+        // the blocked loop's fallback would only add branches.
+        if a_row.iter().any(|&v| v == 0.0) {
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_v += a_ip * b_v;
+                }
+            }
+            continue;
+        }
+        let mut p = 0;
+        while p < k4 {
+            let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+            let b0 = &b[p * n..][..n];
+            let b1 = &b[(p + 1) * n..][..n];
+            let b2 = &b[(p + 2) * n..][..n];
+            let b3 = &b[(p + 3) * n..][..n];
+            for (j, c_v) in c_row.iter_mut().enumerate() {
+                let mut t = *c_v;
+                t += a0 * b0[j];
+                t += a1 * b1[j];
+                t += a2 * b2[j];
+                t += a3 * b3[j];
+                *c_v = t;
+            }
+            p += 4;
+        }
+        for p in k4..k {
+            let a_ip = a_row[p];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
 }
 
 /// Row-panel worker for [`gemm_nn`]: C(rows×n) += A(rows×k)·B(k×n).
 fn gemm_nn_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
-    let rows = c.len() / n.max(1);
+    let rows = rows_of(c.len(), n);
     for i in 0..rows {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -72,27 +203,258 @@ fn gemm_nn_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
     }
 }
 
+/// Packs B (k×n row-major) into the panel layout the microkernel streams:
+/// KC-row blocks, each holding ⌈n/NR⌉ strips of NR columns stored p-major
+/// (`strip[p*NR + j]`). Packing only relocates values — it never combines
+/// them — so it cannot change results. Ragged edge strips are zero-padded;
+/// the microkernel never reads the pad lanes. The buffer comes from
+/// [`alloc`]; callers hand it back with `alloc::recycle`.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let n_round = n.div_ceil(NR) * NR;
+    let mut out = alloc::zeroed(k * n_round);
+    for pc0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc0);
+        let block = pc0 * n_round;
+        for (s, j0) in (0..n).step_by(NR).enumerate() {
+            let nr = NR.min(n - j0);
+            let strip = block + s * kc * NR;
+            for p in 0..kc {
+                let src = &b[(pc0 + p) * n + j0..][..nr];
+                out[strip + p * NR..][..nr].copy_from_slice(src);
+            }
+        }
+    }
+    out
+}
+
+/// Packed driver for one row panel of [`gemm_nn`]:
+/// C(rows×n) += A(rows×k) · B, with B already packed by [`pack_b_panels`].
+/// A is repacked per (KC-block × MR-strip) into a small p-major buffer so
+/// the microkernel reads both operands contiguously.
+fn gemm_nn_packed_panel(a: &[f32], bpack: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let rows = rows_of(c.len(), n);
+    let n_round = n.div_ceil(NR) * NR;
+    let mut apack = alloc::zeroed(MR * KC);
+    for pc0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc0);
+        let block = pc0 * n_round;
+        for i0 in (0..rows).step_by(MR) {
+            let mr = MR.min(rows - i0);
+            if mr < MR {
+                apack.iter_mut().for_each(|v| *v = 0.0);
+            }
+            // apack[p*MR + r] = A[i0+r][pc0+p]
+            for r in 0..mr {
+                let a_row = &a[(i0 + r) * k + pc0..][..kc];
+                for (p, &v) in a_row.iter().enumerate() {
+                    apack[p * MR + r] = v;
+                }
+            }
+            for (s, j0) in (0..n).step_by(NR).enumerate() {
+                let nr = NR.min(n - j0);
+                let strip = &bpack[block + s * kc * NR..][..kc * NR];
+                microkernel(&apack, strip, &mut c[i0 * n + j0..], n, mr, nr, kc);
+            }
+        }
+    }
+    alloc::recycle(apack);
+}
+
+/// The register-tiled inner kernel shared by the packed `nn` and `tn`
+/// paths: C tile (mr×nr, rows `c_stride` apart, `c` starting at the tile's
+/// top-left element) += Apack·Bpack over `kc` packed steps, with the C tile
+/// held in registers for the whole k-sweep.
+///
+/// Bit-identity with the naive kernels: every output element accumulates
+/// its k-terms in ascending-p order, the `a == 0.0` skip is applied per
+/// (row, p) exactly like the naive axpy loops, and loading the tile into
+/// registers / storing it back does not alter f32 bits. KC-blocking splits
+/// the sweep, but blocks are visited in ascending-p order, so the
+/// per-element addition sequence is unchanged.
+#[inline]
+fn microkernel(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    c_stride: usize,
+    mr: usize,
+    nr: usize,
+    kc: usize,
+) {
+    if mr == MR && nr == NR {
+        // Full tile: fixed bounds so the accumulators stay in registers.
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            row.copy_from_slice(&c[r * c_stride..][..NR]);
+        }
+        for p in 0..kc {
+            let b = &bpack[p * NR..][..NR];
+            for (r, row) in acc.iter_mut().enumerate() {
+                let a = apack[p * MR + r];
+                if a == 0.0 {
+                    continue;
+                }
+                for (acc_v, &b_v) in row.iter_mut().zip(b.iter()) {
+                    *acc_v += a * b_v;
+                }
+            }
+        }
+        for (r, row) in acc.iter().enumerate() {
+            c[r * c_stride..][..NR].copy_from_slice(row);
+        }
+        return;
+    }
+    // Ragged edge tile: same accumulation order over partial bounds.
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate().take(mr) {
+        row[..nr].copy_from_slice(&c[r * c_stride..][..nr]);
+    }
+    for p in 0..kc {
+        let b = &bpack[p * NR..][..NR];
+        for (r, row) in acc.iter_mut().enumerate().take(mr) {
+            let a = apack[p * MR + r];
+            if a == 0.0 {
+                continue;
+            }
+            for (acc_v, &b_v) in row.iter_mut().zip(b.iter()).take(nr) {
+                *acc_v += a * b_v;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate().take(mr) {
+        c[r * c_stride..][..nr].copy_from_slice(&row[..nr]);
+    }
+}
+
 /// C += A(m×k) · Bᵀ where B is stored row-major as (n×k).
+///
+/// The naive kernel computes each output element as one [`dot`] call, which
+/// leaves SIMD lanes idle (a dot is a serial reduction). The packed path
+/// transposes B into NR-lane p-major strips and runs [`nt_row_strip`],
+/// which advances NR dot products in lock-step — each lane reproduces
+/// `dot`'s exact chain structure (four partial sums over p mod 4, a
+/// remainder chain, then `s0+s1+s2+s3+rest`), so every output element is
+/// bit-identical to the naive kernel at any thread count.
 pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
-    if threads <= 1 || m < 2 {
-        gemm_nt_rows(a, b, c, k, n);
+    if m < MR || m * k * n < PACK_NT_MIN_WORK {
+        if threads <= 1 || m < 2 {
+            gemm_nt_rows(a, b, c, k, n);
+        } else {
+            let rows_per = rows_per_chunk(m, threads);
+            pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+                let row = ci * rows_per;
+                let take = c_chunk.len() / n;
+                gemm_nt_rows(&a[row * k..(row + take) * k], b, c_chunk, k, n);
+            });
+        }
         return;
     }
-    let rows_per = rows_per_chunk(m, threads);
-    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
-        let row = ci * rows_per;
-        let take = c_chunk.len() / n;
-        let a_chunk = &a[row * k..(row + take) * k];
-        gemm_nt_rows(a_chunk, b, c_chunk, k, n);
-    });
+    let bpack = pack_bt_panels(b, k, n);
+    if threads <= 1 {
+        gemm_nt_packed_panel(a, &bpack, c, k, n);
+    } else {
+        let rows_per = rows_per_chunk(m, threads);
+        pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+            let row = ci * rows_per;
+            let take = c_chunk.len() / n;
+            let a_chunk = &a[row * k..(row + take) * k];
+            gemm_nt_packed_panel(a_chunk, &bpack, c_chunk, k, n);
+        });
+    }
+    alloc::recycle(bpack);
+}
+
+/// Sequential naive reference for [`gemm_nt`].
+pub fn gemm_nt_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_nt_rows(a, b, c, k, n);
+}
+
+/// Sequential packed path for [`gemm_nt`]; public for the bitwise tests.
+pub fn gemm_nt_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let bpack = pack_bt_panels(b, k, n);
+    gemm_nt_packed_panel(a, &bpack, c, k, n);
+    alloc::recycle(bpack);
+}
+
+/// Packs Bᵀ (B stored n×k row-major) into ⌈n/NR⌉ strips of NR output
+/// columns, stored p-major (`strip[p*NR + jj] = B[j0+jj][p]`). Pure data
+/// movement; ragged edge lanes are zero-padded and never read back.
+fn pack_bt_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let n_strips = n.div_ceil(NR);
+    let mut out = alloc::zeroed(n_strips * k * NR);
+    for s in 0..n_strips {
+        let j0 = s * NR;
+        let nr = NR.min(n - j0);
+        let strip = s * k * NR;
+        for jj in 0..nr {
+            let src = &b[(j0 + jj) * k..][..k];
+            for (p, &v) in src.iter().enumerate() {
+                out[strip + p * NR + jj] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Row-panel worker for the packed [`gemm_nt`] path.
+fn gemm_nt_packed_panel(a: &[f32], bpack: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let rows = rows_of(c.len(), n);
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (s, j0) in (0..n).step_by(NR).enumerate() {
+            let nr = NR.min(n - j0);
+            let strip = &bpack[s * k * NR..][..k * NR];
+            nt_row_strip(a_row, strip, &mut c_row[j0..j0 + nr]);
+        }
+    }
+}
+
+/// NR dot products advanced in lock-step: `c_out[jj] += dot(a_row, B[j0+jj])`
+/// for one strip of packed Bᵀ lanes. Per lane this is exactly [`dot`]'s
+/// arithmetic — the same four p-mod-4 partial-sum chains filled in the same
+/// order, the same remainder chain, combined as `s0 + s1 + s2 + s3 + rest` —
+/// so the result is bit-identical to calling `dot` per element while the
+/// lane dimension vectorizes.
+fn nt_row_strip(a_row: &[f32], strip: &[f32], c_out: &mut [f32]) {
+    let k = a_row.len();
+    let chunks = k / 4;
+    let mut s = [[0.0f32; NR]; 4];
+    let mut rest = [0.0f32; NR];
+    for i in 0..chunks {
+        let o = i * 4;
+        for (ch, s_ch) in s.iter_mut().enumerate() {
+            let a_v = a_row[o + ch];
+            let b_v = &strip[(o + ch) * NR..][..NR];
+            for (acc, &bv) in s_ch.iter_mut().zip(b_v.iter()) {
+                *acc += a_v * bv;
+            }
+        }
+    }
+    for p in chunks * 4..k {
+        let a_v = a_row[p];
+        let b_v = &strip[p * NR..][..NR];
+        for (acc, &bv) in rest.iter_mut().zip(b_v.iter()) {
+            *acc += a_v * bv;
+        }
+    }
+    for (jj, c_v) in c_out.iter_mut().enumerate() {
+        *c_v += s[0][jj] + s[1][jj] + s[2][jj] + s[3][jj] + rest[jj];
+    }
 }
 
 fn gemm_nt_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
-    let rows = c.len().checked_div(n).unwrap_or(0);
+    let rows = rows_of(c.len(), n);
     for i in 0..rows {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -104,28 +466,181 @@ fn gemm_nt_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
 }
 
 /// C += Aᵀ · B where A is stored row-major as (k×m) and B as (k×n);
-/// C is (m×n). Used by matmul backward for the lhs-transposed product.
+/// C is (m×n). Used by matmul backward for the lhs-transposed product,
+/// where k is the (large) batch·sequence dimension — the packed path packs
+/// both A and B so the microkernel streams contiguously and keeps each C
+/// tile in registers across the whole k-sweep.
 pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    // Process as rank-1 updates: for each p, C += A[p, :]ᵀ · B[p, :].
-    // Parallelize over output rows instead to avoid write contention.
     let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
-    if threads <= 1 || m < 2 {
-        gemm_tn_rows(a, b, c, 0, m, k, n);
+    if m < 2 || m * n < PACK_MIN_CMN {
+        if threads <= 1 || m < 2 {
+            gemm_tn_rows_fast(a, b, c, 0, m, k, n);
+        } else {
+            let rows_per = rows_per_chunk(m, threads);
+            pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+                let row = ci * rows_per;
+                let take = c_chunk.len() / n;
+                gemm_tn_rows_fast(a, b, c_chunk, row, take, k, n);
+            });
+        }
         return;
     }
-    let rows_per = rows_per_chunk(m, threads);
-    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
-        let row = ci * rows_per;
-        let take = c_chunk.len() / n;
-        gemm_tn_rows(a, b, c_chunk, row, take, k, n);
-    });
+    let bpack = pack_b_panels(b, k, n);
+    if threads <= 1 {
+        gemm_tn_packed_panel(a, &bpack, c, 0, m, k, n);
+    } else {
+        let rows_per = rows_per_chunk(m, threads);
+        pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+            let row = ci * rows_per;
+            let take = c_chunk.len() / n;
+            gemm_tn_packed_panel(a, &bpack, c_chunk, row, take, k, n);
+        });
+    }
+    alloc::recycle(bpack);
+}
+
+/// Sequential naive reference for [`gemm_tn`].
+pub fn gemm_tn_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_tn_rows(a, b, c, 0, m, k, n);
+}
+
+/// Sequential packed path for [`gemm_tn`]; public for the bitwise tests.
+pub fn gemm_tn_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let bpack = pack_b_panels(b, k, n);
+    gemm_tn_packed_panel(a, &bpack, c, 0, m, k, n);
+    alloc::recycle(bpack);
+}
+
+/// Packed driver for rows `row0..row0+rows` of the [`gemm_tn`] output. A is
+/// stored (k×m), so for a fixed p the strip's A values are contiguous; the
+/// pack transposes them into the p-major layout the microkernel expects.
+fn gemm_tn_packed_panel(
+    a: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let m = rows_of(a.len(), k);
+    let n_round = n.div_ceil(NR) * NR;
+    let mut apack = alloc::zeroed(MR * KC);
+    for pc0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc0);
+        let block = pc0 * n_round;
+        for i0 in (0..rows).step_by(MR) {
+            let mr = MR.min(rows - i0);
+            if mr < MR {
+                apack.iter_mut().for_each(|v| *v = 0.0);
+            }
+            // apack[p*MR + r] = A[pc0+p][row0+i0+r]
+            for p in 0..kc {
+                let src = &a[(pc0 + p) * m + row0 + i0..][..mr];
+                apack[p * MR..][..mr].copy_from_slice(src);
+            }
+            for (s, j0) in (0..n).step_by(NR).enumerate() {
+                let nr = NR.min(n - j0);
+                let strip = &bpack[block + s * kc * NR..][..kc * NR];
+                microkernel(&apack, strip, &mut c[i0 * n + j0..], n, mr, nr, kc);
+            }
+        }
+    }
+    alloc::recycle(apack);
+}
+
+/// Unrolled counterpart of [`gemm_tn_rows`] the dispatcher uses below the
+/// packing threshold. `tn` sweeps all of C once per k-step, so blocking
+/// four steps together quarters the dominant C read/write traffic. Same
+/// bit-exactness argument as [`gemm_nn_rows_fast`]: per output element the
+/// four contributions are separate `+=` in ascending-p order, zero steps
+/// fall back to the single-step path in the same order.
+fn gemm_tn_rows_fast(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let m = rows_of(a.len(), k);
+    let k4 = k - k % 4;
+    let mut p = 0;
+    while p < k4 {
+        let b0 = &b[p * n..][..n];
+        let b1 = &b[(p + 1) * n..][..n];
+        let b2 = &b[(p + 2) * n..][..n];
+        let b3 = &b[(p + 3) * n..][..n];
+        for i in 0..rows {
+            let col = row0 + i;
+            let (a0, a1, a2, a3) = (
+                a[p * m + col],
+                a[(p + 1) * m + col],
+                a[(p + 2) * m + col],
+                a[(p + 3) * m + col],
+            );
+            let c_row = &mut c[i * n..(i + 1) * n];
+            if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                for (j, c_v) in c_row.iter_mut().enumerate() {
+                    let mut t = *c_v;
+                    t += a0 * b0[j];
+                    t += a1 * b1[j];
+                    t += a2 * b2[j];
+                    t += a3 * b3[j];
+                    *c_v = t;
+                }
+            } else {
+                if a0 != 0.0 {
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b0.iter()) {
+                        *c_v += a0 * b_v;
+                    }
+                }
+                if a1 != 0.0 {
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b1.iter()) {
+                        *c_v += a1 * b_v;
+                    }
+                }
+                if a2 != 0.0 {
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b2.iter()) {
+                        *c_v += a2 * b_v;
+                    }
+                }
+                if a3 != 0.0 {
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b3.iter()) {
+                        *c_v += a3 * b_v;
+                    }
+                }
+            }
+        }
+        p += 4;
+    }
+    for p in k4..k {
+        let b_row = &b[p * n..(p + 1) * n];
+        for i in 0..rows {
+            let a_pi = a[p * m + row0 + i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_pi * b_v;
+            }
+        }
+    }
 }
 
 fn gemm_tn_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
-    let m = a.len().checked_div(k).unwrap_or(0);
+    let m = rows_of(a.len(), k);
     for p in 0..k {
         let b_row = &b[p * n..(p + 1) * n];
         for i in 0..rows {
@@ -230,6 +745,13 @@ pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
 /// Applies `f` to every element in place, splitting large buffers across
 /// the pool. The per-element computation is position-independent, so the
 /// result is identical to a sequential map.
+/// Whether [`map_inplace`] would split a buffer of `n` elements across the
+/// pool (callers use this to choose between a fused single-pass serial loop
+/// and copy-then-parallel-map).
+pub fn map_splits(n: usize) -> bool {
+    thread_count(n, PAR_ELEMWISE_THRESHOLD) > 1
+}
+
 pub fn map_inplace(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
     let threads = thread_count(data.len(), PAR_ELEMWISE_THRESHOLD);
     if threads <= 1 {

@@ -27,6 +27,7 @@
 //! assert_eq!(w.grad().unwrap(), vec![3.0, 4.0]);
 //! ```
 
+pub mod alloc;
 pub mod autograd;
 pub mod init;
 pub mod kernels;

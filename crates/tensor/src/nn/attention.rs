@@ -70,7 +70,7 @@ impl MultiHeadAttention {
         let v = self.split_heads(&self.wv.forward(value));
 
         let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let mut scores = q.bmm(&k.transpose_last()).mul_scalar(scale);
+        let mut scores = q.bmm(&k.transpose_last()).into_mul_scalar(scale);
         if let Some(m) = mask {
             scores = scores.masked_fill(m, -1e9);
         }

@@ -14,11 +14,23 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, x: &Tensor) -> Tensor {
+    /// Applies the activation to a borrowed tensor.
+    pub fn apply(self, x: &Tensor) -> Tensor {
         match self {
             Activation::Relu => x.relu(),
             Activation::Gelu => x.gelu(),
             Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Consuming form for owned intermediates: reuses `x`'s buffer in place
+    /// when it is untracked and uniquely owned (inference), identical math
+    /// otherwise.
+    fn apply_owned(self, x: Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.into_relu(),
+            Activation::Gelu => x.into_gelu(),
+            Activation::Tanh => x.into_tanh(),
         }
     }
 }
@@ -42,7 +54,7 @@ impl FeedForward {
     }
 
     pub fn forward(&self, x: &Tensor, mode: &mut Mode) -> Tensor {
-        let h = self.activation.apply(&self.lin1.forward(x));
+        let h = self.activation.apply_owned(self.lin1.forward(x));
         let h = mode.dropout(&h, self.dropout);
         self.lin2.forward(&h)
     }

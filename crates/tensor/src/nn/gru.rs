@@ -54,18 +54,18 @@ impl Gru {
             .matmul(&self.wz)
             .add(&h.matmul(&self.uz))
             .add(&self.bz)
-            .sigmoid();
+            .into_sigmoid();
         let r = x
             .matmul(&self.wr)
             .add(&h.matmul(&self.ur))
             .add(&self.br)
-            .sigmoid();
+            .into_sigmoid();
         let h_cand = x
             .matmul(&self.wh)
             .add(&r.mul(h).matmul(&self.uh))
             .add(&self.bh)
-            .tanh();
-        let one_minus_z = z.neg().add_scalar(1.0);
+            .into_tanh();
+        let one_minus_z = z.neg().into_add_scalar(1.0);
         one_minus_z.mul(h).add(&z.mul(&h_cand))
     }
 
@@ -84,7 +84,7 @@ impl Gru {
             let m_t = valid.narrow(1, t, 1); // [B, 1]
             let h_new = self.step(&x_t, &h);
             // Masked update: padded steps keep the previous state.
-            let keep = m_t.neg().add_scalar(1.0);
+            let keep = m_t.neg().into_add_scalar(1.0);
             h = m_t.mul(&h_new).add(&keep.mul(&h));
             states.push(h.clone());
         }

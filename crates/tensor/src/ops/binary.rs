@@ -1,6 +1,7 @@
 //! Broadcast-aware elementwise binary operations (`+`, `-`, `*`, `/`) and
 //! scalar variants.
 
+use crate::alloc;
 use crate::kernels;
 use crate::shape::{broadcast_strides, for_each_broadcast, BroadcastPlan};
 use crate::tensor::Tensor;
@@ -24,38 +25,50 @@ fn binary_op(
         .unwrap_or_else(|| panic!("cannot broadcast {} with {}", lhs.shape(), rhs.shape()));
     let a = lhs.data();
     let b = rhs.data();
-    let mut out = vec![0.0f32; out_shape.numel()];
-    match BroadcastPlan::build(lhs.shape(), rhs.shape(), &out_shape) {
+    let numel = out_shape.numel();
+    let out = match BroadcastPlan::build(lhs.shape(), rhs.shape(), &out_shape) {
         BroadcastPlan::SameShape => {
-            kernels::zip_map_into(&a, &b, &mut out, &fwd);
+            if kernels::map_splits(numel) {
+                let mut out = alloc::zeroed(numel);
+                kernels::zip_map_into(&a, &b, &mut out, &fwd);
+                out
+            } else {
+                let mut out = alloc::buffer(numel);
+                out.extend(a.iter().zip(b.iter()).map(|(&x, &y)| fwd(x, y)));
+                out
+            }
         }
         BroadcastPlan::ScalarRhs => {
             let y = b[0];
-            out.copy_from_slice(&a);
-            kernels::map_inplace(&mut out, |x| fwd(x, y));
+            let mut out = alloc::buffer(numel);
+            out.extend(a.iter().map(|&x| fwd(x, y)));
+            out
         }
         BroadcastPlan::ScalarLhs => {
             let x = a[0];
-            out.copy_from_slice(&b);
-            kernels::map_inplace(&mut out, |y| fwd(x, y));
+            let mut out = alloc::buffer(numel);
+            out.extend(b.iter().map(|&y| fwd(x, y)));
+            out
         }
         BroadcastPlan::TrailingRhs { block } => {
-            for (chunk, o_chunk) in a.chunks(block).zip(out.chunks_mut(block)) {
-                for ((o, &x), &y) in o_chunk.iter_mut().zip(chunk.iter()).zip(b.iter()) {
-                    *o = fwd(x, y);
-                }
+            let mut out = alloc::buffer(numel);
+            for chunk in a.chunks(block) {
+                out.extend(chunk.iter().zip(b.iter()).map(|(&x, &y)| fwd(x, y)));
             }
+            out
         }
         BroadcastPlan::General {
             out_shape: os,
             lhs_strides,
             rhs_strides,
         } => {
+            let mut out = alloc::zeroed(numel);
             for_each_broadcast(&os, &lhs_strides, &rhs_strides, |o, l, r| {
                 out[o] = fwd(a[l], b[r]);
             });
+            out
         }
-    }
+    };
     drop(a);
     drop(b);
 
@@ -71,23 +84,97 @@ fn binary_op(
             let g = g_ref.as_ref().expect("output gradient missing");
             let a = lhs_c.data();
             let b = rhs_c.data();
-            let ls = broadcast_strides(lhs_c.shape(), &out_shape_c);
-            let rs = broadcast_strides(rhs_c.shape(), &out_shape_c);
+            // Mirror the forward's plan so the common layouts skip the
+            // strided index arithmetic. Reduction orders match the General
+            // path (row-major over the output), so results are unchanged.
+            let plan = BroadcastPlan::build(lhs_c.shape(), rhs_c.shape(), &out_shape_c);
             // `accumulate_grad` touches only the gradient cell, so holding
             // the data borrows of `a`/`b` across it is safe.
             if lhs_c.is_tracked() {
-                let mut ga = vec![0.0f32; lhs_c.numel()];
-                for_each_broadcast(&out_shape_c, &ls, &rs, |o, l, r| {
-                    ga[l] += da(a[l], b[r], g[o]);
-                });
-                lhs_c.accumulate_grad(&ga);
+                let mut ga;
+                match &plan {
+                    BroadcastPlan::SameShape => {
+                        ga = alloc::buffer(a.len());
+                        ga.extend((0..a.len()).map(|i| da(a[i], b[i], g[i])));
+                    }
+                    BroadcastPlan::ScalarRhs => {
+                        let y = b[0];
+                        ga = alloc::buffer(a.len());
+                        ga.extend((0..a.len()).map(|i| da(a[i], y, g[i])));
+                    }
+                    BroadcastPlan::ScalarLhs => {
+                        let x = a[0];
+                        let mut acc = 0.0f32;
+                        for i in 0..b.len() {
+                            acc += da(x, b[i], g[i]);
+                        }
+                        ga = alloc::filled(1, acc);
+                    }
+                    BroadcastPlan::TrailingRhs { block } => {
+                        ga = alloc::buffer(a.len());
+                        for (chunk, g_chunk) in a.chunks(*block).zip(g.chunks(*block)) {
+                            ga.extend(
+                                chunk
+                                    .iter()
+                                    .zip(b.iter())
+                                    .zip(g_chunk.iter())
+                                    .map(|((&x, &y), &gv)| da(x, y, gv)),
+                            );
+                        }
+                    }
+                    BroadcastPlan::General { .. } => {
+                        let ls = broadcast_strides(lhs_c.shape(), &out_shape_c);
+                        let rs = broadcast_strides(rhs_c.shape(), &out_shape_c);
+                        ga = alloc::zeroed(lhs_c.numel());
+                        for_each_broadcast(&out_shape_c, &ls, &rs, |o, l, r| {
+                            ga[l] += da(a[l], b[r], g[o]);
+                        });
+                    }
+                }
+                lhs_c.accumulate_grad_owned(ga);
             }
             if rhs_c.is_tracked() {
-                let mut gb = vec![0.0f32; rhs_c.numel()];
-                for_each_broadcast(&out_shape_c, &ls, &rs, |o, l, r| {
-                    gb[r] += db(a[l], b[r], g[o]);
-                });
-                rhs_c.accumulate_grad(&gb);
+                let mut gb;
+                match &plan {
+                    BroadcastPlan::SameShape => {
+                        gb = alloc::buffer(b.len());
+                        gb.extend((0..b.len()).map(|i| db(a[i], b[i], g[i])));
+                    }
+                    BroadcastPlan::ScalarRhs => {
+                        let y = b[0];
+                        let mut acc = 0.0f32;
+                        for i in 0..a.len() {
+                            acc += db(a[i], y, g[i]);
+                        }
+                        gb = alloc::filled(1, acc);
+                    }
+                    BroadcastPlan::ScalarLhs => {
+                        let x = a[0];
+                        gb = alloc::buffer(b.len());
+                        gb.extend((0..b.len()).map(|i| db(x, b[i], g[i])));
+                    }
+                    BroadcastPlan::TrailingRhs { block } => {
+                        gb = alloc::zeroed(b.len());
+                        for (chunk, g_chunk) in a.chunks(*block).zip(g.chunks(*block)) {
+                            for ((gb_v, &x), (&y, &gv)) in gb
+                                .iter_mut()
+                                .zip(chunk.iter())
+                                .zip(b.iter().zip(g_chunk.iter()))
+                            {
+                                *gb_v += db(x, y, gv);
+                            }
+                        }
+                    }
+                    BroadcastPlan::General { .. } => {
+                        let ls = broadcast_strides(lhs_c.shape(), &out_shape_c);
+                        let rs = broadcast_strides(rhs_c.shape(), &out_shape_c);
+                        gb = alloc::zeroed(rhs_c.numel());
+                        for_each_broadcast(&out_shape_c, &ls, &rs, |o, l, r| {
+                            gb[r] += db(a[l], b[r], g[o]);
+                        });
+                    }
+                }
+                rhs_c.accumulate_grad_owned(gb);
             }
         },
     )
@@ -122,7 +209,12 @@ impl Tensor {
 
     /// Adds a scalar constant.
     pub fn add_scalar(&self, c: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x + c).collect();
+        let out = {
+            let x = self.data();
+            let mut out = alloc::buffer(x.len());
+            out.extend(x.iter().map(|&v| v + c));
+            out
+        };
         let src = self.clone();
         Tensor::make_op(
             self.shape().clone(),
@@ -138,7 +230,12 @@ impl Tensor {
 
     /// Multiplies by a scalar constant.
     pub fn mul_scalar(&self, c: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x * c).collect();
+        let out = {
+            let x = self.data();
+            let mut out = alloc::buffer(x.len());
+            out.extend(x.iter().map(|&v| v * c));
+            out
+        };
         let src = self.clone();
         Tensor::make_op(
             self.shape().clone(),
@@ -147,8 +244,9 @@ impl Tensor {
             move |out_t| {
                 let g_ref = out_t.grad_ref();
                 let g = g_ref.as_ref().unwrap();
-                let scaled: Vec<f32> = g.iter().map(|&v| v * c).collect();
-                src.accumulate_grad(&scaled);
+                let mut scaled = alloc::buffer(g.len());
+                scaled.extend(g.iter().map(|&v| v * c));
+                src.accumulate_grad_owned(scaled);
             },
         )
     }

@@ -2,6 +2,7 @@
 
 use rand::Rng;
 
+use crate::alloc;
 use crate::tensor::Tensor;
 
 /// Samples an inverted-dropout mask: each element is `1/(1-p)` with
@@ -30,19 +31,16 @@ impl Tensor {
     /// Applies a precomputed dropout mask (values 0 or `1/(1-p)`).
     pub fn dropout_with_mask(&self, mask: &[f32]) -> Tensor {
         assert_eq!(mask.len(), self.numel(), "dropout mask length mismatch");
-        let out: Vec<f32> = self
-            .data()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&x, &m)| x * m)
-            .collect();
+        let mut out = alloc::buffer(self.numel());
+        out.extend(self.data().iter().zip(mask.iter()).map(|(&x, &m)| x * m));
         let src = self.clone();
         let mask_owned: Vec<f32> = mask.to_vec();
         Tensor::make_op(self.shape().clone(), out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
-            let gx: Vec<f32> = g.iter().zip(mask_owned.iter()).map(|(&gv, &m)| gv * m).collect();
-            src.accumulate_grad(&gx);
+            let mut gx = alloc::buffer(mask_owned.len());
+            gx.extend(g.iter().zip(mask_owned.iter()).map(|(&gv, &m)| gv * m));
+            src.accumulate_grad_owned(gx);
         })
     }
 }

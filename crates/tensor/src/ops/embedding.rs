@@ -1,6 +1,7 @@
 //! Embedding lookup: gather rows of a weight matrix by integer id, with
 //! scatter-add backward into the weight gradient.
 
+use crate::alloc;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -15,7 +16,7 @@ impl Tensor {
         assert_eq!(self.shape().rank(), 2, "embedding weight must be [V, D]");
         let v = self.shape().dim(0);
         let d = self.shape().dim(1);
-        let mut out = vec![0.0f32; ids.len() * d];
+        let mut out = alloc::zeroed(ids.len() * d);
         {
             let w = self.data();
             for (k, &id) in ids.iter().enumerate() {
@@ -32,7 +33,7 @@ impl Tensor {
             move |out_t| {
                 let g_ref = out_t.grad_ref();
                 let g = g_ref.as_ref().unwrap();
-                let mut gw = vec![0.0f32; weight.numel()];
+                let mut gw = alloc::zeroed(weight.numel());
                 for (k, &id) in ids_owned.iter().enumerate() {
                     let dst = &mut gw[id * d..(id + 1) * d];
                     let src = &g[k * d..(k + 1) * d];
@@ -40,7 +41,7 @@ impl Tensor {
                         *dv += sv;
                     }
                 }
-                weight.accumulate_grad(&gw);
+                weight.accumulate_grad_owned(gw);
             },
         )
     }

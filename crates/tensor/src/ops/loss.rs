@@ -1,5 +1,6 @@
 //! Loss functions with fused, numerically stable backward passes.
 
+use crate::alloc;
 use crate::kernels;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -29,7 +30,7 @@ impl Tensor {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap()[0];
             // softmax = exp(log_probs)
-            let mut gx = vec![0.0f32; n * c];
+            let mut gx = alloc::zeroed(n * c);
             let scale = g / n.max(1) as f32;
             for r in 0..n {
                 let o = r * c;
@@ -38,7 +39,7 @@ impl Tensor {
                 }
                 gx[o + targets_owned[r]] -= scale;
             }
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -69,16 +70,13 @@ impl Tensor {
             let g = g_ref.as_ref().unwrap()[0];
             let x = src.data();
             let scale = g / x.len().max(1) as f32;
-            let gx: Vec<f32> = x
-                .iter()
-                .zip(labels_owned.iter())
-                .map(|(&xi, &yi)| {
-                    let sig = 1.0 / (1.0 + (-xi).exp());
-                    (sig - yi) * scale
-                })
-                .collect();
+            let mut gx = alloc::buffer(x.len());
+            gx.extend(x.iter().zip(labels_owned.iter()).map(|(&xi, &yi)| {
+                let sig = 1.0 / (1.0 + (-xi).exp());
+                (sig - yi) * scale
+            }));
             drop(x);
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -95,23 +93,17 @@ impl Tensor {
 
     /// Numerically stable softplus `ln(1 + e^x)`.
     pub fn softplus(&self) -> Tensor {
-        let out: Vec<f32> = self
-            .data()
-            .iter()
-            .map(|&x| x.max(0.0) + (1.0 + (-x.abs()).exp()).ln())
-            .collect();
+        let mut out = alloc::copy_of(&self.data());
+        kernels::map_inplace(&mut out, |x| x.max(0.0) + (1.0 + (-x.abs()).exp()).ln());
         let src = self.clone();
         Tensor::make_op(self.shape().clone(), out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
             let x = src.data();
-            let gx: Vec<f32> = x
-                .iter()
-                .zip(g.iter())
-                .map(|(&xi, &gi)| gi / (1.0 + (-xi).exp()))
-                .collect();
+            let mut gx = alloc::buffer(x.len());
+            gx.extend(x.iter().zip(g.iter()).map(|(&xi, &gi)| gi / (1.0 + (-xi).exp())));
             drop(x);
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 }

@@ -1,5 +1,6 @@
 //! Matrix products, batched matrix products, transposition, and permutation.
 
+use crate::alloc;
 use crate::kernels;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -21,7 +22,7 @@ impl Tensor {
             self.shape(),
             rhs.shape()
         );
-        let mut out = vec![0.0f32; m * n];
+        let mut out = alloc::zeroed(m * n);
         kernels::gemm_nn(&self.data(), &rhs.data(), &mut out, m, k, n);
 
         let mut out_dims: Vec<usize> = self.shape().dims().to_vec();
@@ -40,15 +41,15 @@ impl Tensor {
                 let g = g_ref.as_ref().unwrap();
                 if lhs_c.is_tracked() {
                     // dA = dC · Bᵀ : (m×n)·(n×k) via gemm_nt with B stored (k? n×k)
-                    let mut ga = vec![0.0f32; m * k];
+                    let mut ga = alloc::zeroed(m * k);
                     kernels::gemm_nt(g, &rhs_c.data(), &mut ga, m, n, k);
-                    lhs_c.accumulate_grad(&ga);
+                    lhs_c.accumulate_grad_owned(ga);
                 }
                 if rhs_c.is_tracked() {
                     // dB = Aᵀ · dC : (k×m)·(m×n) via gemm_tn with A stored (m×k)
-                    let mut gb = vec![0.0f32; k * n];
+                    let mut gb = alloc::zeroed(k * n);
                     kernels::gemm_tn(&lhs_c.data(), g, &mut gb, k, m, n);
-                    rhs_c.accumulate_grad(&gb);
+                    rhs_c.accumulate_grad_owned(gb);
                 }
             },
         )
@@ -67,7 +68,7 @@ impl Tensor {
         assert_eq!(b, rb, "bmm batch mismatch");
         assert_eq!(k, rk, "bmm inner dim mismatch");
 
-        let mut out = vec![0.0f32; b * m * n];
+        let mut out = alloc::zeroed(b * m * n);
         {
             let a = self.data();
             let bb = rhs.data();
@@ -92,7 +93,7 @@ impl Tensor {
                 let g_ref = out_t.grad_ref();
                 let g = g_ref.as_ref().unwrap();
                 if lhs_c.is_tracked() {
-                    let mut ga = vec![0.0f32; b * m * k];
+                    let mut ga = alloc::zeroed(b * m * k);
                     let rb = rhs_c.data();
                     for i in 0..b {
                         kernels::gemm_nt(
@@ -105,10 +106,10 @@ impl Tensor {
                         );
                     }
                     drop(rb);
-                    lhs_c.accumulate_grad(&ga);
+                    lhs_c.accumulate_grad_owned(ga);
                 }
                 if rhs_c.is_tracked() {
-                    let mut gb = vec![0.0f32; b * k * n];
+                    let mut gb = alloc::zeroed(b * k * n);
                     let la = lhs_c.data();
                     for i in 0..b {
                         kernels::gemm_tn(
@@ -121,7 +122,7 @@ impl Tensor {
                         );
                     }
                     drop(la);
-                    rhs_c.accumulate_grad(&gb);
+                    rhs_c.accumulate_grad_owned(gb);
                 }
             },
         )
@@ -134,7 +135,7 @@ impl Tensor {
         let dims = self.shape().dims();
         let (r, c) = (dims[rank - 2], dims[rank - 1]);
         let batches = self.numel() / (r * c).max(1);
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out = alloc::zeroed(self.numel());
         {
             let src = self.data();
             for i in 0..batches {
@@ -156,7 +157,7 @@ impl Tensor {
             move |out_t| {
                 let g_ref = out_t.grad_ref();
                 let g = g_ref.as_ref().unwrap();
-                let mut gx = vec![0.0f32; g.len()];
+                let mut gx = alloc::zeroed(g.len());
                 for i in 0..batches {
                     kernels::transpose(
                         &g[i * r * c..(i + 1) * r * c],
@@ -165,7 +166,7 @@ impl Tensor {
                         r,
                     );
                 }
-                src_c.accumulate_grad(&gx);
+                src_c.accumulate_grad_owned(gx);
             },
         )
     }
@@ -196,7 +197,7 @@ impl Tensor {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
             let gx = permute_copy(g, &out_shape_c, &inv);
-            src_c.accumulate_grad(&gx);
+            src_c.accumulate_grad_owned(gx);
         })
     }
 
@@ -215,7 +216,7 @@ fn permute_copy(src: &[f32], shape: &Shape, perm: &[usize]) -> Vec<f32> {
     // Stride in the source for each output axis.
     let walk: Vec<usize> = perm.iter().map(|&p| src_strides[p]).collect();
     let numel = shape.numel();
-    let mut out = vec![0.0f32; numel];
+    let mut out = alloc::zeroed(numel);
     let mut idx = vec![0usize; rank];
     let mut src_off = 0usize;
     for out_item in out.iter_mut() {

@@ -2,6 +2,7 @@
 
 #![allow(clippy::needless_range_loop)] // multi-array index loops are clearer here
 
+use crate::alloc;
 use crate::kernels;
 use crate::tensor::Tensor;
 
@@ -21,10 +22,10 @@ impl Tensor {
         assert_eq!(gamma.dims(), &[d], "gamma must be [D]");
         assert_eq!(beta.dims(), &[d], "beta must be [D]");
         let rows = self.numel() / d.max(1);
-        let mut out = vec![0.0f32; self.numel()];
+        let mut out = alloc::zeroed(self.numel());
         // Saved for backward: normalized activations and inverse std.
-        let mut xhat = vec![0.0f32; self.numel()];
-        let mut inv_std = vec![0.0f32; rows];
+        let mut xhat = alloc::zeroed(self.numel());
+        let mut inv_std = alloc::zeroed(rows);
         {
             let x = self.data();
             let g = gamma.data();
@@ -43,7 +44,7 @@ impl Tensor {
                 let gy = g_ref.as_ref().unwrap();
                 let gamma_data = gamma_c.data();
                 if x_c.is_tracked() {
-                    let mut gx = vec![0.0f32; x_c.numel()];
+                    let mut gx = alloc::zeroed(x_c.numel());
                     kernels::layernorm_backward_input_rows(
                         gy,
                         &gamma_data,
@@ -53,27 +54,27 @@ impl Tensor {
                         d,
                     );
                     gx.iter().for_each(|v| debug_assert!(v.is_finite()));
-                    x_c.accumulate_grad(&gx);
+                    x_c.accumulate_grad_owned(gx);
                 }
                 if gamma_c.is_tracked() {
-                    let mut gg = vec![0.0f32; d];
+                    let mut gg = alloc::zeroed(d);
                     for r in 0..rows {
                         let o = r * d;
                         for i in 0..d {
                             gg[i] += gy[o + i] * xhat[o + i];
                         }
                     }
-                    gamma_c.accumulate_grad(&gg);
+                    gamma_c.accumulate_grad_owned(gg);
                 }
                 if beta_c.is_tracked() {
-                    let mut gb = vec![0.0f32; d];
+                    let mut gb = alloc::zeroed(d);
                     for r in 0..rows {
                         let o = r * d;
                         for i in 0..d {
                             gb[i] += gy[o + i];
                         }
                     }
-                    beta_c.accumulate_grad(&gb);
+                    beta_c.accumulate_grad_owned(gb);
                 }
             },
         )

@@ -1,5 +1,6 @@
 //! Reductions: sums, means, and max along an axis or over everything.
 
+use crate::alloc;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -21,8 +22,8 @@ impl Tensor {
         Tensor::make_op(Shape::scalar(), vec![total], vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap()[0];
-            let gx = vec![g; src.numel()];
-            src.accumulate_grad(&gx);
+            let gx = alloc::filled(src.numel(), g);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -38,7 +39,7 @@ impl Tensor {
     pub fn sum_axis(&self, axis: isize, keepdim: bool) -> Tensor {
         let axis = self.shape().resolve_axis(axis);
         let (outer, axis_len, inner) = axis_split(self.shape(), axis);
-        let mut out = vec![0.0f32; outer * inner];
+        let mut out = alloc::zeroed(outer * inner);
         {
             let data = self.data();
             for o in 0..outer {
@@ -60,7 +61,7 @@ impl Tensor {
         Tensor::make_op(out_shape, out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
-            let mut gx = vec![0.0f32; src.numel()];
+            let mut gx = alloc::zeroed(src.numel());
             for o in 0..outer {
                 for a in 0..axis_len {
                     let base = (o * axis_len + a) * inner;
@@ -68,7 +69,7 @@ impl Tensor {
                     gx[base..base + inner].copy_from_slice(&g[g_base..g_base + inner]);
                 }
             }
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -84,7 +85,7 @@ impl Tensor {
         let axis = self.shape().resolve_axis(axis);
         let (outer, axis_len, inner) = axis_split(self.shape(), axis);
         assert!(axis_len > 0, "max over an empty axis");
-        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let mut out = alloc::filled(outer * inner, f32::NEG_INFINITY);
         let mut argmax = vec![0usize; outer * inner];
         {
             let data = self.data();
@@ -111,7 +112,7 @@ impl Tensor {
         Tensor::make_op(out_shape, out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
-            let mut gx = vec![0.0f32; src.numel()];
+            let mut gx = alloc::zeroed(src.numel());
             for o in 0..outer {
                 for i in 0..inner {
                     let oi = o * inner + i;
@@ -119,7 +120,7 @@ impl Tensor {
                     gx[(o * axis_len + a) * inner + i] = g[oi];
                 }
             }
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 

@@ -4,6 +4,7 @@
 //! machinery. Copies are cheap relative to the matmuls around them at the
 //! model sizes this engine targets.
 
+use crate::alloc;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -63,7 +64,7 @@ impl Tensor {
             "narrow range {start}..{} exceeds axis size {axis_len}",
             start + len
         );
-        let mut out = vec![0.0f32; outer * len * inner];
+        let mut out = alloc::zeroed(outer * len * inner);
         {
             let data = self.data();
             for o in 0..outer {
@@ -79,14 +80,14 @@ impl Tensor {
         Tensor::make_op(Shape::new(dims), out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
-            let mut gx = vec![0.0f32; src.numel()];
+            let mut gx = alloc::zeroed(src.numel());
             for o in 0..outer {
                 let dst_base = (o * axis_len + start) * inner;
                 let src_base = o * len * inner;
                 gx[dst_base..dst_base + len * inner]
                     .copy_from_slice(&g[src_base..src_base + len * inner]);
             }
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -96,7 +97,7 @@ impl Tensor {
         assert!(self.shape().rank() >= 1, "index_select0 requires rank >= 1");
         let rows = self.shape().dim(0);
         let inner = self.numel() / rows.max(1);
-        let mut out = vec![0.0f32; indices.len() * inner];
+        let mut out = alloc::zeroed(indices.len() * inner);
         {
             let data = self.data();
             for (k, &idx) in indices.iter().enumerate() {
@@ -112,7 +113,7 @@ impl Tensor {
         Tensor::make_op(Shape::new(dims), out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
-            let mut gx = vec![0.0f32; src.numel()];
+            let mut gx = alloc::zeroed(src.numel());
             for (k, &idx) in idx_owned.iter().enumerate() {
                 let dst = &mut gx[idx * inner..(idx + 1) * inner];
                 let srcg = &g[k * inner..(k + 1) * inner];
@@ -120,7 +121,7 @@ impl Tensor {
                     *d += s;
                 }
             }
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -144,7 +145,7 @@ impl Tensor {
         let (outer, _, inner) = axis_split(tensors[0].shape(), axis);
         let axis_lens: Vec<usize> = tensors.iter().map(|t| t.shape().dim(axis)).collect();
         let total_axis: usize = axis_lens.iter().sum();
-        let mut out = vec![0.0f32; outer * total_axis * inner];
+        let mut out = alloc::zeroed(outer * total_axis * inner);
         {
             let mut offset = 0usize;
             for (t, &alen) in tensors.iter().zip(axis_lens.iter()) {
@@ -168,14 +169,14 @@ impl Tensor {
             let mut offset = 0usize;
             for (t, &alen) in parents_c.iter().zip(axis_lens.iter()) {
                 if t.is_tracked() {
-                    let mut gx = vec![0.0f32; t.numel()];
+                    let mut gx = alloc::zeroed(t.numel());
                     for o in 0..outer {
                         let src_base = (o * total_axis + offset) * inner;
                         let dst_base = o * alen * inner;
                         gx[dst_base..dst_base + alen * inner]
                             .copy_from_slice(&g[src_base..src_base + alen * inner]);
                     }
-                    t.accumulate_grad(&gx);
+                    t.accumulate_grad_owned(gx);
                 }
                 offset += alen;
             }

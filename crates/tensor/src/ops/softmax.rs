@@ -1,5 +1,6 @@
 //! Softmax-family ops (fused, numerically stable) and attention masking.
 
+use crate::alloc;
 use crate::kernels;
 use crate::shape::{broadcast_strides, for_each_broadcast};
 use crate::tensor::Tensor;
@@ -19,7 +20,7 @@ impl Tensor {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
             let y = out_t.data();
-            let mut gx = vec![0.0f32; y.len()];
+            let mut gx = alloc::zeroed(y.len());
             // dx = y * (g - sum(g * y)) rowwise.
             for r in 0..y.len() / cols.max(1) {
                 let o = r * cols;
@@ -32,7 +33,7 @@ impl Tensor {
                 }
             }
             drop(y);
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -50,7 +51,7 @@ impl Tensor {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
             let y = out_t.data();
-            let mut gx = vec![0.0f32; y.len()];
+            let mut gx = alloc::zeroed(y.len());
             // dx = g - softmax(x) * sum(g) rowwise; softmax = exp(y).
             for r in 0..y.len() / cols.max(1) {
                 let o = r * cols;
@@ -60,7 +61,7 @@ impl Tensor {
                 }
             }
             drop(y);
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 
@@ -81,7 +82,7 @@ impl Tensor {
         );
         let ms = broadcast_strides(mask.shape(), &out_shape);
         let zero = vec![0usize; out_shape.rank()];
-        let mut out = vec![0.0f32; out_shape.numel()];
+        let mut out = alloc::zeroed(out_shape.numel());
         let mut keep = vec![false; out_shape.numel()];
         {
             let data = self.data();
@@ -99,13 +100,13 @@ impl Tensor {
         Tensor::make_op(out_shape, out, vec![self.clone()], move |out_t| {
             let g_ref = out_t.grad_ref();
             let g = g_ref.as_ref().unwrap();
-            let mut gx = vec![0.0f32; g.len()];
+            let mut gx = alloc::zeroed(g.len());
             for i in 0..g.len() {
                 if keep[i] {
                     gx[i] = g[i];
                 }
             }
-            src.accumulate_grad(&gx);
+            src.accumulate_grad_owned(gx);
         })
     }
 }

@@ -1,5 +1,6 @@
 //! Elementwise unary operations and activations.
 
+use crate::alloc;
 use crate::kernels;
 use crate::tensor::Tensor;
 
@@ -14,22 +15,52 @@ fn unary_op(
     fwd: impl Fn(f32) -> f32 + Sync,
     dfdx: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
 ) -> Tensor {
-    let mut out = src.data().to_vec();
-    kernels::map_inplace(&mut out, &fwd);
+    let out = {
+        let x = src.data();
+        if kernels::map_splits(x.len()) {
+            // Parallel path: copy then split the in-place map across the pool.
+            let mut out = alloc::copy_of(&x);
+            drop(x);
+            kernels::map_inplace(&mut out, &fwd);
+            out
+        } else {
+            // Serial path: single pass, no intermediate copy.
+            let mut out = alloc::buffer(x.len());
+            out.extend(x.iter().map(|&v| fwd(v)));
+            out
+        }
+    };
     let src_c = src.clone();
     Tensor::make_op(src.shape().clone(), out, vec![src.clone()], move |out_t| {
         let g_ref = out_t.grad_ref();
         let g = g_ref.as_ref().unwrap();
         let x = src_c.data();
         let y = out_t.data();
-        let mut gx = vec![0.0f32; x.len()];
-        for i in 0..x.len() {
-            gx[i] = dfdx(x[i], y[i], g[i]);
-        }
+        let mut gx = alloc::buffer(x.len());
+        gx.extend((0..x.len()).map(|i| dfdx(x[i], y[i], g[i])));
         drop(x);
         drop(y);
-        src_c.accumulate_grad(&gx);
+        src_c.accumulate_grad_owned(gx);
     })
+}
+
+/// Consuming variant of [`unary_op`]: when `src` is untracked and uniquely
+/// owned (the typical shape of an intermediate in a `no_grad` inference
+/// chain), applies `fwd` directly to its buffer instead of materializing a
+/// new tensor. Tracked or shared inputs fall back to the recording path, so
+/// call sites can use this unconditionally on owned temporaries.
+fn unary_op_consuming(
+    src: Tensor,
+    fwd: impl Fn(f32) -> f32 + Sync,
+    dfdx: impl Fn(f32, f32, f32) -> f32 + Send + Sync + 'static,
+) -> Tensor {
+    match src.try_take_data() {
+        Ok((shape, mut data)) => {
+            kernels::map_inplace(&mut data, &fwd);
+            Tensor::from_vec(data, shape)
+        }
+        Err(src) => unary_op(&src, fwd, dfdx),
+    }
 }
 
 impl Tensor {
@@ -82,9 +113,17 @@ impl Tensor {
         unary_op(
             self,
             |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
-            |x, _, g| {
-                let inner = C * (x + 0.044715 * x * x * x);
-                let t = inner.tanh();
+            |x, y, g| {
+                // Recover t = tanh(inner) from the stored forward output
+                // y = 0.5·x·(1+t) instead of re-evaluating tanh; the libm
+                // call dominates this closure and the recovered value
+                // matches to rounding error. Near x = 0 the division loses
+                // precision, so fall back to the direct form there.
+                let t = if x.abs() > 1e-3 {
+                    2.0 * y / x - 1.0
+                } else {
+                    (C * (x + 0.044715 * x * x * x)).tanh()
+                };
                 let dt = 1.0 - t * t;
                 let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
                 g * (0.5 * (1.0 + t) + 0.5 * x * dt * dinner)
@@ -135,6 +174,71 @@ impl Tensor {
     /// Reciprocal, `1/x`.
     pub fn recip(&self) -> Tensor {
         unary_op(self, |x| 1.0 / x, |_, y, g| -g * y * y)
+    }
+
+    // ---------------------------------------------------------------
+    // Consuming variants: reuse the input buffer in place when it is
+    // untracked and uniquely owned (inference chains under `no_grad`);
+    // identical to the borrowing versions otherwise.
+    // ---------------------------------------------------------------
+
+    /// [`Tensor::relu`], reusing `self`'s buffer when possible.
+    pub fn into_relu(self) -> Tensor {
+        unary_op_consuming(self, |x| x.max(0.0), |x, _, g| if x > 0.0 { g } else { 0.0 })
+    }
+
+    /// [`Tensor::gelu`], reusing `self`'s buffer when possible.
+    pub fn into_gelu(self) -> Tensor {
+        const C: f32 = 0.797_884_6;
+        unary_op_consuming(
+            self,
+            |x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()),
+            |x, y, g| {
+                // Recover t = tanh(inner) from the stored forward output
+                // y = 0.5·x·(1+t) instead of re-evaluating tanh; the libm
+                // call dominates this closure and the recovered value
+                // matches to rounding error. Near x = 0 the division loses
+                // precision, so fall back to the direct form there.
+                let t = if x.abs() > 1e-3 {
+                    2.0 * y / x - 1.0
+                } else {
+                    (C * (x + 0.044715 * x * x * x)).tanh()
+                };
+                let dt = 1.0 - t * t;
+                let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
+                g * (0.5 * (1.0 + t) + 0.5 * x * dt * dinner)
+            },
+        )
+    }
+
+    /// [`Tensor::tanh`], reusing `self`'s buffer when possible.
+    pub fn into_tanh(self) -> Tensor {
+        unary_op_consuming(self, f32::tanh, |_, y, g| g * (1.0 - y * y))
+    }
+
+    /// [`Tensor::sigmoid`], reusing `self`'s buffer when possible.
+    pub fn into_sigmoid(self) -> Tensor {
+        unary_op_consuming(self, |x| 1.0 / (1.0 + (-x).exp()), |_, y, g| g * y * (1.0 - y))
+    }
+
+    /// [`Tensor::exp`], reusing `self`'s buffer when possible.
+    pub fn into_exp(self) -> Tensor {
+        unary_op_consuming(self, f32::exp, |_, y, g| g * y)
+    }
+
+    /// [`Tensor::neg`], reusing `self`'s buffer when possible.
+    pub fn into_neg(self) -> Tensor {
+        unary_op_consuming(self, |x| -x, |_, _, g| -g)
+    }
+
+    /// [`Tensor::mul_scalar`], reusing `self`'s buffer when possible.
+    pub fn into_mul_scalar(self, s: f32) -> Tensor {
+        unary_op_consuming(self, move |x| x * s, move |_, _, g| g * s)
+    }
+
+    /// [`Tensor::add_scalar`], reusing `self`'s buffer when possible.
+    pub fn into_add_scalar(self, s: f32) -> Tensor {
+        unary_op_consuming(self, move |x| x + s, move |_, _, g| g)
     }
 }
 

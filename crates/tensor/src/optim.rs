@@ -32,22 +32,15 @@ pub trait Optimizer {
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut total_sq = 0.0f32;
     for p in params {
-        if let Some(g) = p.grad() {
-            total_sq += crate::kernels::sq_norm(&g);
+        if let Some(g) = p.grad_ref().as_ref() {
+            total_sq += crate::kernels::sq_norm(g);
         }
     }
     let norm = total_sq.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            let has = p.grad().is_some();
-            if has {
-                // Scale in place through accumulate semantics: rebuild.
-                let g = p.grad().unwrap();
-                p.zero_grad();
-                let scaled: Vec<f32> = g.iter().map(|&v| v * scale).collect();
-                p.accumulate_grad(&scaled);
-            }
+            p.scale_grad(scale);
         }
     }
     norm
@@ -87,7 +80,8 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self) {
         for p in &self.params {
-            let Some(g) = p.grad() else { continue };
+            let g_ref = p.grad_ref();
+            let Some(g) = g_ref.as_ref() else { continue };
             let mut data = p.data_mut();
             if self.momentum > 0.0 {
                 let v = self
@@ -184,7 +178,8 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for p in &self.params {
-            let Some(g) = p.grad() else { continue };
+            let g_ref = p.grad_ref();
+            let Some(g) = g_ref.as_ref() else { continue };
             let mut data = p.data_mut();
             let m = self
                 .m

@@ -18,6 +18,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::alloc;
 use crate::autograd;
 use crate::shape::Shape;
 
@@ -42,6 +43,23 @@ pub(crate) struct Inner {
     requires_grad: bool,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Return this node's storage to the recycling allocator. A training
+        // step drops its whole tape here once the loss is consumed, so this
+        // is the path by which op outputs and gradient buffers come back
+        // for the next step.
+        if let Ok(data) = self.data.get_mut() {
+            alloc::recycle(std::mem::take(data));
+        }
+        if let Ok(grad) = self.grad.get_mut() {
+            if let Some(g) = grad.take() {
+                alloc::recycle(g);
+            }
+        }
+    }
 }
 
 /// A dense f32 tensor participating in a dynamic autograd graph.
@@ -82,28 +100,26 @@ impl Tensor {
 
     /// Creates a leaf tensor from a slice.
     pub fn from_slice(data: &[f32], shape: impl Into<Shape>) -> Tensor {
-        Tensor::from_vec(data.to_vec(), shape)
+        Tensor::from_vec(alloc::copy_of(data), shape)
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor::from_vec(vec![0.0; n], shape)
+        Tensor::from_vec(alloc::zeroed(n), shape)
     }
 
     /// All-ones tensor.
     pub fn ones(shape: impl Into<Shape>) -> Tensor {
-        let shape = shape.into();
-        let n = shape.numel();
-        Tensor::from_vec(vec![1.0; n], shape)
+        Tensor::full(shape, 1.0)
     }
 
     /// Constant-filled tensor.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Tensor {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor::from_vec(vec![value; n], shape)
+        Tensor::from_vec(alloc::filled(n, value), shape)
     }
 
     /// Rank-0 scalar tensor.
@@ -124,17 +140,17 @@ impl Tensor {
         // The Arc is fresh from a constructor in the intended usage, but be
         // defensive: rebuild if shared.
         match Arc::try_unwrap(self.inner) {
-            Ok(inner) => Tensor {
-                inner: Arc::new(Inner {
-                    requires_grad: true,
-                    ..inner
-                }),
-            },
+            Ok(mut inner) => {
+                inner.requires_grad = true;
+                Tensor {
+                    inner: Arc::new(inner),
+                }
+            }
             Err(arc) => Tensor {
                 inner: Arc::new(Inner {
                     id: arc.id,
                     shape: arc.shape.clone(),
-                    data: RwLock::new(arc.data.read().unwrap().clone()),
+                    data: RwLock::new(alloc::copy_of(&arc.data.read().unwrap())),
                     grad: RwLock::new(None),
                     requires_grad: true,
                     parents: Vec::new(),
@@ -226,9 +242,28 @@ impl Tensor {
         self.inner.data.write().unwrap()
     }
 
-    /// Copies the buffer out.
+    /// Copies the buffer out (into recycled storage when available).
     pub fn to_vec(&self) -> Vec<f32> {
-        self.inner.data.read().unwrap().clone()
+        alloc::copy_of(&self.inner.data.read().unwrap())
+    }
+
+    /// Consumes this handle and returns the owned storage when the tensor
+    /// is untracked and uniquely owned — the in-place fast path for
+    /// elementwise chains under `no_grad`. Returns the handle unchanged
+    /// when it is tracked or shared (the caller falls back to the
+    /// allocating path). Sound because the only handle to the buffer is
+    /// the one being consumed: no other owner can observe the mutation.
+    pub(crate) fn try_take_data(self) -> Result<(Shape, Vec<f32>), Tensor> {
+        if self.inner.requires_grad {
+            return Err(self);
+        }
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                let data = std::mem::take(inner.data.get_mut().unwrap());
+                Ok((inner.shape.clone(), data))
+            }
+            Err(arc) => Err(Tensor { inner: arc }),
+        }
     }
 
     /// Extracts the single element of a scalar (or one-element) tensor.
@@ -267,9 +302,11 @@ impl Tensor {
         self.inner.grad.read().unwrap()
     }
 
-    /// Clears the gradient buffer.
+    /// Clears the gradient buffer (recycling its storage).
     pub fn zero_grad(&self) {
-        *self.inner.grad.write().unwrap() = None;
+        if let Some(g) = self.inner.grad.write().unwrap().take() {
+            alloc::recycle(g);
+        }
     }
 
     /// Adds `delta` into this tensor's gradient buffer (allocating it on
@@ -282,13 +319,47 @@ impl Tensor {
         let mut grad = self.inner.grad.write().unwrap();
         match grad.as_mut() {
             Some(g) => crate::kernels::axpy(1.0, delta, g),
-            None => *grad = Some(delta.to_vec()),
+            None => *grad = Some(alloc::copy_of(delta)),
+        }
+    }
+
+    /// Like [`Tensor::accumulate_grad`] but takes ownership of `delta`:
+    /// on first accumulation the buffer is adopted outright (no copy),
+    /// otherwise it is added in and recycled. Untracked tensors recycle the
+    /// buffer immediately.
+    pub fn accumulate_grad_owned(&self, delta: Vec<f32>) {
+        if !self.inner.requires_grad {
+            alloc::recycle(delta);
+            return;
+        }
+        debug_assert_eq!(delta.len(), self.numel(), "gradient shape mismatch");
+        let mut grad = self.inner.grad.write().unwrap();
+        match grad.as_mut() {
+            Some(g) => {
+                crate::kernels::axpy(1.0, &delta, g);
+                drop(grad);
+                alloc::recycle(delta);
+            }
+            None => *grad = Some(delta),
+        }
+    }
+
+    /// Multiplies the accumulated gradient in place. No-op when no gradient
+    /// is present. Used by gradient clipping so it need not rebuild the
+    /// buffer.
+    pub fn scale_grad(&self, scale: f32) {
+        if let Some(g) = self.inner.grad.write().unwrap().as_mut() {
+            for v in g.iter_mut() {
+                *v *= scale;
+            }
         }
     }
 
     /// Seeds this tensor's gradient with `seed` (used by `backward`).
     pub(crate) fn seed_grad(&self, seed: Vec<f32>) {
-        *self.inner.grad.write().unwrap() = Some(seed);
+        if let Some(old) = self.inner.grad.write().unwrap().replace(seed) {
+            alloc::recycle(old);
+        }
     }
 
     /// Runs reverse-mode differentiation from this (scalar) tensor,

@@ -1,0 +1,191 @@
+//! Bitwise equivalence of the packed/blocked GEMM kernels with the naive
+//! row-oriented references (ISSUE: packed microkernels must not change
+//! results — same per-element accumulation order, so `==` not "close").
+//!
+//! Shapes deliberately straddle every block boundary: m around the MR=4
+//! microtile, n around the NR=8 strip width, k across the KC=256 k-block,
+//! plus the degenerate m=1 / k=0 cases and the pooled dispatch path.
+
+use mbssl_tensor::kernels;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fill(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Sprinkles exact zeros into a buffer so the microkernel's `a == 0.0` skip
+/// is exercised (it must skip exactly when the naive kernel skips).
+fn sprinkle_zeros(v: &mut [f32], rng: &mut StdRng) {
+    for x in v.iter_mut() {
+        if rng.gen_range(0.0f32..1.0) < 0.15 {
+            *x = 0.0;
+        }
+    }
+}
+
+proptest! {
+    // Ragged shapes around the MR/NR tile edges; k small enough to stay
+    // inside one KC block. Includes m=1 (naive dispatch) and k=0.
+    #[test]
+    fn packed_nn_bitwise_ragged(m in 1usize..10, k in 0usize..40, n in 1usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut packed = vec![0.0f32; m * n];
+        kernels::gemm_nn_packed(&a, &b, &mut packed, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(packed, naive);
+    }
+
+    #[test]
+    fn packed_tn_bitwise_ragged(m in 1usize..10, k in 0usize..40, n in 1usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, k * m), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut packed = vec![0.0f32; m * n];
+        kernels::gemm_tn_packed(&a, &b, &mut packed, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_tn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(packed, naive);
+    }
+
+    #[test]
+    fn packed_nt_bitwise_ragged(m in 1usize..10, k in 0usize..40, n in 1usize..20, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, n * k));
+        let mut packed = vec![0.0f32; m * n];
+        kernels::gemm_nt_packed(&a, &b, &mut packed, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nt_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(packed, naive);
+    }
+
+    // k crossing the KC=256 block boundary: the packed kernel revisits the
+    // same C tile per k-block, which must still accumulate in ascending-p
+    // order per element.
+    #[test]
+    fn packed_nn_bitwise_across_kc(m in 3usize..7, k in 250usize..262, n in 5usize..12, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut packed = vec![0.0f32; m * n];
+        kernels::gemm_nn_packed(&a, &b, &mut packed, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(packed, naive);
+    }
+
+    #[test]
+    fn packed_tn_bitwise_across_kc(m in 3usize..7, k in 250usize..262, n in 5usize..12, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, k * m), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut packed = vec![0.0f32; m * n];
+        kernels::gemm_tn_packed(&a, &b, &mut packed, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_tn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(packed, naive);
+    }
+
+    // The public dispatchers (packed + pooled) must also be bitwise equal
+    // to naive at whatever pool size the process is running with — this is
+    // the property scripts/ci.sh re-runs under MBSSL_THREADS=1, 2, and the
+    // machine default.
+    #[test]
+    fn dispatch_nn_bitwise_equals_naive(m in 60usize..80, k in 24usize..40, n in 9usize..20, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut got = vec![0.0f32; m * n];
+        kernels::gemm_nn(&a, &b, &mut got, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn dispatch_nt_bitwise_equals_naive(m in 60usize..80, k in 24usize..40, n in 9usize..20, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, n * k));
+        let mut got = vec![0.0f32; m * n];
+        kernels::gemm_nt(&a, &b, &mut got, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nt_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn dispatch_tn_bitwise_equals_naive(m in 60usize..80, k in 24usize..40, n in 9usize..20, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, k * m), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut got = vec![0.0f32; m * n];
+        kernels::gemm_tn(&a, &b, &mut got, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_tn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(got, naive);
+    }
+
+    // Accumulation into a non-zero C (GEMM is C += A·B, and backward passes
+    // rely on it): packed must add exactly what naive adds.
+    #[test]
+    fn packed_nn_accumulates_bitwise(m in 4usize..9, k in 10usize..30, n in 7usize..18, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        let base = fill(&mut rng, m * n);
+        let mut packed = base.clone();
+        kernels::gemm_nn_packed(&a, &b, &mut packed, m, k, n);
+        let mut naive = base.clone();
+        kernels::gemm_nn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(packed, naive);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zero-size edge cases (regression for the inconsistent empty-dimension
+// guards the row helpers used to have): every kernel must be a no-op that
+// leaves C untouched, never a panic or a division by zero.
+// ---------------------------------------------------------------------
+
+#[test]
+fn zero_m_is_noop() {
+    let b = vec![1.0f32; 12];
+    let mut c: Vec<f32> = vec![];
+    kernels::gemm_nn(&[], &b, &mut c, 0, 3, 4);
+    kernels::gemm_nt(&[], &b, &mut c, 0, 3, 4);
+    kernels::gemm_tn(&[], &b, &mut c, 0, 3, 4);
+    assert!(c.is_empty());
+}
+
+#[test]
+fn zero_k_leaves_c_unchanged() {
+    let mut c = vec![7.0f32; 6];
+    kernels::gemm_nn(&[], &[], &mut c, 2, 0, 3);
+    assert_eq!(c, vec![7.0f32; 6]);
+    kernels::gemm_nt(&[], &[], &mut c, 2, 0, 3);
+    assert_eq!(c, vec![7.0f32; 6]);
+    kernels::gemm_tn(&[], &[], &mut c, 2, 0, 3);
+    assert_eq!(c, vec![7.0f32; 6]);
+}
+
+#[test]
+fn zero_n_is_noop() {
+    let a = vec![1.0f32; 6];
+    let mut c: Vec<f32> = vec![];
+    kernels::gemm_nn(&a, &[], &mut c, 2, 3, 0);
+    kernels::gemm_nt(&a, &[], &mut c, 2, 3, 0);
+    kernels::gemm_tn(&a, &[], &mut c, 3, 2, 0);
+    assert!(c.is_empty());
+}
+
+#[test]
+fn all_zero_dims_is_noop() {
+    let mut c: Vec<f32> = vec![];
+    kernels::gemm_nn(&[], &[], &mut c, 0, 0, 0);
+    kernels::gemm_nt(&[], &[], &mut c, 0, 0, 0);
+    kernels::gemm_tn(&[], &[], &mut c, 0, 0, 0);
+    assert!(c.is_empty());
+}

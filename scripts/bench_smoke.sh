@@ -17,12 +17,16 @@ python3 - "$raw" > BENCH_throughput.json <<'PY'
 import json, re, sys
 
 rows = []
+allocator = None
 with open(sys.argv[1]) as fh:
     for line in fh:
         line = line.strip()
         if not line:
             continue
         rec = json.loads(line)
+        if rec["name"] == "alloc_stats":
+            allocator = {k: v for k, v in rec.items() if k != "name"}
+            continue
         m = re.search(r"items(\d+)$", rec["name"])
         items = int(m.group(1)) if m else 1
         rows.append({
@@ -32,7 +36,10 @@ with open(sys.argv[1]) as fh:
             "items_per_sec": round(rec["iters_per_sec"] * items, 1),
         })
 
-json.dump({"unit": "items/sec", "benchmarks": rows}, sys.stdout, indent=2)
+report = {"unit": "items/sec", "benchmarks": rows}
+if allocator is not None:
+    report["allocator"] = allocator
+json.dump(report, sys.stdout, indent=2)
 print()
 PY
 

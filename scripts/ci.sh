@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Full local CI: the tier-1 gate plus the perf-sensitive test suites that
+# guard the packed GEMM kernels and the recycling allocator.
+#
+# Stages:
+#   1. tier-1 verify        — release build + workspace tests (the gate the
+#                             roadmap promises stays green).
+#   2. packed-GEMM proptests — bit-for-bit packed==naive, run under worker
+#                             pool sizes 1, 2, and the machine default so the
+#                             parallel row-split paths are all exercised.
+#   3. allocation regression — counting-allocator budget test (also per pool
+#                             size; the recycler is thread-local + shared).
+#   4. bench smoke          — refreshes BENCH_throughput.json and fails if the
+#                             bench harness itself breaks (numbers are
+#                             machine-dependent and not asserted here).
+#
+# Usage: scripts/ci.sh [--skip-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_bench=0
+[[ "${1:-}" == "--skip-bench" ]] && skip_bench=1
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: workspace tests"
+cargo test --workspace -q
+
+for threads in 1 2 ""; do
+    label="${threads:-default}"
+    echo "==> packed GEMM proptests (MBSSL_THREADS=$label)"
+    if [[ -n "$threads" ]]; then
+        MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test packed_gemm -q
+    else
+        env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test packed_gemm -q
+    fi
+
+    echo "==> allocation-regression test (MBSSL_THREADS=$label)"
+    if [[ -n "$threads" ]]; then
+        MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test alloc_budget -q
+    else
+        env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test alloc_budget -q
+    fi
+done
+
+echo "==> allocator escape hatch (MBSSL_ALLOC=off)"
+MBSSL_ALLOC=off cargo test --release -p mbssl-tensor --test packed_gemm -q
+
+if [[ "$skip_bench" -eq 0 ]]; then
+    echo "==> bench smoke"
+    scripts/bench_smoke.sh
+else
+    echo "==> bench smoke skipped (--skip-bench)"
+fi
+
+echo "CI OK"

@@ -6,7 +6,7 @@
 //! normal assert message), and cases are generated from a fixed seed mixed
 //! with the case index, so runs are deterministic.
 
-use rand::{Rng, SeedableRng, StdRng};
+use rand::{Rng, StdRng};
 
 /// Per-test configuration (mirrors `proptest::test_runner::Config`).
 #[derive(Clone, Debug)]
