@@ -4,9 +4,15 @@
 //! iteration processes (`itemsN`) so `scripts/bench_smoke.sh` can convert
 //! the iter/s readings into items/sec.
 //!
-//! After all benchmarks run, a summary line with the buffer-recycling
-//! allocator's counters is appended to `CRITERION_JSON` (picked up by
-//! `bench_smoke.sh` as the `allocator` section of `BENCH_throughput.json`).
+//! The allocator counters are reset at the start of each bench section and
+//! a per-section summary record is appended to `CRITERION_JSON` (picked up
+//! by `bench_smoke.sh` as the `allocator` section of
+//! `BENCH_throughput.json`), so a section's hit rate reflects that section
+//! alone rather than everything run before it.
+//!
+//! Set `MBSSL_BENCH_ONLY=<substring>` to run only the benches whose name
+//! contains the substring (`bench_smoke.sh` uses this for its second,
+//! unfused `train_step` pass).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -21,99 +27,22 @@ use mbssl_tensor::{alloc, kernels};
 const TRAIN_BATCH: usize = 64;
 const EVAL_USERS: usize = 256;
 
-fn bench_throughput(c: &mut Criterion) {
-    let workload = build_workload("taobao-like", 0.15, 11);
-    let d = &workload.dataset;
-    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
-    let model = Mbmissl::new(d.num_items, schema, bench_model_config(11));
-
-    let batch: Vec<&TrainInstance> = workload.split.train.iter().take(TRAIN_BATCH).collect();
-    let name = format!("throughput_train_step_items{}", batch.len());
-    c.bench_function(&name, |b| {
-        let mut rng = StdRng::seed_from_u64(0);
-        b.iter(|| {
-            for p in model.params() {
-                p.zero_grad();
-            }
-            model
-                .loss_on_batch(&batch, &workload.sampler, 16, &mut rng)
-                .backward();
-        });
-    });
-
-    let n_eval = workload.split.test.len().min(EVAL_USERS);
-    let test = &workload.split.test[..n_eval];
-    let candidates = EvalCandidates::build(test, &workload.sampler, 99, 0xEA2);
-    let name = format!("throughput_evaluate_items{n_eval}");
-    c.bench_function(&name, |b| {
-        b.iter(|| evaluate(&model, test, &candidates, 64));
-    });
+/// `MBSSL_BENCH_ONLY` substring filter (the criterion shim has no name
+/// filtering of its own). Empty/unset runs everything.
+fn bench_enabled(name: &str) -> bool {
+    match std::env::var("MBSSL_BENCH_ONLY") {
+        Ok(filter) if !filter.is_empty() => name.contains(&filter),
+        _ => true,
+    }
 }
 
-/// The GEMM shapes one encoder/backward pass is made of, with the bench
-/// model config (dim 32, ffn 64, batch 64 × seq 50 ⇒ 3200 flattened rows):
-/// encoder projections (`nn`), the FFN expansion (`nn`), the weight-gradient
-/// reduction (`tn`, long k — the packed-A case), and the data gradient
-/// (`nt`).
-fn bench_gemm_shapes(c: &mut Criterion) {
-    const ROWS: usize = 64 * 50;
-    const DIM: usize = 32;
-    const FFN: usize = 64;
-
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut fill = |n: usize| -> Vec<f32> {
-        use rand::Rng;
-        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
-    };
-
-    // Encoder projection: [3200, 32] · [32, 32].
-    let (a, b) = (fill(ROWS * DIM), fill(DIM * DIM));
-    c.bench_function("gemm_nn_encoder_3200x32x32", |bch| {
-        let mut out = vec![0.0f32; ROWS * DIM];
-        bch.iter(|| {
-            out.fill(0.0);
-            kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, ROWS, DIM, DIM);
-        });
-    });
-
-    // FFN expansion: [3200, 32] · [32, 64].
-    let (a, b) = (fill(ROWS * DIM), fill(DIM * FFN));
-    c.bench_function("gemm_nn_ffn_3200x32x64", |bch| {
-        let mut out = vec![0.0f32; ROWS * FFN];
-        bch.iter(|| {
-            out.fill(0.0);
-            kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, ROWS, DIM, FFN);
-        });
-    });
-
-    // Weight gradient: xᵀ·g = [32, 3200]ᵀ-view · [3200, 64] (k = 3200).
-    let (a, b) = (fill(ROWS * DIM), fill(ROWS * FFN));
-    c.bench_function("gemm_tn_wgrad_32x3200x64", |bch| {
-        let mut out = vec![0.0f32; DIM * FFN];
-        bch.iter(|| {
-            out.fill(0.0);
-            kernels::gemm_tn(black_box(&a), black_box(&b), &mut out, DIM, ROWS, FFN);
-        });
-    });
-
-    // Data gradient: g·Wᵀ = [3200, 64] · [32, 64]ᵀ.
-    let (a, b) = (fill(ROWS * FFN), fill(DIM * FFN));
-    c.bench_function("gemm_nt_dgrad_3200x64x32", |bch| {
-        let mut out = vec![0.0f32; ROWS * DIM];
-        bch.iter(|| {
-            out.fill(0.0);
-            kernels::gemm_nt(black_box(&a), black_box(&b), &mut out, ROWS, FFN, DIM);
-        });
-    });
-}
-
-/// Appends the allocator counters accumulated over the whole bench run to
-/// `CRITERION_JSON` (no timing; `bench_smoke.sh` routes this record into a
-/// separate section of the report).
-fn emit_alloc_stats(_c: &mut Criterion) {
+/// Appends the allocator counters accumulated since the last
+/// `alloc::reset_stats()` to `CRITERION_JSON`, tagged with the section that
+/// just ran.
+fn emit_alloc_section(section: &str) {
     let s = alloc::stats();
     println!(
-        "alloc: hits {} misses {} recycled {} bytes_reused {} hit_rate {:.1}%",
+        "alloc[{section}]: hits {} misses {} recycled {} bytes_reused {} hit_rate {:.1}%",
         s.hits,
         s.misses,
         s.recycled,
@@ -127,7 +56,7 @@ fn emit_alloc_stats(_c: &mut Criterion) {
             {
                 let _ = writeln!(
                     file,
-                    "{{\"name\": \"alloc_stats\", \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"recycled\": {}, \"bytes_reused\": {}, \"hit_rate_pct\": {:.2}}}",
+                    "{{\"name\": \"alloc_stats\", \"section\": \"{section}\", \"enabled\": {}, \"hits\": {}, \"misses\": {}, \"recycled\": {}, \"bytes_reused\": {}, \"hit_rate_pct\": {:.2}}}",
                     alloc::enabled(),
                     s.hits,
                     s.misses,
@@ -140,9 +69,124 @@ fn emit_alloc_stats(_c: &mut Criterion) {
     }
 }
 
+fn bench_throughput(c: &mut Criterion) {
+    let workload = build_workload("taobao-like", 0.15, 11);
+    let d = &workload.dataset;
+    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
+    let model = Mbmissl::new(d.num_items, schema, bench_model_config(11));
+
+    let batch: Vec<&TrainInstance> = workload.split.train.iter().take(TRAIN_BATCH).collect();
+    let name = format!("throughput_train_step_items{}", batch.len());
+    if bench_enabled(&name) {
+        alloc::reset_stats();
+        c.bench_function(&name, |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| {
+                for p in model.params() {
+                    p.zero_grad();
+                }
+                model
+                    .loss_on_batch(&batch, &workload.sampler, 16, &mut rng)
+                    .backward();
+            });
+        });
+        emit_alloc_section("train_step");
+    }
+
+    let n_eval = workload.split.test.len().min(EVAL_USERS);
+    let test = &workload.split.test[..n_eval];
+    let candidates = EvalCandidates::build(test, &workload.sampler, 99, 0xEA2);
+    let name = format!("throughput_evaluate_items{n_eval}");
+    if bench_enabled(&name) {
+        alloc::reset_stats();
+        c.bench_function(&name, |b| {
+            b.iter(|| evaluate(&model, test, &candidates, 64));
+        });
+        emit_alloc_section("evaluate");
+    }
+}
+
+/// The GEMM shapes one encoder/backward pass is made of, with the bench
+/// model config (dim 32, ffn 64, batch 64 × seq 50 ⇒ 3200 flattened rows):
+/// encoder projections (`nn`), the FFN expansion (`nn`), the weight-gradient
+/// reduction (`tn`, long k — the packed-A case), and the data gradient
+/// (`nt`).
+fn bench_gemm_shapes(c: &mut Criterion) {
+    const ROWS: usize = 64 * 50;
+    const DIM: usize = 32;
+    const FFN: usize = 64;
+
+    const NAMES: [&str; 4] = [
+        "gemm_nn_encoder_3200x32x32",
+        "gemm_nn_ffn_3200x32x64",
+        "gemm_tn_wgrad_32x3200x64",
+        "gemm_nt_dgrad_3200x64x32",
+    ];
+    if !NAMES.iter().any(|n| bench_enabled(n)) {
+        return;
+    }
+    alloc::reset_stats();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut fill = |n: usize| -> Vec<f32> {
+        use rand::Rng;
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    };
+
+    // Encoder projection: [3200, 32] · [32, 32].
+    let (a, b) = (fill(ROWS * DIM), fill(DIM * DIM));
+    if bench_enabled(NAMES[0]) {
+        c.bench_function(NAMES[0], |bch| {
+            let mut out = vec![0.0f32; ROWS * DIM];
+            bch.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, ROWS, DIM, DIM);
+            });
+        });
+    }
+
+    // FFN expansion: [3200, 32] · [32, 64].
+    let (a, b) = (fill(ROWS * DIM), fill(DIM * FFN));
+    if bench_enabled(NAMES[1]) {
+        c.bench_function(NAMES[1], |bch| {
+            let mut out = vec![0.0f32; ROWS * FFN];
+            bch.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_nn(black_box(&a), black_box(&b), &mut out, ROWS, DIM, FFN);
+            });
+        });
+    }
+
+    // Weight gradient: xᵀ·g = [32, 3200]ᵀ-view · [3200, 64] (k = 3200).
+    let (a, b) = (fill(ROWS * DIM), fill(ROWS * FFN));
+    if bench_enabled(NAMES[2]) {
+        c.bench_function(NAMES[2], |bch| {
+            let mut out = vec![0.0f32; DIM * FFN];
+            bch.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_tn(black_box(&a), black_box(&b), &mut out, DIM, ROWS, FFN);
+            });
+        });
+    }
+
+    // Data gradient: g·Wᵀ = [3200, 64] · [32, 64]ᵀ.
+    let (a, b) = (fill(ROWS * FFN), fill(DIM * FFN));
+    if bench_enabled(NAMES[3]) {
+        c.bench_function(NAMES[3], |bch| {
+            let mut out = vec![0.0f32; ROWS * DIM];
+            bch.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_nt(black_box(&a), black_box(&b), &mut out, ROWS, FFN, DIM);
+            });
+        });
+    }
+
+    emit_alloc_section("gemm_shapes");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_throughput, bench_gemm_shapes, emit_alloc_stats
+    targets = bench_throughput, bench_gemm_shapes
 }
 criterion_main!(benches);

@@ -48,8 +48,17 @@ impl InputLayer {
         let behavior = self.behavior_emb.forward_seq(&batch.behaviors, b, l);
         let positions: Vec<usize> = (0..b * l).map(|i| i % l).collect();
         let pos = self.pos_emb.forward_seq(&positions, b, l);
-        let x = item.add(&behavior).add(&pos);
-        mode.dropout(&self.ln.forward(&x), self.dropout)
+        if mbssl_tensor::fused::enabled() {
+            // `ln(item + behavior + pos)` with the second add and the norm
+            // collapsed into one fused node; element order matches the
+            // composition below bit-for-bit.
+            let s = item.add(&behavior);
+            let y = self.ln.residual_forward(&s, &pos);
+            mode.dropout(&y, self.dropout)
+        } else {
+            let x = item.add(&behavior).add(&pos);
+            mode.dropout(&self.ln.forward(&x), self.dropout)
+        }
     }
 }
 

@@ -62,7 +62,11 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
             .iter()
             .map(|l| l.as_slice())
             .collect();
-        *slots[ci].lock().unwrap() = model.score_batch(&histories, &cand_refs);
+        // no_grad is thread-local, so the guard must live inside the pool
+        // closure: evaluation never records autograd nodes or allocates
+        // gradient buffers regardless of which worker runs the chunk.
+        *slots[ci].lock().unwrap() =
+            mbssl_tensor::no_grad(|| model.score_batch(&histories, &cand_refs));
     });
     let mut score_lists: Vec<Vec<f32>> = Vec::with_capacity(instances.len());
     for slot in slots {
@@ -128,7 +132,7 @@ pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
         let end = ((start as usize + chunk_size - 1).min(num_items)) as ItemId;
         let chunk: Vec<ItemId> = (start..=end).filter(|i| !exclude.contains(i)).collect();
         if !chunk.is_empty() {
-            let scores = model.score_batch(&[history], &[&chunk]);
+            let scores = mbssl_tensor::no_grad(|| model.score_batch(&[history], &[&chunk]));
             for (&item, &score) in chunk.iter().zip(scores[0].iter()) {
                 heap.push(Reverse(RankKey { score, item }));
                 if heap.len() > n {
@@ -394,6 +398,56 @@ mod tests {
                 })
                 .collect()
         }
+    }
+
+    /// Tensor-backed scorer that records whether its outputs were tracked by
+    /// autograd, to pin the no-graph contract of `evaluate`.
+    struct GradProbe {
+        w: mbssl_tensor::Tensor,
+        tracked: Mutex<Vec<bool>>,
+    }
+    impl GradProbe {
+        fn new() -> Self {
+            GradProbe {
+                w: mbssl_tensor::Tensor::ones([2, 1]).requires_grad(),
+                tracked: Mutex::new(Vec::new()),
+            }
+        }
+    }
+    impl SequentialRecommender for GradProbe {
+        fn name(&self) -> String {
+            "grad-probe".into()
+        }
+        fn score_batch(&self, histories: &[&Sequence], candidates: &[&[ItemId]]) -> Vec<Vec<f32>> {
+            // A real forward pass through a tracked parameter: outside
+            // no_grad this would record a graph node and later allocate a
+            // gradient buffer on w.
+            let y = mbssl_tensor::Tensor::ones([1, 2]).matmul(&self.w);
+            self.tracked.lock().unwrap().push(y.is_tracked());
+            let base = y.to_vec()[0];
+            histories
+                .iter()
+                .zip(candidates.iter())
+                .map(|(_, l)| l.iter().map(|&c| base - c as f32).collect())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn evaluate_records_no_graph_nodes() {
+        let (instances, cands) = demo_instances(9);
+        let probe = GradProbe::new();
+        evaluate(&probe, &instances, &cands, 2);
+        let flags = probe.tracked.lock().unwrap();
+        assert!(!flags.is_empty(), "probe never scored");
+        assert!(
+            flags.iter().all(|&t| !t),
+            "evaluate recorded autograd nodes"
+        );
+        assert!(
+            probe.w.grad().is_none(),
+            "evaluate allocated a gradient buffer"
+        );
     }
 
     #[test]

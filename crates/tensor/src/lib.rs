@@ -9,6 +9,8 @@
 //! - reverse-mode autodiff with a dynamic tape ([`autograd`]),
 //! - threaded CPU kernels ([`kernels`]) backed by a persistent worker
 //!   pool ([`pool`]),
+//! - fused transformer-block ops ([`fused`]): one-pass SDPA attention,
+//!   bias+GELU and residual+layernorm with hand-written backwards,
 //! - an NN layer library ([`nn`]): linear, embedding, layer-norm,
 //!   multi-head attention, transformer blocks, GRU,
 //! - optimizers and LR schedules ([`optim`]),
@@ -29,6 +31,7 @@
 
 pub mod alloc;
 pub mod autograd;
+pub mod fused;
 pub mod init;
 pub mod kernels;
 pub mod nn;

@@ -54,7 +54,14 @@ impl FeedForward {
     }
 
     pub fn forward(&self, x: &Tensor, mode: &mut Mode) -> Tensor {
-        let h = self.activation.apply_owned(self.lin1.forward(x));
+        let h = match self.lin1.bias() {
+            // Fused epilogue: matmul -> bias_gelu as one node instead of
+            // matmul -> add -> gelu as three. Same values, same gradients.
+            Some(b) if crate::fused::enabled() && self.activation == Activation::Gelu => {
+                x.matmul(self.lin1.weight()).bias_gelu(b)
+            }
+            _ => self.activation.apply_owned(self.lin1.forward(x)),
+        };
         let h = mode.dropout(&h, self.dropout);
         self.lin2.forward(&h)
     }

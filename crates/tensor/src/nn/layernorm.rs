@@ -34,6 +34,14 @@ impl LayerNorm {
     pub fn dim(&self) -> usize {
         self.dim
     }
+
+    /// Fused pre-LN residual sublayer: `layer_norm(a + b)` as a single
+    /// autograd node ([`Tensor::residual_layer_norm`]), bit-for-bit equal to
+    /// `self.forward(&a.add(b))`.
+    pub fn residual_forward(&self, a: &Tensor, b: &Tensor) -> Tensor {
+        debug_assert_eq!(*a.dims().last().unwrap(), self.dim, "layernorm dim mismatch");
+        a.residual_layer_norm(b, &self.gamma, &self.beta, self.eps)
+    }
 }
 
 impl Module for LayerNorm {

@@ -60,6 +60,12 @@ impl Linear {
     pub fn weight(&self) -> &Tensor {
         &self.weight
     }
+
+    /// Direct access to the bias (used by fused epilogues like
+    /// [`Tensor::bias_gelu`]).
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref()
+    }
 }
 
 impl Module for Linear {

@@ -48,6 +48,18 @@ impl Mode<'_> {
             _ => x.clone(),
         }
     }
+
+    /// Draws the keep/scale mask that [`Mode::dropout`] would use for a
+    /// tensor of `n` elements — one RNG draw per element in `Train` mode
+    /// when `p > 0`, no draws otherwise — without building a graph node.
+    /// Fused call sites use this so the RNG stream stays identical to the
+    /// unfused composition.
+    pub fn dropout_mask_for(&mut self, n: usize, p: f32) -> Option<Vec<f32>> {
+        match self {
+            Mode::Train(rng) if p > 0.0 => Some(crate::ops::dropout_mask(n, p, *rng)),
+            _ => None,
+        }
+    }
 }
 
 /// Ordered registry of named parameters.

@@ -2,42 +2,75 @@
 # Quick throughput smoke: runs the criterion throughput bench in quick mode
 # and distills items/sec figures into BENCH_throughput.json at the repo root.
 #
+# Two passes: the full suite with fusion at its ambient setting, then a
+# second `train_step`-only pass with MBSSL_FUSED=off so the report shows the
+# fused and unfused training step side by side.
+#
 # Usage: scripts/bench_smoke.sh [extra cargo-bench args]
 # Env:   MBSSL_THREADS — forwarded to the worker pool (see DESIGN.md §Threading).
+#        MBSSL_FUSED   — fused transformer kernels (see DESIGN.md §Fusion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+raw_unfused=$(mktemp)
+trap 'rm -f "$raw" "$raw_unfused"' EXIT
 
 CRITERION_QUICK=1 CRITERION_JSON="$raw" \
     cargo bench -p mbssl-bench --bench throughput "$@"
 
-python3 - "$raw" > BENCH_throughput.json <<'PY'
-import json, re, sys
+CRITERION_QUICK=1 CRITERION_JSON="$raw_unfused" \
+    MBSSL_FUSED=off MBSSL_BENCH_ONLY=train_step \
+    cargo bench -p mbssl-bench --bench throughput "$@"
 
-rows = []
-allocator = None
-with open(sys.argv[1]) as fh:
-    for line in fh:
-        line = line.strip()
-        if not line:
-            continue
-        rec = json.loads(line)
-        if rec["name"] == "alloc_stats":
-            allocator = {k: v for k, v in rec.items() if k != "name"}
-            continue
-        m = re.search(r"items(\d+)$", rec["name"])
-        items = int(m.group(1)) if m else 1
-        rows.append({
-            "name": rec["name"],
-            "ns_per_iter": rec["ns_per_iter"],
-            "items_per_iter": items,
-            "items_per_sec": round(rec["iters_per_sec"] * items, 1),
-        })
+python3 - "$raw" "$raw_unfused" > BENCH_throughput.json <<'PY'
+import datetime, json, os, re, subprocess, sys
 
-report = {"unit": "items/sec", "benchmarks": rows}
-if allocator is not None:
+def load(path):
+    rows, allocator = [], {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec["name"] == "alloc_stats":
+                section = rec.get("section", "all")
+                allocator[section] = {
+                    k: v for k, v in rec.items() if k not in ("name", "section")
+                }
+                continue
+            m = re.search(r"items(\d+)$", rec["name"])
+            items = int(m.group(1)) if m else 1
+            rows.append({
+                "name": rec["name"],
+                "ns_per_iter": rec["ns_per_iter"],
+                "items_per_iter": items,
+                "items_per_sec": round(rec["iters_per_sec"] * items, 1),
+            })
+    return rows, allocator
+
+rows, allocator = load(sys.argv[1])
+unfused_rows, _ = load(sys.argv[2])
+
+git_rev = subprocess.run(
+    ["git", "rev-parse", "HEAD"], capture_output=True, text=True
+).stdout.strip() or None
+
+meta = {
+    "git_rev": git_rev,
+    "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "cores": os.cpu_count(),
+    "MBSSL_THREADS": os.environ.get("MBSSL_THREADS", ""),
+    "MBSSL_ALLOC": os.environ.get("MBSSL_ALLOC", ""),
+    "MBSSL_FUSED": os.environ.get("MBSSL_FUSED", ""),
+}
+
+report = {"unit": "items/sec", "meta": meta, "benchmarks": rows}
+if unfused_rows:
+    report["unfused"] = unfused_rows
+if allocator:
     report["allocator"] = allocator
 json.dump(report, sys.stdout, indent=2)
 print()

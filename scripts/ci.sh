@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI: the tier-1 gate plus the perf-sensitive test suites that
-# guard the packed GEMM kernels and the recycling allocator.
+# guard the packed GEMM kernels, the recycling allocator, and the fused
+# transformer-block ops.
 #
 # Stages:
 #   1. tier-1 verify        — release build + workspace tests (the gate the
@@ -8,9 +9,13 @@
 #   2. packed-GEMM proptests — bit-for-bit packed==naive, run under worker
 #                             pool sizes 1, 2, and the machine default so the
 #                             parallel row-split paths are all exercised.
-#   3. allocation regression — counting-allocator budget test (also per pool
+#   3. fused-op parity      — bit-for-bit fused==unfused forward + gradients
+#                             (also per pool size; sdpa dispatches per slice).
+#   4. allocation regression — counting-allocator budget test (also per pool
 #                             size; the recycler is thread-local + shared).
-#   4. bench smoke          — refreshes BENCH_throughput.json and fails if the
+#   5. escape hatches       — full workspace tests with MBSSL_FUSED=off, and
+#                             the packed-GEMM suite with MBSSL_ALLOC=off.
+#   6. bench smoke          — refreshes BENCH_throughput.json and fails if the
 #                             bench harness itself breaks (numbers are
 #                             machine-dependent and not asserted here).
 #
@@ -36,6 +41,13 @@ for threads in 1 2 ""; do
         env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test packed_gemm -q
     fi
 
+    echo "==> fused-op parity proptests (MBSSL_THREADS=$label)"
+    if [[ -n "$threads" ]]; then
+        MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test fused_parity -q
+    else
+        env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test fused_parity -q
+    fi
+
     echo "==> allocation-regression test (MBSSL_THREADS=$label)"
     if [[ -n "$threads" ]]; then
         MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test alloc_budget -q
@@ -43,6 +55,9 @@ for threads in 1 2 ""; do
         env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test alloc_budget -q
     fi
 done
+
+echo "==> fusion escape hatch (MBSSL_FUSED=off, full workspace)"
+MBSSL_FUSED=off cargo test --workspace -q
 
 echo "==> allocator escape hatch (MBSSL_ALLOC=off)"
 MBSSL_ALLOC=off cargo test --release -p mbssl-tensor --test packed_gemm -q
