@@ -13,6 +13,11 @@
 //! Set `MBSSL_BENCH_ONLY=<substring>` to run only the benches whose name
 //! contains the substring (`bench_smoke.sh` uses this for its second,
 //! unfused `train_step` pass).
+//!
+//! With `MBSSL_TRACE` active, per-section telemetry records (span timings,
+//! allocator/pool gauges) are also appended to `CRITERION_JSON`;
+//! `bench_smoke.sh` runs a third, traced `train_step` pass to populate the
+//! `telemetry` section of `BENCH_throughput.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -22,6 +27,7 @@ use mbssl_bench::{bench_model_config, build_workload};
 use mbssl_core::{evaluate, BehaviorSchema, Mbmissl, TrainableRecommender};
 use mbssl_data::preprocess::TrainInstance;
 use mbssl_data::sampler::EvalCandidates;
+use mbssl_telemetry as telemetry;
 use mbssl_tensor::{alloc, kernels};
 
 const TRAIN_BATCH: usize = 64;
@@ -69,6 +75,35 @@ fn emit_alloc_section(section: &str) {
     }
 }
 
+/// Drains the telemetry registry (no-op when `MBSSL_TRACE` is off) and
+/// appends one `{"name": "telemetry", ...}` record per span/counter/gauge
+/// label to `CRITERION_JSON`, tagged with the section that just ran.
+/// `bench_smoke.sh` distills the span records into the `telemetry` table of
+/// `BENCH_throughput.json`.
+fn emit_telemetry_section(section: &str) {
+    let stats = telemetry::drain();
+    if stats.is_empty() {
+        return;
+    }
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    for rec in &stats {
+        // record_to_jsonl emits {"kind": ...}; rewrap under a "name" field so
+        // the bench-report parser can route it like the alloc_stats records.
+        let _ = writeln!(
+            file,
+            "{{\"name\": \"telemetry\", {}",
+            telemetry::record_to_jsonl(rec, section).trim_start_matches('{')
+        );
+    }
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let workload = build_workload("taobao-like", 0.15, 11);
     let d = &workload.dataset;
@@ -91,6 +126,7 @@ fn bench_throughput(c: &mut Criterion) {
             });
         });
         emit_alloc_section("train_step");
+        emit_telemetry_section("train_step");
     }
 
     let n_eval = workload.split.test.len().min(EVAL_USERS);
@@ -103,6 +139,7 @@ fn bench_throughput(c: &mut Criterion) {
             b.iter(|| evaluate(&model, test, &candidates, 64));
         });
         emit_alloc_section("evaluate");
+        emit_telemetry_section("evaluate");
     }
 }
 
@@ -182,6 +219,7 @@ fn bench_gemm_shapes(c: &mut Criterion) {
     }
 
     emit_alloc_section("gemm_shapes");
+    emit_telemetry_section("gemm_shapes");
 }
 
 criterion_group! {

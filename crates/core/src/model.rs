@@ -142,7 +142,7 @@ impl Mbmissl {
         self.compute_loss_prepared(&prepared, sampler, num_negatives, rng)
     }
 
-    /// Graph half of [`compute_loss`]: the main sampled-softmax loss plus
+    /// Graph half of [`Mbmissl::compute_loss`]: the main sampled-softmax loss plus
     /// the three SSL terms, with the augmented views re-encoded through the
     /// same parameters. `rng` drives dropout, augmentation, and the aux
     /// objective's in-loss negative sampling.

@@ -8,6 +8,7 @@ use mbssl_data::preprocess::EvalInstance;
 use mbssl_data::sampler::EvalCandidates;
 use mbssl_data::{ItemId, Sequence};
 use mbssl_metrics::PerInstanceMetrics;
+use mbssl_telemetry as telemetry;
 use mbssl_tensor::pool;
 
 /// Anything that can score candidate items given a user history.
@@ -46,6 +47,8 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
         "one candidate list per instance"
     );
     assert!(batch_size > 0);
+    let mut eval_sp = telemetry::span("eval.evaluate");
+    eval_sp.add_bytes((instances.len() * std::mem::size_of::<u32>()) as u64);
     let n_chunks = instances.len().div_ceil(batch_size);
     // One slot per scoring chunk. The per-slot mutex is uncontended (each
     // chunk index is claimed by exactly one pool thread); it exists to keep
@@ -65,6 +68,7 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
         // no_grad is thread-local, so the guard must live inside the pool
         // closure: evaluation never records autograd nodes or allocates
         // gradient buffers regardless of which worker runs the chunk.
+        let _chunk_sp = telemetry::span("eval.score_chunk");
         *slots[ci].lock().unwrap() =
             mbssl_tensor::no_grad(|| model.score_batch(&histories, &cand_refs));
     });
@@ -82,11 +86,7 @@ pub struct Recommendation {
     pub score: f32,
 }
 
-/// Produces the top-`n` recommendations for one user by scoring the whole
-/// catalog in chunks. `exclude` (typically the user's already-interacted
-/// items) are skipped. This is the serving-style entry point; evaluation
-/// uses [`evaluate`] with candidate sets instead.
-/// Heap key ordering top-n retention: "smallest" is the entry to evict —
+/// Heap key ordering for top-n retention: "smallest" is the entry to evict —
 /// lowest score, ties broken toward the *highest* item id so that equal
 /// scores keep the earliest-scored (lowest-id) item, matching the old
 /// bounded-insertion behavior exactly.
@@ -112,6 +112,10 @@ impl PartialOrd for RankKey {
     }
 }
 
+/// Produces the top-`n` recommendations for one user by scoring the whole
+/// catalog in chunks. `exclude` (typically the user's already-interacted
+/// items) are skipped. This is the serving-style entry point; evaluation
+/// uses [`evaluate`] with candidate sets instead.
 pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
     model: &R,
     history: &Sequence,
@@ -124,6 +128,8 @@ pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
     use std::collections::BinaryHeap;
 
     assert!(n > 0 && chunk_size > 0);
+    let mut topn_sp = telemetry::span("serve.top_n");
+    topn_sp.add_bytes((num_items * std::mem::size_of::<f32>()) as u64);
     // Min-heap of the best n seen so far: O(log n) per candidate instead of
     // the old O(n) bounded `Vec::insert`.
     let mut heap: BinaryHeap<Reverse<RankKey>> = BinaryHeap::with_capacity(n + 1);

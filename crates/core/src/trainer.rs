@@ -13,6 +13,7 @@ use mbssl_data::preprocess::{Split, TrainInstance};
 use mbssl_data::sampler::{
     BatchIterator, EvalCandidates, NegativeSampler, NegativeStrategy, PreparedBatch,
 };
+use mbssl_telemetry as telemetry;
 use mbssl_tensor::nn::ParamMap;
 use mbssl_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use mbssl_tensor::Tensor;
@@ -26,6 +27,7 @@ use crate::recommender::{evaluate, SequentialRecommender};
 /// prefetch thread, and [`loss_on_prepared`](TrainableRecommender::loss_on_prepared)
 /// is the graph half that builds the differentiable loss.
 pub trait TrainableRecommender: SequentialRecommender {
+    /// All trainable parameter handles, in a stable order.
     fn params(&self) -> Vec<Tensor>;
 
     /// Parameters with stable names (checkpointing).
@@ -106,6 +108,7 @@ pub struct Trainer {
 }
 
 impl Trainer {
+    /// A trainer driving the given configuration.
     pub fn new(config: TrainConfig) -> Self {
         Trainer { config }
     }
@@ -218,13 +221,21 @@ impl Trainer {
         let mut epochs_run = 0usize;
 
         for epoch in 0..cfg.epochs {
+            let _epoch_sp = telemetry::span("trainer.epoch");
             let epoch_start = Instant::now();
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
             for _ in 0..batches_per_epoch {
-                let Some((prepared, mut graph_rng)) = next_batch() else {
+                // How long the consumer stalls waiting on the producer: the
+                // pipeline's headroom (≈0 when prefetch keeps up).
+                let fetched = {
+                    let _wait_sp = telemetry::span("trainer.prefetch_wait");
+                    next_batch()
+                };
+                let Some((prepared, mut graph_rng)) = fetched else {
                     break;
                 };
+                let _step_sp = telemetry::span("trainer.train_step");
                 opt.zero_grad();
                 let loss =
                     model.loss_on_prepared(&prepared, sampler, num_negatives, &mut graph_rng);
@@ -256,22 +267,28 @@ impl Trainer {
                 seconds: epoch_start.elapsed().as_secs_f64(),
             });
             if cfg.verbose {
-                match val_ndcg10 {
-                    Some(n) => eprintln!(
+                // Progress lines go through telemetry so they reach stderr
+                // (as before) AND the JSONL trace when one is active.
+                let line = match val_ndcg10 {
+                    Some(n) => format!(
                         "[{}] epoch {epoch}: loss {train_loss:.4}, val NDCG@10 {n:.4}",
                         model.name()
                     ),
-                    None => eprintln!("[{}] epoch {epoch}: loss {train_loss:.4}", model.name()),
-                }
+                    None => format!("[{}] epoch {epoch}: loss {train_loss:.4}", model.name()),
+                };
+                telemetry::progress(&line);
             }
 
             if let Some(ndcg) = val_ndcg10 {
                 if ndcg > best_ndcg {
                     best_ndcg = ndcg;
                     best_epoch = epoch;
+                    let mut ckpt_sp = telemetry::span("trainer.checkpoint");
+                    ckpt_sp.add_bytes(4 * num_params as u64);
                     for (dst, p) in best_snapshot.iter_mut().zip(params.iter()) {
                         dst.copy_from_slice(&p.data());
                     }
+                    drop(ckpt_sp);
                     have_snapshot = true;
                     epochs_without_improvement = 0;
                 } else {
@@ -285,6 +302,7 @@ impl Trainer {
 
         // Restore the best validation checkpoint.
         if have_snapshot {
+            let _ckpt_sp = telemetry::span("trainer.checkpoint");
             for (p, values) in params.iter().zip(best_snapshot.iter()) {
                 p.data_mut().copy_from_slice(values);
             }

@@ -1,0 +1,799 @@
+#![warn(missing_docs)]
+//! Structured runtime telemetry for the `mbssl` workspace: scoped span
+//! timers, monotonic counters, gauges, and a thread-safe registry that
+//! aggregates per-label statistics and emits them as a human-readable
+//! table or machine-readable JSONL.
+//!
+//! The crate is deliberately zero-dependency (std only) so every layer of
+//! the workspace — the tensor kernels, the allocator, the worker pool, the
+//! trainer, the CLI, the benches — can report into one registry without a
+//! dependency cycle.
+//!
+//! # Modes
+//!
+//! Tracing is configured once per process from `MBSSL_TRACE` (or
+//! programmatically via [`set_mode`], which the `mbssl --trace` flag and
+//! the test suite use):
+//!
+//! | `MBSSL_TRACE` | behaviour |
+//! |---|---|
+//! | unset / `off` / `0` / `none` | disabled (the default) |
+//! | `summary` / `on` / `1` | aggregate in memory; [`flush`] prints a table to stderr |
+//! | `jsonl:<path>` | aggregate in memory; [`flush`] appends JSONL records to `<path>` |
+//!
+//! # Overhead budget
+//!
+//! When tracing is disabled, [`span`] performs a **single relaxed atomic
+//! load** and returns an inert guard whose `Drop` is a branch on an
+//! already-loaded `Option` — no clock reads, no locks, no allocation.
+//! [`counter_add`] and [`gauge_set`] are likewise a single atomic load.
+//! This is the contract that lets hot paths (GEMM dispatch, allocator,
+//! pool jobs) stay instrumented unconditionally; the bench smoke test
+//! asserts the end-to-end disabled-mode cost on `train_step` stays under
+//! 2%.
+//!
+//! When tracing is enabled, each span costs two `Instant` reads plus one
+//! short mutex-protected hash-map update at drop. Instrument at *dispatch*
+//! granularity (one span per kernel call or batch), never per element.
+//!
+//! # Determinism
+//!
+//! Telemetry never draws from any RNG, never reorders arithmetic, and
+//! never conditions computation on its own state: training and evaluation
+//! results are bit-for-bit identical with tracing off or on. The
+//! `telemetry_trace` integration test in `mbssl-core` pins this.
+//!
+//! # Example
+//!
+//! ```
+//! use mbssl_telemetry as telemetry;
+//!
+//! telemetry::set_mode(telemetry::TraceMode::Summary);
+//! {
+//!     let mut s = telemetry::span("demo.work");
+//!     s.add_bytes(1024);
+//!     // ... the timed region ...
+//! } // guard drop records the span
+//! telemetry::counter_add("demo.calls", 1);
+//! let stats = telemetry::drain();
+//! assert!(stats.iter().any(|r| r.label == "demo.work" && r.count == 1));
+//! telemetry::set_mode(telemetry::TraceMode::Off);
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime};
+
+// ---------------------------------------------------------------------------
+// Mode handling
+// ---------------------------------------------------------------------------
+
+/// How telemetry behaves for the rest of the process (see crate docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Tracing disabled: spans and counters are inert (the default).
+    Off,
+    /// Aggregate in memory; [`flush`] prints a human-readable table to
+    /// stderr.
+    Summary,
+    /// Aggregate in memory; [`flush`] appends JSONL records to the file at
+    /// the contained path (created if absent).
+    Jsonl(String),
+}
+
+impl TraceMode {
+    /// Parses an `MBSSL_TRACE`-style value: `off`/`0`/`none`, `summary`/
+    /// `on`/`1`, or `jsonl:<path>`.
+    pub fn parse(s: &str) -> Result<TraceMode, String> {
+        match s.trim() {
+            "" | "off" | "0" | "none" => Ok(TraceMode::Off),
+            "summary" | "on" | "1" => Ok(TraceMode::Summary),
+            other => match other.strip_prefix("jsonl:") {
+                Some(path) if !path.is_empty() => Ok(TraceMode::Jsonl(path.to_string())),
+                _ => Err(format!(
+                    "unrecognized trace mode {other:?} (expected off | summary | jsonl:<path>)"
+                )),
+            },
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+}
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Three-valued so the steady-state fast path is one load with no
+/// `OnceLock` indirection: 0 = not yet initialized from the environment.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+fn mode_cell() -> &'static Mutex<TraceMode> {
+    static MODE: OnceLock<Mutex<TraceMode>> = OnceLock::new();
+    MODE.get_or_init(|| Mutex::new(TraceMode::Off))
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let mode = std::env::var("MBSSL_TRACE")
+        .ok()
+        .and_then(|v| TraceMode::parse(&v).ok())
+        .unwrap_or(TraceMode::Off);
+    set_mode(mode);
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Whether tracing is currently active. In the steady state this is a
+/// single relaxed atomic load; the first call per process parses
+/// `MBSSL_TRACE`.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Overrides the trace mode for the rest of the process (or until the next
+/// call). Takes precedence over `MBSSL_TRACE`; used by the `mbssl --trace`
+/// flag and by tests that exercise both modes in one process.
+pub fn set_mode(mode: TraceMode) {
+    let state = if mode.is_active() { STATE_ON } else { STATE_OFF };
+    *mode_cell().lock().unwrap() = mode;
+    STATE.store(state, Ordering::Relaxed);
+}
+
+/// The currently configured mode (initializing from `MBSSL_TRACE` on first
+/// use).
+pub fn mode() -> TraceMode {
+    enabled();
+    mode_cell().lock().unwrap().clone()
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    bytes: u64,
+}
+
+struct Registry {
+    spans: HashMap<&'static str, SpanAgg>,
+    counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, u64>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            spans: HashMap::new(),
+            counters: HashMap::new(),
+            gauges: HashMap::new(),
+        })
+    })
+}
+
+/// A snapshot-producing callback: returns `(label, value)` pairs published
+/// as gauges at every [`drain`]/[`flush`]. Plain `fn` pointers keep
+/// registration allocation-free and deduplicatable.
+pub type Collector = fn() -> Vec<(&'static str, u64)>;
+
+fn collectors() -> &'static Mutex<Vec<Collector>> {
+    static COLLECTORS: OnceLock<Mutex<Vec<Collector>>> = OnceLock::new();
+    COLLECTORS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a gauge collector run at every [`drain`]/[`flush`].
+/// Idempotent: registering the same `fn` twice keeps one copy. Subsystems
+/// with their own always-on counters (the allocator, the worker pool)
+/// register a collector once at init so their state appears in every trace
+/// without telemetry calls on their hot paths.
+pub fn register_collector(f: Collector) {
+    let mut list = collectors().lock().unwrap();
+    if !list.iter().any(|&g| std::ptr::fn_addr_eq(g, f)) {
+        list.push(f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII span guard returned by [`span`]; records into the registry on drop.
+#[must_use = "a span measures the scope it lives in; binding it to `_` drops it immediately"]
+pub struct Span {
+    label: &'static str,
+    start: Option<Instant>,
+    bytes: u64,
+}
+
+impl Span {
+    /// Attributes `n` processed bytes to this span (reported as the label's
+    /// cumulative `bytes` in traces). No-op when tracing is disabled.
+    #[inline]
+    pub fn add_bytes(&mut self, n: u64) {
+        if self.start.is_some() {
+            self.bytes += n;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let mut reg = registry().lock().unwrap();
+        let agg = reg.spans.entry(self.label).or_default();
+        agg.count += 1;
+        agg.total_ns += elapsed;
+        agg.min_ns = if agg.count == 1 { elapsed } else { agg.min_ns.min(elapsed) };
+        agg.max_ns = agg.max_ns.max(elapsed);
+        agg.bytes += self.bytes;
+    }
+}
+
+/// Starts a scoped span timer. The returned guard records
+/// `{count, total/min/max ns, bytes}` under `label` when it drops.
+///
+/// `label` is a `&'static str` by design: labels are a closed, greppable
+/// vocabulary (`layer.what`, see DESIGN.md §12), not data.
+///
+/// Disabled-mode cost: one relaxed atomic load (see crate docs).
+#[inline]
+pub fn span(label: &'static str) -> Span {
+    Span {
+        label,
+        start: if enabled() { Some(Instant::now()) } else { None },
+        bytes: 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------------
+
+/// Adds `n` to the monotonic counter `label`. No-op when tracing is
+/// disabled (one atomic load).
+#[inline]
+pub fn counter_add(label: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    *registry().lock().unwrap().counters.entry(label).or_insert(0) += n;
+}
+
+/// Sets the gauge `label` to `value` (last write wins within a flush
+/// interval). No-op when tracing is disabled.
+#[inline]
+pub fn gauge_set(label: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().gauges.insert(label, value);
+}
+
+// ---------------------------------------------------------------------------
+// Draining and records
+// ---------------------------------------------------------------------------
+
+/// What a [`LabelStats`] record measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A scoped timer: `count`/`total_ns`/`min_ns`/`max_ns`/`bytes` are
+    /// meaningful.
+    Span,
+    /// A monotonic counter: `value` is meaningful.
+    Counter,
+    /// A point-in-time gauge (explicit or collector-published): `value` is
+    /// meaningful.
+    Gauge,
+}
+
+impl RecordKind {
+    /// The lowercase token used in the JSONL `kind` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::Span => "span",
+            RecordKind::Counter => "counter",
+            RecordKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Aggregated statistics for one label, as returned by [`drain`].
+#[derive(Clone, Debug)]
+pub struct LabelStats {
+    /// The span/counter/gauge label.
+    pub label: String,
+    /// Which instrument produced this record.
+    pub kind: RecordKind,
+    /// Number of span completions (spans only).
+    pub count: u64,
+    /// Total nanoseconds across completions (spans only).
+    pub total_ns: u64,
+    /// Fastest single completion (spans only).
+    pub min_ns: u64,
+    /// Slowest single completion (spans only).
+    pub max_ns: u64,
+    /// Cumulative bytes attributed via [`Span::add_bytes`] (spans only).
+    pub bytes: u64,
+    /// Counter/gauge value (counters and gauges only).
+    pub value: u64,
+}
+
+/// Snapshots and resets the registry: runs the registered collectors,
+/// then returns one record per span/counter/gauge label, sorted by kind
+/// then label for deterministic output. Returns an empty vec when tracing
+/// is disabled.
+pub fn drain() -> Vec<LabelStats> {
+    if !enabled() {
+        return Vec::new();
+    }
+    let snapshots: Vec<Vec<(&'static str, u64)>> =
+        collectors().lock().unwrap().iter().map(|f| f()).collect();
+    let mut reg = registry().lock().unwrap();
+    for snapshot in snapshots {
+        for (label, value) in snapshot {
+            reg.gauges.insert(label, value);
+        }
+    }
+    let mut out: Vec<LabelStats> = Vec::new();
+    for (label, agg) in reg.spans.drain() {
+        out.push(LabelStats {
+            label: label.to_string(),
+            kind: RecordKind::Span,
+            count: agg.count,
+            total_ns: agg.total_ns,
+            min_ns: agg.min_ns,
+            max_ns: agg.max_ns,
+            bytes: agg.bytes,
+            value: 0,
+        });
+    }
+    for (label, value) in reg.counters.drain() {
+        out.push(LabelStats {
+            label: label.to_string(),
+            kind: RecordKind::Counter,
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            bytes: 0,
+            value,
+        });
+    }
+    for (label, value) in reg.gauges.drain() {
+        out.push(LabelStats {
+            label: label.to_string(),
+            kind: RecordKind::Gauge,
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            bytes: 0,
+            value,
+        });
+    }
+    out.sort_by(|a, b| a.kind.as_str().cmp(b.kind.as_str()).then(a.label.cmp(&b.label)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Flushing
+// ---------------------------------------------------------------------------
+
+/// Run metadata stamped into every JSONL flush, mirroring the
+/// `git_rev`/`cores`/env stamp `scripts/bench_smoke.sh` writes into
+/// `BENCH_throughput.json`.
+fn meta_record(section: &str) -> String {
+    let mut s = String::from("{\"kind\":\"meta\"");
+    push_field_str(&mut s, "section", section);
+    match git_rev() {
+        Some(rev) => push_field_str(&mut s, "git_rev", rev),
+        None => s.push_str(",\"git_rev\":null"),
+    }
+    push_field_u64(&mut s, "unix_time_s", unix_time_s());
+    push_field_u64(
+        &mut s,
+        "cores",
+        std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(0),
+    );
+    s.push_str(",\"env\":{");
+    for (i, key) in ["MBSSL_THREADS", "MBSSL_ALLOC", "MBSSL_FUSED", "MBSSL_TRACE", "MBSSL_BENCH_ONLY"]
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{}:{}",
+            json_str(key),
+            json_str(&std::env::var(key).unwrap_or_default())
+        ));
+    }
+    s.push_str("}}");
+    s
+}
+
+fn unix_time_s() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `git rev-parse HEAD` of the current directory, attempted once per
+/// process (traces are usually cut from a repo checkout; `None` otherwise).
+fn git_rev() -> Option<&'static str> {
+    static REV: OnceLock<Option<String>> = OnceLock::new();
+    REV.get_or_init(|| {
+        let out = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+        if rev.is_empty() {
+            None
+        } else {
+            Some(rev)
+        }
+    })
+    .as_deref()
+}
+
+/// JSON string literal (quotes + escapes) for `s`.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_field_str(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!(",{}:{}", json_str(key), json_str(value)));
+}
+
+fn push_field_u64(out: &mut String, key: &str, value: u64) {
+    out.push_str(&format!(",{}:{}", json_str(key), value));
+}
+
+/// The JSONL line for one drained record (no trailing newline).
+pub fn record_to_jsonl(rec: &LabelStats, section: &str) -> String {
+    let mut s = format!("{{\"kind\":{}", json_str(rec.kind.as_str()));
+    push_field_str(&mut s, "section", section);
+    push_field_str(&mut s, "label", &rec.label);
+    match rec.kind {
+        RecordKind::Span => {
+            push_field_u64(&mut s, "count", rec.count);
+            push_field_u64(&mut s, "total_ns", rec.total_ns);
+            push_field_u64(&mut s, "min_ns", rec.min_ns);
+            push_field_u64(&mut s, "max_ns", rec.max_ns);
+            push_field_u64(&mut s, "bytes", rec.bytes);
+        }
+        RecordKind::Counter | RecordKind::Gauge => {
+            push_field_u64(&mut s, "value", rec.value);
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Renders drained records as the human-readable summary table (spans
+/// sorted by total time, then counters/gauges).
+pub fn render_table(stats: &[LabelStats]) -> String {
+    let mut spans: Vec<&LabelStats> = stats.iter().filter(|r| r.kind == RecordKind::Span).collect();
+    spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(&b.label)));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total_ms", "mean_us", "max_us", "bytes"
+    ));
+    for r in &spans {
+        let mean_us = if r.count > 0 { r.total_ns as f64 / r.count as f64 / 1e3 } else { 0.0 };
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>12.3} {:>12.1} {:>12.1} {:>12}\n",
+            r.label,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            mean_us,
+            r.max_ns as f64 / 1e3,
+            r.bytes
+        ));
+    }
+    let others: Vec<&LabelStats> = stats.iter().filter(|r| r.kind != RecordKind::Span).collect();
+    if !others.is_empty() {
+        out.push_str(&format!("{:<28} {:>10}\n", "counter/gauge", "value"));
+        for r in others {
+            out.push_str(&format!("{:<28} {:>10}\n", r.label, r.value));
+        }
+    }
+    out
+}
+
+/// Drains the registry and emits it according to the current mode:
+/// `Summary` prints [`render_table`] to stderr, `Jsonl` appends one meta
+/// record plus one record per label to the trace file. `section` tags
+/// every emitted record (benches use one flush per bench section; use
+/// [`flush`] when a single section suffices).
+pub fn flush_section(section: &str) {
+    let current = mode();
+    if !current.is_active() {
+        return;
+    }
+    let stats = drain();
+    match current {
+        TraceMode::Off => {}
+        TraceMode::Summary => {
+            let mut err = std::io::stderr().lock();
+            if section.is_empty() {
+                let _ = writeln!(err, "-- telemetry --");
+            } else {
+                let _ = writeln!(err, "-- telemetry [{section}] --");
+            }
+            let _ = err.write_all(render_table(&stats).as_bytes());
+        }
+        TraceMode::Jsonl(path) => {
+            let mut lines = String::new();
+            lines.push_str(&meta_record(section));
+            lines.push('\n');
+            for rec in &stats {
+                lines.push_str(&record_to_jsonl(rec, section));
+                lines.push('\n');
+            }
+            append_to_trace(&path, &lines);
+        }
+    }
+}
+
+/// [`flush_section`] with an empty section tag.
+pub fn flush() {
+    flush_section("");
+}
+
+fn append_to_trace(path: &str, content: &str) {
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(content.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("mbssl-telemetry: cannot append to trace file {path}: {e}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress lines
+// ---------------------------------------------------------------------------
+
+/// Writes one progress line to stderr atomically (single locked write, so
+/// concurrent pool threads cannot interleave within a line) and, in JSONL
+/// mode, appends a `{"kind":"progress"}` record to the trace immediately.
+///
+/// This is the structured replacement for ad-hoc `eprintln!` status
+/// output: the default console behaviour is identical, but the line is
+/// also captured in traces.
+pub fn progress(line: &str) {
+    {
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+    if !enabled() {
+        return;
+    }
+    if let TraceMode::Jsonl(path) = mode() {
+        let mut rec = String::from("{\"kind\":\"progress\"");
+        push_field_str(&mut rec, "message", line);
+        push_field_u64(&mut rec, "unix_time_s", unix_time_s());
+        rec.push_str("}\n");
+        append_to_trace(&path, &rec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests mutate process-global mode/registry state; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parse_modes() {
+        assert_eq!(TraceMode::parse("off").unwrap(), TraceMode::Off);
+        assert_eq!(TraceMode::parse("0").unwrap(), TraceMode::Off);
+        assert_eq!(TraceMode::parse("").unwrap(), TraceMode::Off);
+        assert_eq!(TraceMode::parse("summary").unwrap(), TraceMode::Summary);
+        assert_eq!(TraceMode::parse("on").unwrap(), TraceMode::Summary);
+        assert_eq!(
+            TraceMode::parse("jsonl:/tmp/t.jsonl").unwrap(),
+            TraceMode::Jsonl("/tmp/t.jsonl".into())
+        );
+        assert!(TraceMode::parse("jsonl:").is_err());
+        assert!(TraceMode::parse("verbose").is_err());
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock();
+        set_mode(TraceMode::Off);
+        {
+            let mut s = span("test.noop");
+            s.add_bytes(10);
+        }
+        counter_add("test.noop_counter", 3);
+        gauge_set("test.noop_gauge", 7);
+        set_mode(TraceMode::Summary);
+        let drained = drain();
+        assert!(
+            drained.iter().all(|r| !r.label.starts_with("test.noop")),
+            "disabled-mode instruments leaked into the registry"
+        );
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn spans_aggregate_per_label() {
+        let _g = lock();
+        set_mode(TraceMode::Summary);
+        drain(); // clear anything left by other tests
+        for i in 0..3 {
+            let mut s = span("test.agg");
+            s.add_bytes(100 * (i + 1));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        counter_add("test.calls", 2);
+        counter_add("test.calls", 5);
+        gauge_set("test.level", 1);
+        gauge_set("test.level", 9);
+        let stats = drain();
+        let agg = stats.iter().find(|r| r.label == "test.agg").expect("span missing");
+        assert_eq!(agg.kind, RecordKind::Span);
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.bytes, 600);
+        assert!(agg.total_ns >= agg.max_ns && agg.max_ns >= agg.min_ns && agg.min_ns > 0);
+        let calls = stats.iter().find(|r| r.label == "test.calls").unwrap();
+        assert_eq!((calls.kind, calls.value), (RecordKind::Counter, 7));
+        let level = stats.iter().find(|r| r.label == "test.level").unwrap();
+        assert_eq!((level.kind, level.value), (RecordKind::Gauge, 9));
+        // drain resets (collector-published gauges reappear each drain by
+        // design, so check only the labels this test produced)
+        let mine = ["test.agg", "test.calls", "test.level"];
+        assert!(drain().iter().all(|r| !mine.contains(&r.label.as_str())));
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn spans_record_from_many_threads() {
+        let _g = lock();
+        set_mode(TraceMode::Summary);
+        drain();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let _s = span("test.mt");
+                    }
+                });
+            }
+        });
+        let stats = drain();
+        let agg = stats.iter().find(|r| r.label == "test.mt").unwrap();
+        assert_eq!(agg.count, 400);
+        set_mode(TraceMode::Off);
+    }
+
+    fn fake_collector() -> Vec<(&'static str, u64)> {
+        vec![("test.collected", 42)]
+    }
+
+    #[test]
+    fn collectors_publish_gauges_and_dedup() {
+        let _g = lock();
+        register_collector(fake_collector);
+        register_collector(fake_collector); // second registration is a no-op
+        set_mode(TraceMode::Summary);
+        drain();
+        let stats = drain();
+        let hits: Vec<_> = stats.iter().filter(|r| r.label == "test.collected").collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].kind, hits[0].value), (RecordKind::Gauge, 42));
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn jsonl_escaping_and_fields() {
+        let rec = LabelStats {
+            label: "weird\"label\\with\nnewline".into(),
+            kind: RecordKind::Span,
+            count: 2,
+            total_ns: 10,
+            min_ns: 3,
+            max_ns: 7,
+            bytes: 0,
+            value: 0,
+        };
+        let line = record_to_jsonl(&rec, "sec\t1");
+        assert!(line.contains("\\\"label\\\\with\\n"));
+        assert!(line.contains("\"section\":\"sec\\t1\""));
+        for field in ["\"kind\":\"span\"", "\"count\":2", "\"total_ns\":10", "\"min_ns\":3", "\"max_ns\":7", "\"bytes\":0"] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+        let counter = LabelStats { kind: RecordKind::Counter, value: 5, ..rec.clone() };
+        assert!(record_to_jsonl(&counter, "").contains("\"value\":5"));
+    }
+
+    #[test]
+    fn flush_jsonl_writes_meta_and_records() {
+        let _g = lock();
+        let path = std::env::temp_dir().join(format!("mbssl_telemetry_test_{}.jsonl", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        set_mode(TraceMode::Jsonl(path_str.clone()));
+        drain();
+        {
+            let _s = span("test.flush");
+        }
+        flush_section("unit");
+        set_mode(TraceMode::Off);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert!(lines.len() >= 2, "expected meta + >=1 record, got {lines:?}");
+        assert!(lines[0].contains("\"kind\":\"meta\""));
+        assert!(lines[0].contains("\"cores\":"));
+        assert!(lines[0].contains("\"env\":{"));
+        assert!(lines.iter().any(|l| l.contains("\"label\":\"test.flush\"")));
+        assert!(lines.iter().all(|l| l.contains("\"section\":\"unit\"") || l.contains("\"kind\":\"progress\"")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn render_table_orders_spans_by_total_time() {
+        let mk = |label: &str, total: u64| LabelStats {
+            label: label.into(),
+            kind: RecordKind::Span,
+            count: 1,
+            total_ns: total,
+            min_ns: total,
+            max_ns: total,
+            bytes: 0,
+            value: 0,
+        };
+        let table = render_table(&[mk("small", 10), mk("big", 1000)]);
+        let big_at = table.find("big").unwrap();
+        let small_at = table.find("small").unwrap();
+        assert!(big_at < small_at, "table not sorted by total time:\n{table}");
+    }
+}

@@ -9,13 +9,13 @@
 //!
 //! Design:
 //! - **Size classes**: capacities are rounded up to powers of two between
-//!   [`MIN_CLASS`] and [`MAX_CLASS`] elements. Requests outside that range
-//!   bypass recycling entirely.
+//!   `MIN_CLASS_LOG2` and `MAX_CLASS_LOG2` elements. Requests outside that
+//!   range bypass recycling entirely.
 //! - **Thread-local fast path**: each thread keeps a small per-class stack
-//!   ([`LOCAL_CAP`] buffers); take/put are plain `RefCell` pushes/pops.
+//!   (`LOCAL_CAP` buffers); take/put are plain `RefCell` pushes/pops.
 //! - **Shared overflow**: when a local stack is full or empty, buffers
 //!   overflow to / refill from a global per-class `Mutex<Vec<_>>` (capped at
-//!   [`SHARED_CAP`]), so producer/consumer thread pairs (e.g. the batch
+//!   `SHARED_CAP`), so producer/consumer thread pairs (e.g. the batch
 //!   prefetcher and the training thread) still recycle across threads.
 //! - **Escape hatch**: `MBSSL_ALLOC=off` (checked once per process) disables
 //!   recycling; every call degrades to plain `Vec` allocation, which is the
@@ -76,11 +76,26 @@ static BYTES_REUSED: AtomicU64 = AtomicU64::new(0);
 pub fn enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
+        // Piggyback on the one-time init: publish the recycling counters to
+        // every telemetry flush without touching the per-request fast path.
+        mbssl_telemetry::register_collector(telemetry_collector);
         !matches!(
             std::env::var("MBSSL_ALLOC").as_deref(),
             Ok("off") | Ok("0") | Ok("none")
         )
     })
+}
+
+/// Gauge snapshot of [`stats`] for `mbssl-telemetry` (labels `alloc.*`),
+/// bridging the allocator's always-on counters into traces.
+fn telemetry_collector() -> Vec<(&'static str, u64)> {
+    let s = stats();
+    vec![
+        ("alloc.hits", s.hits),
+        ("alloc.misses", s.misses),
+        ("alloc.recycled", s.recycled),
+        ("alloc.bytes_reused", s.bytes_reused),
+    ]
 }
 
 /// Snapshot of the recycling counters.

@@ -17,6 +17,8 @@
 
 use std::sync::OnceLock;
 
+use mbssl_telemetry as telemetry;
+
 use crate::alloc;
 use crate::autograd;
 use crate::kernels;
@@ -126,6 +128,8 @@ impl Tensor {
             (m.clone(), [ms[0], ms[1], ms[2]])
         });
 
+        let mut sp = telemetry::span("kernel.sdpa");
+        sp.add_bytes(4 * (3 * bh * lk * dh + bh * lq * lk) as u64);
         let tracked = autograd::is_grad_enabled()
             && (self.is_tracked() || k.is_tracked() || v.is_tracked());
         let mut out = alloc::zeroed(bh * lq * dh);
@@ -208,6 +212,7 @@ impl Tensor {
             out,
             vec![self.clone(), k.clone(), v.clone()],
             move |out_t| {
+                let _sp = telemetry::span("kernel.sdpa_bwd");
                 let g_guard = out_t.grad_ref();
                 let g = g_guard.as_ref().unwrap();
                 let q_tracked = q_c.is_tracked();
@@ -342,6 +347,8 @@ impl Tensor {
             "bias length must match the trailing axis"
         );
         let n = self.numel();
+        let mut sp = telemetry::span("kernel.bias_gelu");
+        sp.add_bytes(4 * n as u64);
         let mut out = alloc::zeroed(n);
         {
             let x = self.data();
@@ -437,6 +444,8 @@ impl Tensor {
         assert_eq!(beta.dims(), &[d], "beta must be [D]");
         let rows = self.numel() / d.max(1);
         let n = self.numel();
+        let mut sp = telemetry::span("kernel.residual_layer_norm");
+        sp.add_bytes(4 * n as u64);
         let mut sum = alloc::zeroed(n);
         let mut out = alloc::zeroed(n);
         let mut xhat = alloc::zeroed(n);
@@ -522,6 +531,8 @@ impl Tensor {
         assert_eq!(self.dims(), b.dims(), "add3 shapes must match");
         assert_eq!(self.dims(), c.dims(), "add3 shapes must match");
         let n = self.numel();
+        let mut sp = telemetry::span("kernel.add3");
+        sp.add_bytes(4 * n as u64);
         let mut out = alloc::zeroed(n);
         {
             let a_d = self.data();

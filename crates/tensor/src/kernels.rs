@@ -9,6 +9,7 @@
 
 use crate::alloc;
 use crate::pool;
+use mbssl_telemetry as telemetry;
 
 /// Work (in multiply-adds) below which GEMM stays single-threaded.
 const PAR_GEMM_THRESHOLD: usize = 64 * 64 * 64;
@@ -78,6 +79,8 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let mut sp = telemetry::span("kernel.gemm_nn");
+    sp.add_bytes(4 * (m * k + k * n + m * n) as u64);
     let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
     if m < 2 * MR || k * n < PACK_MIN_BN {
         if threads <= 1 || m < 2 {
@@ -330,7 +333,7 @@ fn microkernel(
 ///
 /// The naive kernel computes each output element as one [`dot`] call, which
 /// leaves SIMD lanes idle (a dot is a serial reduction). The packed path
-/// transposes B into NR-lane p-major strips and runs [`nt_row_strip`],
+/// transposes B into NR-lane p-major strips and runs `nt_row_strip`,
 /// which advances NR dot products in lock-step — each lane reproduces
 /// `dot`'s exact chain structure (four partial sums over p mod 4, a
 /// remainder chain, then `s0+s1+s2+s3+rest`), so every output element is
@@ -339,6 +342,8 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let mut sp = telemetry::span("kernel.gemm_nt");
+    sp.add_bytes(4 * (m * k + n * k + m * n) as u64);
     let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
     if m < MR || m * k * n < PACK_NT_MIN_WORK {
         if threads <= 1 || m < 2 {
@@ -474,6 +479,8 @@ pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let mut sp = telemetry::span("kernel.gemm_tn");
+    sp.add_bytes(4 * (k * m + k * n + m * n) as u64);
     let threads = thread_count(m * k * n, PAR_GEMM_THRESHOLD);
     if m < 2 || m * n < PACK_MIN_CMN {
         if threads <= 1 || m < 2 {
@@ -742,9 +749,6 @@ pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
     });
 }
 
-/// Applies `f` to every element in place, splitting large buffers across
-/// the pool. The per-element computation is position-independent, so the
-/// result is identical to a sequential map.
 /// Whether [`map_inplace`] would split a buffer of `n` elements across the
 /// pool (callers use this to choose between a fused single-pass serial loop
 /// and copy-then-parallel-map).
@@ -752,6 +756,9 @@ pub fn map_splits(n: usize) -> bool {
     thread_count(n, PAR_ELEMWISE_THRESHOLD) > 1
 }
 
+/// Applies `f` to every element in place, splitting large buffers across
+/// the pool. The per-element computation is position-independent, so the
+/// result is identical to a sequential map.
 pub fn map_inplace(data: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
     let threads = thread_count(data.len(), PAR_ELEMWISE_THRESHOLD);
     if threads <= 1 {

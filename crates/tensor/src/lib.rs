@@ -29,6 +29,8 @@
 //! assert_eq!(w.grad().unwrap(), vec![3.0, 4.0]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod autograd;
 pub mod fused;
@@ -46,6 +48,10 @@ pub use autograd::no_grad;
 pub use ops::dropout_mask;
 pub use shape::Shape;
 pub use tensor::Tensor;
+
+/// Re-export of the workspace telemetry crate, so tensor-layer callers can
+/// open spans and read traces without adding a direct dependency.
+pub use mbssl_telemetry as telemetry;
 
 #[cfg(test)]
 mod integration_tests {

@@ -23,6 +23,8 @@ pub struct MultiHeadAttention {
 }
 
 impl MultiHeadAttention {
+    /// Fresh attention block with `dim`-wide Q/K/V/O projections split over
+    /// `heads` heads and attention-probability dropout rate `dropout`.
     pub fn new(dim: usize, heads: usize, dropout: f32, rng: &mut impl Rng) -> Self {
         assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
         MultiHeadAttention {
@@ -78,6 +80,7 @@ impl MultiHeadAttention {
             let dmask = mode.dropout_mask_for(bh * lq * lk, self.dropout);
             q.sdpa(&k, &v, mask, scale, dmask)
         } else {
+            let _sp = mbssl_telemetry::span("kernel.attn_unfused");
             let mut scores = q.bmm(&k.transpose_last()).into_mul_scalar(scale);
             if let Some(m) = mask {
                 scores = scores.masked_fill(m, -1e9);
@@ -94,10 +97,12 @@ impl MultiHeadAttention {
         self.forward(x, x, x, mask, mode)
     }
 
+    /// Number of attention heads.
     pub fn heads(&self) -> usize {
         self.heads
     }
 
+    /// Model dimension (input and output width).
     pub fn dim(&self) -> usize {
         self.dim
     }

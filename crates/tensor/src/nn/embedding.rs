@@ -20,6 +20,7 @@ pub struct Embedding {
 }
 
 impl Embedding {
+    /// Fresh `[vocab, dim]` table with seeded normal init.
     pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
         Embedding {
             weight: init::embedding_table(vocab, dim, rng).requires_grad(),
@@ -54,14 +55,17 @@ impl Embedding {
         self.weight.embedding_seq(ids, batch, len)
     }
 
+    /// Vocabulary size (number of rows).
     pub fn vocab(&self) -> usize {
         self.vocab
     }
 
+    /// Embedding width (number of columns).
     pub fn dim(&self) -> usize {
         self.dim
     }
 
+    /// The zeroed padding row, if one was configured.
     pub fn padding_idx(&self) -> Option<usize> {
         self.padding_idx
     }

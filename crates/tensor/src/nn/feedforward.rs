@@ -8,8 +8,11 @@ use crate::tensor::Tensor;
 /// Inner activation of the FFN.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Activation {
+    /// `max(0, x)`.
     Relu,
+    /// Gaussian error linear unit (tanh approximation).
     Gelu,
+    /// Hyperbolic tangent.
     Tanh,
 }
 
@@ -44,6 +47,8 @@ pub struct FeedForward {
 }
 
 impl FeedForward {
+    /// Fresh FFN: `dim -> hidden -> dim` with the given inner activation and
+    /// dropout rate on the hidden layer.
     pub fn new(dim: usize, hidden: usize, activation: Activation, dropout: f32, rng: &mut impl Rng) -> Self {
         FeedForward {
             lin1: Linear::new(dim, hidden, rng),
@@ -53,6 +58,7 @@ impl FeedForward {
         }
     }
 
+    /// Applies the block to `x` (last dim must equal `dim`).
     pub fn forward(&self, x: &Tensor, mode: &mut Mode) -> Tensor {
         let h = match self.lin1.bias() {
             // Fused epilogue: matmul -> bias_gelu as one node instead of
@@ -60,7 +66,10 @@ impl FeedForward {
             Some(b) if crate::fused::enabled() && self.activation == Activation::Gelu => {
                 x.matmul(self.lin1.weight()).bias_gelu(b)
             }
-            _ => self.activation.apply_owned(self.lin1.forward(x)),
+            _ => {
+                let _sp = mbssl_telemetry::span("kernel.ffn_unfused");
+                self.activation.apply_owned(self.lin1.forward(x))
+            }
         };
         let h = mode.dropout(&h, self.dropout);
         self.lin2.forward(&h)

@@ -32,6 +32,7 @@ pub struct Gru {
 }
 
 impl Gru {
+    /// Fresh GRU cell with Xavier-initialized gate matrices and zero biases.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
         Gru {
             wz: init::xavier_uniform(input_dim, hidden_dim, rng).requires_grad(),
@@ -94,6 +95,7 @@ impl Gru {
         (stacked, h)
     }
 
+    /// Hidden state width.
     pub fn hidden_dim(&self) -> usize {
         self.hidden_dim
     }

@@ -12,6 +12,8 @@ pub struct LayerNorm {
 }
 
 impl LayerNorm {
+    /// Fresh LayerNorm over a last axis of width `dim` (`gamma = 1`,
+    /// `beta = 0`, `eps = 1e-5`).
     pub fn new(dim: usize) -> Self {
         LayerNorm {
             gamma: Tensor::ones([dim]).requires_grad(),
@@ -21,16 +23,19 @@ impl LayerNorm {
         }
     }
 
+    /// Overrides the numerical-stability epsilon.
     pub fn with_eps(mut self, eps: f32) -> Self {
         self.eps = eps;
         self
     }
 
+    /// Normalizes `x` over its last axis and applies the affine transform.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         debug_assert_eq!(*x.dims().last().unwrap(), self.dim, "layernorm dim mismatch");
         x.layer_norm(&self.gamma, &self.beta, self.eps)
     }
 
+    /// Normalized axis width.
     pub fn dim(&self) -> usize {
         self.dim
     }

@@ -35,6 +35,7 @@ impl Linear {
         }
     }
 
+    /// `x · W (+ b)` over the last axis of `x`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         debug_assert_eq!(
             *x.dims().last().unwrap(),
@@ -48,10 +49,12 @@ impl Linear {
         }
     }
 
+    /// Input width.
     pub fn in_dim(&self) -> usize {
         self.in_dim
     }
 
+    /// Output width.
     pub fn out_dim(&self) -> usize {
         self.out_dim
     }

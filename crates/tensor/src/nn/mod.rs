@@ -30,7 +30,9 @@ use crate::tensor::Tensor;
 /// Forward-pass mode: training (with an RNG for stochastic layers) or
 /// deterministic evaluation.
 pub enum Mode<'a> {
+    /// Training pass: stochastic layers draw from the given RNG.
     Train(&'a mut StdRng),
+    /// Evaluation pass: all layers are deterministic.
     Eval,
 }
 
@@ -73,6 +75,7 @@ pub struct ParamMap {
 }
 
 impl ParamMap {
+    /// An empty registry.
     pub fn new() -> Self {
         ParamMap::default()
     }
@@ -103,10 +106,12 @@ impl ParamMap {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
     }
 
+    /// Number of registered parameters (tensors, not scalars).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether no parameters are registered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

@@ -18,6 +18,10 @@ pub struct TransformerBlock {
 }
 
 impl TransformerBlock {
+    /// Fresh block: `dim`-wide, `heads`-head attention and a
+    /// `dim -> ffn_hidden -> dim` GELU feed-forward, with `dropout` applied
+    /// to attention probabilities, residual branches, and the FFN hidden
+    /// layer.
     pub fn new(dim: usize, heads: usize, ffn_hidden: usize, dropout: f32, rng: &mut impl Rng) -> Self {
         TransformerBlock {
             attn: MultiHeadAttention::new(dim, heads, dropout, rng),
@@ -50,6 +54,7 @@ impl TransformerBlock {
         }
     }
 
+    /// The block's attention sublayer.
     pub fn attention(&self) -> &MultiHeadAttention {
         &self.attn
     }

@@ -56,6 +56,7 @@ pub struct Sgd {
 }
 
 impl Sgd {
+    /// Plain SGD (no momentum, no weight decay).
     pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
         Sgd {
             params,
@@ -66,11 +67,13 @@ impl Sgd {
         }
     }
 
+    /// Enables classical (heavy-ball) momentum.
     pub fn with_momentum(mut self, momentum: f32) -> Self {
         self.momentum = momentum;
         self
     }
 
+    /// Enables L2 weight decay (added to the gradient).
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         self.weight_decay = wd;
         self
@@ -160,12 +163,14 @@ impl Adam {
         a
     }
 
+    /// Overrides the moment-decay coefficients.
     pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
         self.beta1 = beta1;
         self.beta2 = beta2;
         self
     }
 
+    /// Enables weight decay (coupled unless built via [`Adam::adamw`]).
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         self.weight_decay = wd;
         self
@@ -230,11 +235,14 @@ impl Optimizer for Adam {
 /// schedule. Stateless: compute the LR for a step and apply with `set_lr`.
 #[derive(Clone, Copy, Debug)]
 pub struct WarmupSchedule {
+    /// Peak learning rate, reached at the end of warmup.
     pub base_lr: f32,
+    /// Number of linear-warmup steps before decay starts.
     pub warmup_steps: u64,
 }
 
 impl WarmupSchedule {
+    /// Learning rate for (zero-based) optimization step `step`.
     pub fn lr_at(&self, step: u64) -> f32 {
         if self.warmup_steps == 0 {
             return self.base_lr;

@@ -23,8 +23,29 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use mbssl_telemetry as telemetry;
+
+/// Occupancy counters (always on — one relaxed add per job, negligible
+/// next to a broadcast): jobs that went through the broadcast path, jobs
+/// that ran inline instead (pool of one, single chunk, nesting, contended
+/// submission), and total chunks distributed by broadcast jobs. Published
+/// to telemetry flushes as `pool.*` gauges via [`telemetry_collector`].
+static JOBS_PARALLEL: AtomicU64 = AtomicU64::new(0);
+static JOBS_INLINE: AtomicU64 = AtomicU64::new(0);
+static CHUNKS_DISTRIBUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Gauge snapshot of the pool occupancy counters for `mbssl-telemetry`.
+fn telemetry_collector() -> Vec<(&'static str, u64)> {
+    vec![
+        ("pool.jobs", JOBS_PARALLEL.load(Ordering::Relaxed)),
+        ("pool.jobs_inline", JOBS_INLINE.load(Ordering::Relaxed)),
+        ("pool.chunks", CHUNKS_DISTRIBUTED.load(Ordering::Relaxed)),
+        ("pool.threads", global().size as u64),
+    ]
+}
 
 thread_local! {
     /// True while the current thread is executing chunks of a pool job.
@@ -54,6 +75,9 @@ struct Inner {
     panicked: AtomicBool,
 }
 
+/// The persistent worker pool: spawned once, jobs broadcast to all workers
+/// (see module docs). Use the process-wide instance via [`global`] /
+/// [`parallel_for`] rather than constructing one per call site.
 pub struct ThreadPool {
     inner: Arc<Inner>,
     /// Total workers including the submitting caller.
@@ -74,7 +98,10 @@ fn configured_size() -> usize {
 /// The process-wide pool, created on first use.
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
-    POOL.get_or_init(|| ThreadPool::new(configured_size()))
+    POOL.get_or_init(|| {
+        telemetry::register_collector(telemetry_collector);
+        ThreadPool::new(configured_size())
+    })
 }
 
 /// Number of threads (callers + workers) the global pool uses.
@@ -149,6 +176,8 @@ impl ThreadPool {
         }
     }
 
+    /// Total threads participating in jobs (workers + the submitting
+    /// caller).
     pub fn size(&self) -> usize {
         self.size
     }
@@ -162,17 +191,22 @@ impl ThreadPool {
             return;
         }
         if self.size <= 1 || chunks == 1 || IN_POOL_JOB.with(|c| c.get()) {
+            JOBS_INLINE.fetch_add(1, Ordering::Relaxed);
             for i in 0..chunks {
                 f(i);
             }
             return;
         }
         let Ok(_guard) = self.submit.try_lock() else {
+            JOBS_INLINE.fetch_add(1, Ordering::Relaxed);
             for i in 0..chunks {
                 f(i);
             }
             return;
         };
+        JOBS_PARALLEL.fetch_add(1, Ordering::Relaxed);
+        CHUNKS_DISTRIBUTED.fetch_add(chunks as u64, Ordering::Relaxed);
+        let _sp = telemetry::span("pool.job");
 
         // Safety: workers only dereference the job closure between the
         // broadcast below and the `active == 0` handshake at the end of this

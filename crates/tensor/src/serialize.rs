@@ -23,14 +23,23 @@ const VERSION: u32 = 1;
 /// Errors arising from checkpoint IO.
 #[derive(Debug)]
 pub enum CheckpointError {
+    /// Underlying read/write failure.
     Io(io::Error),
+    /// File does not start with the `MBSL` magic bytes.
     BadMagic,
+    /// File uses a format version this build cannot read.
     BadVersion(u32),
+    /// Structurally invalid file (truncation, bad counts, non-UTF-8 names).
     Corrupt(String),
+    /// Checkpoint lacks a parameter the model requires.
     MissingParam(String),
+    /// Stored tensor shape disagrees with the model's parameter.
     ShapeMismatch {
+        /// Parameter name.
         name: String,
+        /// Shape the model declares.
         expected: Vec<usize>,
+        /// Shape found in the checkpoint.
         found: Vec<usize>,
     },
 }

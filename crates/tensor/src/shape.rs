@@ -216,11 +216,17 @@ pub enum BroadcastPlan {
     /// Right operand's shape equals the trailing dimensions of the output
     /// (e.g. adding a `[D]` bias to a `[B, L, D]` activation): the rhs is
     /// tiled `repeat` times over blocks of `block` elements.
-    TrailingRhs { block: usize },
+    TrailingRhs {
+        /// Elements per tiled block (the rhs's element count).
+        block: usize,
+    },
     /// Fully general case: per-element strides for both operands.
     General {
+        /// Broadcast output shape.
         out_shape: Shape,
+        /// Per-axis element strides into the lhs (0 on broadcast axes).
         lhs_strides: Vec<usize>,
+        /// Per-axis element strides into the rhs (0 on broadcast axes).
         rhs_strides: Vec<usize>,
     },
 }

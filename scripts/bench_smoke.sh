@@ -2,32 +2,59 @@
 # Quick throughput smoke: runs the criterion throughput bench in quick mode
 # and distills items/sec figures into BENCH_throughput.json at the repo root.
 #
-# Two passes: the full suite with fusion at its ambient setting, then a
-# second `train_step`-only pass with MBSSL_FUSED=off so the report shows the
-# fused and unfused training step side by side.
+# Three passes:
+#   1. the full suite with fusion at its ambient setting and telemetry OFF
+#      (the numbers of record);
+#   2. a `train_step`-only pass with MBSSL_FUSED=off so the report shows the
+#      fused and unfused training step side by side;
+#   3. a `train_step`-only pass with MBSSL_TRACE=summary so the report's
+#      `telemetry` section carries the top spans by total time (and the span
+#      table prints to stderr).
+#
+# The telemetry-off train_step throughput from pass 1 is additionally checked
+# against the previously committed BENCH_throughput.json: a regression beyond
+# MBSSL_BENCH_TOL_PCT (default 2%) fails the script, enforcing the
+# "disabled-mode tracing is free" contract.
 #
 # Usage: scripts/bench_smoke.sh [extra cargo-bench args]
-# Env:   MBSSL_THREADS — forwarded to the worker pool (see DESIGN.md §Threading).
-#        MBSSL_FUSED   — fused transformer kernels (see DESIGN.md §Fusion).
+# Env:   MBSSL_THREADS       — forwarded to the worker pool (see DESIGN.md §Threading).
+#        MBSSL_FUSED         — fused transformer kernels (see DESIGN.md §Fusion).
+#        MBSSL_TRACE         — telemetry mode; forced per pass as described above.
+#        MBSSL_BENCH_TOL_PCT — allowed train_step regression vs the committed
+#                              report before this script fails (default 2).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 raw=$(mktemp)
 raw_unfused=$(mktemp)
-trap 'rm -f "$raw" "$raw_unfused"' EXIT
+raw_traced=$(mktemp)
+prev_report=$(mktemp)
+trap 'rm -f "$raw" "$raw_unfused" "$raw_traced" "$prev_report"' EXIT
 
-CRITERION_QUICK=1 CRITERION_JSON="$raw" \
+# Keep the previous report for the overhead check: the python heredoc's
+# stdout redirect truncates BENCH_throughput.json before python runs.
+if [[ -f BENCH_throughput.json ]]; then
+    cp BENCH_throughput.json "$prev_report"
+else
+    : > "$prev_report"
+fi
+
+CRITERION_QUICK=1 CRITERION_JSON="$raw" MBSSL_TRACE=off \
     cargo bench -p mbssl-bench --bench throughput "$@"
 
-CRITERION_QUICK=1 CRITERION_JSON="$raw_unfused" \
+CRITERION_QUICK=1 CRITERION_JSON="$raw_unfused" MBSSL_TRACE=off \
     MBSSL_FUSED=off MBSSL_BENCH_ONLY=train_step \
     cargo bench -p mbssl-bench --bench throughput "$@"
 
-python3 - "$raw" "$raw_unfused" > BENCH_throughput.json <<'PY'
+CRITERION_QUICK=1 CRITERION_JSON="$raw_traced" \
+    MBSSL_TRACE=summary MBSSL_BENCH_ONLY=train_step \
+    cargo bench -p mbssl-bench --bench throughput "$@"
+
+python3 - "$raw" "$raw_unfused" "$raw_traced" "$prev_report" > BENCH_throughput.json <<'PY'
 import datetime, json, os, re, subprocess, sys
 
 def load(path):
-    rows, allocator = [], {}
+    rows, allocator, telemetry = [], {}, {}
     with open(path) as fh:
         for line in fh:
             line = line.strip()
@@ -40,6 +67,11 @@ def load(path):
                     k: v for k, v in rec.items() if k not in ("name", "section")
                 }
                 continue
+            if rec["name"] == "telemetry":
+                telemetry.setdefault(rec.get("section", "all"), []).append(
+                    {k: v for k, v in rec.items() if k not in ("name", "section")}
+                )
+                continue
             m = re.search(r"items(\d+)$", rec["name"])
             items = int(m.group(1)) if m else 1
             rows.append({
@@ -48,10 +80,11 @@ def load(path):
                 "items_per_iter": items,
                 "items_per_sec": round(rec["iters_per_sec"] * items, 1),
             })
-    return rows, allocator
+    return rows, allocator, telemetry
 
-rows, allocator = load(sys.argv[1])
-unfused_rows, _ = load(sys.argv[2])
+rows, allocator, _ = load(sys.argv[1])
+unfused_rows, _, _ = load(sys.argv[2])
+traced_rows, _, traced_telemetry = load(sys.argv[3])
 
 git_rev = subprocess.run(
     ["git", "rev-parse", "HEAD"], capture_output=True, text=True
@@ -70,8 +103,62 @@ meta = {
 report = {"unit": "items/sec", "meta": meta, "benchmarks": rows}
 if unfused_rows:
     report["unfused"] = unfused_rows
+
+# Top spans by total time per traced section, alongside the traced
+# throughput so the tracing cost is visible next to the numbers of record.
+telemetry = {}
+for section, recs in traced_telemetry.items():
+    spans = sorted(
+        (r for r in recs if r.get("kind") == "span"),
+        key=lambda r: r.get("total_ns", 0),
+        reverse=True,
+    )[:10]
+    gauges = {r["label"]: r["value"] for r in recs if r.get("kind") in ("counter", "gauge")}
+    telemetry[section] = {"top_spans": spans, "gauges": gauges}
+if telemetry:
+    report["telemetry"] = telemetry
+    traced_train = next(
+        (r for r in traced_rows if "train_step" in r["name"]), None
+    )
+    if traced_train:
+        report["telemetry"]["train_step_traced_items_per_sec"] = \
+            traced_train["items_per_sec"]
 if allocator:
     report["allocator"] = allocator
+
+# Disabled-mode overhead gate: pass-1 train_step (MBSSL_TRACE=off) must stay
+# within MBSSL_BENCH_TOL_PCT of the committed report's figure.
+tol_pct = float(os.environ.get("MBSSL_BENCH_TOL_PCT", "2"))
+try:
+    with open(sys.argv[4]) as fh:
+        prev = json.load(fh)
+except (OSError, json.JSONDecodeError):
+    prev = None
+if prev:
+    prev_train = next(
+        (r for r in prev.get("benchmarks", []) if "train_step" in r["name"]), None
+    )
+    new_train = next((r for r in rows if "train_step" in r["name"]), None)
+    if prev_train and new_train:
+        floor = prev_train["items_per_sec"] * (1 - tol_pct / 100)
+        verdict = {
+            "previous_items_per_sec": prev_train["items_per_sec"],
+            "current_items_per_sec": new_train["items_per_sec"],
+            "tolerance_pct": tol_pct,
+            "ok": new_train["items_per_sec"] >= floor,
+        }
+        report["overhead_check"] = verdict
+        if not verdict["ok"]:
+            json.dump(report, sys.stdout, indent=2)
+            print()
+            print(
+                f"FAIL: untraced train_step {new_train['items_per_sec']} items/s "
+                f"regressed more than {tol_pct}% below the committed "
+                f"{prev_train['items_per_sec']} items/s",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+
 json.dump(report, sys.stdout, indent=2)
 print()
 PY

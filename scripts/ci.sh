@@ -15,9 +15,16 @@
 #                             size; the recycler is thread-local + shared).
 #   5. escape hatches       — full workspace tests with MBSSL_FUSED=off, and
 #                             the packed-GEMM suite with MBSSL_ALLOC=off.
-#   6. bench smoke          — refreshes BENCH_throughput.json and fails if the
+#   6. traced tests         — full workspace tests with MBSSL_TRACE=jsonl:…
+#                             so every suite also passes with live telemetry
+#                             (determinism + near-zero-overhead contract).
+#   7. rustdoc              — `cargo doc --no-deps` for the workspace crates
+#                             with warnings promoted to errors (missing-docs
+#                             regressions fail here).
+#   8. bench smoke          — refreshes BENCH_throughput.json and fails if the
 #                             bench harness itself breaks (numbers are
-#                             machine-dependent and not asserted here).
+#                             machine-dependent; only the telemetry-off
+#                             train_step overhead bound is asserted there).
 #
 # Usage: scripts/ci.sh [--skip-bench]
 set -euo pipefail
@@ -61,6 +68,14 @@ MBSSL_FUSED=off cargo test --workspace -q
 
 echo "==> allocator escape hatch (MBSSL_ALLOC=off)"
 MBSSL_ALLOC=off cargo test --release -p mbssl-tensor --test packed_gemm -q
+
+trace_file=$(mktemp -t mbssl_ci_trace.XXXXXX.jsonl)
+trap 'rm -f "$trace_file"' EXIT
+echo "==> traced tests (MBSSL_TRACE=jsonl:$trace_file, full workspace)"
+MBSSL_TRACE="jsonl:$trace_file" cargo test --workspace -q
+
+echo "==> rustdoc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 if [[ "$skip_bench" -eq 0 ]]; then
     echo "==> bench smoke"

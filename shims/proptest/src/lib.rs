@@ -129,7 +129,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use rand::{Rng, StdRng};
 
-    /// Inclusive-exclusive element-count bounds for [`vec`].
+    /// Inclusive-exclusive element-count bounds for [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

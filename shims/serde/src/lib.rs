@@ -40,6 +40,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, String>;
 }
 
+// A `Value` round-trips as itself, so callers can deserialize arbitrary
+// JSON (e.g. telemetry trace records) without declaring a schema type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 // ----------------------------------------------------------------------
 // Serialize impls for std types
 // ----------------------------------------------------------------------

@@ -10,6 +10,11 @@
 //!
 //! TSV format: `user \t item \t behavior \t timestamp` with behaviors in
 //! {click, cart, favorite, purchase}; a header line is allowed.
+//!
+//! Every command accepts `--trace MODE` (`off`, `summary`, or
+//! `jsonl:<path>`), equivalent to setting `MBSSL_TRACE`: `summary` prints a
+//! span table to stderr on exit, `jsonl:<path>` appends machine-readable
+//! trace records to `<path>`.
 
 use std::collections::HashSet;
 use std::process::ExitCode;
@@ -76,7 +81,8 @@ fn usage() {
          mbssl evaluate  --data LOG.tsv --target BEHAVIOR --model IN.ckpt\n  \
          mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N]\n  \
          mbssl stats     --data LOG.tsv --target BEHAVIOR\n\n\
-         BEHAVIOR ∈ {{click, cart, favorite, purchase}}"
+         BEHAVIOR ∈ {{click, cart, favorite, purchase}}\n\
+         all commands accept --trace off|summary|jsonl:PATH (telemetry; see also MBSSL_TRACE)"
     );
 }
 
@@ -114,8 +120,13 @@ fn run() -> Result<(), String> {
         return Err("no command given".into());
     };
     let seed: u64 = args.get_or("seed", "42").parse().map_err(|_| "bad --seed")?;
+    if let Some(trace) = args.get("trace") {
+        let mode = mbssl::tensor::telemetry::TraceMode::parse(trace)
+            .map_err(|e| format!("bad --trace: {e}"))?;
+        mbssl::tensor::telemetry::set_mode(mode);
+    }
 
-    match args.command.as_str() {
+    let result = match args.command.as_str() {
         "stats" => {
             let (dataset, _) = load_dataset(&args)?;
             let stats = dataset.stats();
@@ -204,7 +215,11 @@ fn run() -> Result<(), String> {
             usage();
             Err(format!("unknown command {other:?}"))
         }
-    }
+    };
+    // Emit whatever telemetry the run accumulated (no-op when tracing is
+    // off), with the command name as the trace section.
+    mbssl::tensor::telemetry::flush_section(&args.command);
+    result
 }
 
 fn main() -> ExitCode {

@@ -7,7 +7,8 @@
 //! - [`data`]: datasets, synthetic generators, sampling, augmentation;
 //! - [`metrics`]: ranking metrics and significance tests;
 //! - [`core`]: the MBMISSL model, trainer, and evaluator;
-//! - [`baselines`]: the comparison zoo.
+//! - [`baselines`]: the comparison zoo;
+//! - [`telemetry`]: spans, counters, and JSONL traces (`MBSSL_TRACE`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end train-and-evaluate run.
 
@@ -16,4 +17,5 @@ pub use mbssl_core as core;
 pub use mbssl_data as data;
 pub use mbssl_hypergraph as hypergraph;
 pub use mbssl_metrics as metrics;
+pub use mbssl_telemetry as telemetry;
 pub use mbssl_tensor as tensor;
