@@ -154,6 +154,12 @@ pub struct TrainConfig {
     /// way: batch RNG streams are derived per batch, not from wall-clock
     /// interleaving.
     pub prefetch: bool,
+    /// Write a run-ledger directory (`manifest.json` + per-epoch
+    /// `metrics.jsonl`, see `crates/core/src/ledger.rs`) here. `None` falls
+    /// back to the `MBSSL_RUN_DIR` environment variable; empty/unset
+    /// disables the ledger. Ledger writes never touch an RNG, so training
+    /// is bit-for-bit identical with the ledger on or off.
+    pub run_dir: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -170,6 +176,7 @@ impl Default for TrainConfig {
             seed: 7,
             verbose: false,
             prefetch: true,
+            run_dir: None,
         }
     }
 }

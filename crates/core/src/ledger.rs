@@ -1,0 +1,456 @@
+//! Run ledger: a per-run directory capturing what was trained and how it
+//! went, written incrementally so a crashed run still leaves a usable
+//! record.
+//!
+//! Layout of a run directory:
+//!
+//! ```text
+//! <run_dir>/
+//!   manifest.json    # config, git revision, cores, MBSSL_* env — one object
+//!   metrics.jsonl    # one EpochRecord object per epoch, appended live
+//! ```
+//!
+//! The trainer activates the ledger when [`TrainConfig::run_dir`] is set or
+//! the `MBSSL_RUN_DIR` environment variable is non-empty (the config field
+//! wins). Ledger writes happen strictly *outside* the training computation
+//! — after the epoch's optimizer steps and evaluation — and never touch an
+//! RNG, so a run with the ledger on is bit-for-bit identical to one with it
+//! off (pinned by `crates/core/tests/telemetry_trace.rs`).
+//!
+//! IO failures are reported to stderr and disable further writes rather
+//! than aborting training: losing the ledger must never lose the model.
+//!
+//! `mbssl report <run_dir>...` reads these directories back via
+//! [`read_run_dir`] and renders epoch curves plus a side-by-side comparison
+//! through [`render_report`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::TrainConfig;
+
+/// Static facts about a run, written once at the start.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Model name as reported by `SequentialRecommender::name`.
+    pub model: String,
+    /// Git revision of the build (compile-time embed or `MBSSL_GIT_REV`).
+    pub git_rev: Option<String>,
+    /// Unix timestamp (seconds) when the run started.
+    pub unix_time_s: u64,
+    /// Available CPU parallelism on the training host.
+    pub cores: usize,
+    /// Total trainable parameter count.
+    pub num_params: usize,
+    /// Training / validation instance counts.
+    pub train_instances: usize,
+    pub val_instances: usize,
+    /// The full training configuration.
+    pub config: TrainConfig,
+    /// `MBSSL_*` environment variables in effect (sorted by key).
+    pub env: BTreeMap<String, String>,
+}
+
+impl RunManifest {
+    /// Captures the current process environment around the given run facts.
+    pub fn capture(
+        model: &str,
+        num_params: usize,
+        train_instances: usize,
+        val_instances: usize,
+        config: &TrainConfig,
+    ) -> RunManifest {
+        let env: BTreeMap<String, String> = std::env::vars()
+            .filter(|(k, _)| k.starts_with("MBSSL_"))
+            .collect();
+        RunManifest {
+            model: model.to_string(),
+            git_rev: mbssl_telemetry::git_rev().map(|s| s.to_string()),
+            unix_time_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            num_params,
+            train_instances,
+            val_instances,
+            config: config.clone(),
+            env,
+        }
+    }
+}
+
+/// One line of `metrics.jsonl`: everything the trainer knows at the end of
+/// an epoch. Validation fields are `None` on epochs where evaluation was
+/// skipped (`eval_every > 1`) or no validation split exists.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub train_loss: f64,
+    pub val_hr5: Option<f64>,
+    pub val_hr10: Option<f64>,
+    pub val_ndcg5: Option<f64>,
+    pub val_ndcg10: Option<f64>,
+    /// Training throughput: instances consumed / epoch wall seconds.
+    pub items_per_sec: f64,
+    /// Epoch wall time (training + evaluation).
+    pub seconds: f64,
+    /// Tensor-allocator free-list hit rate at epoch end (cumulative %).
+    pub alloc_hit_rate_pct: f64,
+    /// Thread-pool jobs broadcast since process start (cumulative).
+    pub pool_jobs: u64,
+    /// Thread-pool chunks distributed since process start (cumulative).
+    pub pool_chunks: u64,
+}
+
+/// Incremental writer for a run directory.
+///
+/// Construction writes `manifest.json` and truncates `metrics.jsonl`;
+/// [`append_epoch`](RunLedger::append_epoch) adds one line per call and
+/// flushes immediately so partial runs are readable.
+pub struct RunLedger {
+    dir: PathBuf,
+    metrics: fs::File,
+}
+
+impl RunLedger {
+    /// Creates `dir` (and parents) and writes the manifest.
+    pub fn create(dir: &Path, manifest: &RunManifest) -> std::io::Result<RunLedger> {
+        fs::create_dir_all(dir)?;
+        let pretty = serde_json::to_string_pretty(manifest)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        fs::write(dir.join("manifest.json"), pretty + "\n")?;
+        let metrics = fs::File::create(dir.join("metrics.jsonl"))?;
+        Ok(RunLedger { dir: dir.to_path_buf(), metrics })
+    }
+
+    /// Appends one epoch record and flushes.
+    pub fn append_epoch(&mut self, record: &EpochRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        writeln!(self.metrics, "{line}")?;
+        self.metrics.flush()
+    }
+
+    /// The run directory this ledger writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// The run directory to use for the current fit, if any: the config field
+/// when set, else a non-empty `MBSSL_RUN_DIR` environment variable.
+pub fn resolve_run_dir(config: &TrainConfig) -> Option<PathBuf> {
+    if let Some(dir) = &config.run_dir {
+        if !dir.is_empty() {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    match std::env::var("MBSSL_RUN_DIR") {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// A run directory read back into memory.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Directory basename, used as the run's display name.
+    pub name: String,
+    pub manifest: RunManifest,
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl RunRecord {
+    /// The epoch with the best validation NDCG@10, if any epoch has one.
+    pub fn best_epoch(&self) -> Option<&EpochRecord> {
+        self.epochs
+            .iter()
+            .filter(|e| e.val_ndcg10.is_some())
+            .max_by(|a, b| {
+                a.val_ndcg10
+                    .partial_cmp(&b.val_ndcg10)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Mean training throughput across epochs (instances / second).
+    pub fn mean_items_per_sec(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.items_per_sec).sum::<f64>() / self.epochs.len() as f64
+    }
+}
+
+/// Reads `manifest.json` + `metrics.jsonl` from a run directory.
+pub fn read_run_dir(dir: &Path) -> Result<RunRecord, String> {
+    let manifest_path = dir.join("manifest.json");
+    let manifest_text = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    let manifest: RunManifest = serde_json::from_str(&manifest_text)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+
+    let metrics_path = dir.join("metrics.jsonl");
+    let metrics_text = fs::read_to_string(&metrics_path)
+        .map_err(|e| format!("{}: {e}", metrics_path.display()))?;
+    let mut epochs = Vec::new();
+    for (i, line) in metrics_text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: EpochRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", metrics_path.display(), i + 1))?;
+        epochs.push(rec);
+    }
+
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| dir.display().to_string());
+    Ok(RunRecord { name, manifest, epochs })
+}
+
+const SPARK_TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Unicode sparkline over `values`; `None` entries render as `·`.
+fn sparkline(values: &[Option<f64>]) -> String {
+    let present: Vec<f64> = values.iter().filter_map(|v| *v).filter(|v| v.is_finite()).collect();
+    let (lo, hi) = present
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|v| match v {
+            Some(v) if v.is_finite() => {
+                if hi <= lo {
+                    SPARK_TICKS[3]
+                } else {
+                    let t = (v - lo) / (hi - lo);
+                    SPARK_TICKS[((t * 7.0).round() as usize).min(7)]
+                }
+            }
+            _ => '·',
+        })
+        .collect()
+}
+
+fn fmt_opt(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(v) => format!("{v:.prec$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// One labelled curve line: sparkline plus first → last present values.
+fn curve_line(label: &str, values: &[Option<f64>], prec: usize) -> String {
+    let first = values.iter().find_map(|v| *v);
+    let last = values.iter().rev().find_map(|v| *v);
+    format!(
+        "  {label:<10} {}  {} → {}",
+        sparkline(values),
+        fmt_opt(first, prec),
+        fmt_opt(last, prec)
+    )
+}
+
+/// Renders per-run epoch curves followed by a side-by-side comparison
+/// table (best-epoch validation metrics, throughput, allocator hit rate).
+pub fn render_report(runs: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let m = &run.manifest;
+        out.push_str(&format!(
+            "run {name}: model={model} epochs={epochs} params={params} cores={cores}{rev}\n",
+            name = run.name,
+            model = m.model,
+            epochs = run.epochs.len(),
+            params = m.num_params,
+            cores = m.cores,
+            rev = match &m.git_rev {
+                Some(r) => format!(" rev={}", &r[..r.len().min(12)]),
+                None => String::new(),
+            },
+        ));
+        if run.epochs.is_empty() {
+            out.push_str("  (no epochs recorded)\n\n");
+            continue;
+        }
+        let loss: Vec<Option<f64>> = run.epochs.iter().map(|e| Some(e.train_loss)).collect();
+        let ndcg10: Vec<Option<f64>> = run.epochs.iter().map(|e| e.val_ndcg10).collect();
+        let hr10: Vec<Option<f64>> = run.epochs.iter().map(|e| e.val_hr10).collect();
+        let ips: Vec<Option<f64>> = run.epochs.iter().map(|e| Some(e.items_per_sec)).collect();
+        out.push_str(&curve_line("loss", &loss, 4));
+        out.push('\n');
+        if ndcg10.iter().any(|v| v.is_some()) {
+            out.push_str(&curve_line("ndcg@10", &ndcg10, 4));
+            out.push('\n');
+            out.push_str(&curve_line("hr@10", &hr10, 4));
+            out.push('\n');
+        }
+        out.push_str(&curve_line("items/s", &ips, 0));
+        out.push('\n');
+        out.push('\n');
+    }
+
+    // Comparison table over best-NDCG@10 epochs.
+    let name_w = runs
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("run".len()))
+        .max()
+        .unwrap_or(3);
+    out.push_str(&format!(
+        "{:<name_w$}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}  {:>10}  {:>9}  {:>10}\n",
+        "run", "epochs", "best_ep", "HR@5", "HR@10", "NDCG@5", "NDCG@10", "final_loss", "items/s", "alloc_hit%"
+    ));
+    for run in runs {
+        let best = run.best_epoch();
+        let final_loss = run.epochs.last().map(|e| e.train_loss);
+        let alloc = run.epochs.last().map(|e| e.alloc_hit_rate_pct);
+        out.push_str(&format!(
+            "{:<name_w$}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}  {:>7}  {:>10}  {:>9.0}  {:>10}\n",
+            run.name,
+            run.epochs.len(),
+            best.map(|e| e.epoch.to_string()).unwrap_or_else(|| "-".into()),
+            fmt_opt(best.and_then(|e| e.val_hr5), 4),
+            fmt_opt(best.and_then(|e| e.val_hr10), 4),
+            fmt_opt(best.and_then(|e| e.val_ndcg5), 4),
+            fmt_opt(best.and_then(|e| e.val_ndcg10), 4),
+            fmt_opt(final_loss, 4),
+            run.mean_items_per_sec(),
+            fmt_opt(alloc, 1),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: usize, loss: f64, ndcg10: Option<f64>) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            train_loss: loss,
+            val_hr5: ndcg10.map(|n| n + 0.02),
+            val_hr10: ndcg10.map(|n| n + 0.05),
+            val_ndcg5: ndcg10.map(|n| n - 0.01),
+            val_ndcg10: ndcg10,
+            items_per_sec: 100.0 + epoch as f64,
+            seconds: 1.5,
+            alloc_hit_rate_pct: 90.0,
+            pool_jobs: 10 * (epoch as u64 + 1),
+            pool_chunks: 80 * (epoch as u64 + 1),
+        }
+    }
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            model: "mbmissl".into(),
+            git_rev: Some("0123456789abcdef".into()),
+            unix_time_s: 1_700_000_000,
+            cores: 8,
+            num_params: 12345,
+            train_instances: 1000,
+            val_instances: 100,
+            config: TrainConfig::fast_test(),
+            env: BTreeMap::from([("MBSSL_THREADS".to_string(), "4".to_string())]),
+        }
+    }
+
+    #[test]
+    fn ledger_roundtrips_through_run_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "mbssl-ledger-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let mani = manifest();
+        let mut ledger = RunLedger::create(&dir, &mani).unwrap();
+        ledger.append_epoch(&record(0, 2.5, None)).unwrap();
+        ledger.append_epoch(&record(1, 1.8, Some(0.31))).unwrap();
+        ledger.append_epoch(&record(2, 1.4, Some(0.38))).unwrap();
+
+        let run = read_run_dir(&dir).unwrap();
+        assert_eq!(run.manifest.model, "mbmissl");
+        assert_eq!(run.manifest.cores, 8);
+        assert_eq!(run.manifest.config.epochs, mani.config.epochs);
+        assert_eq!(run.manifest.env["MBSSL_THREADS"], "4");
+        assert_eq!(run.epochs.len(), 3);
+        assert_eq!(run.epochs[0].epoch, 0);
+        assert_eq!(run.epochs[0].val_ndcg10, None);
+        assert_eq!(run.epochs[2].val_ndcg10, Some(0.38));
+        assert_eq!(run.best_epoch().unwrap().epoch, 2);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resolve_prefers_config_over_env() {
+        let cfg = TrainConfig {
+            run_dir: Some("/tmp/from-config".into()),
+            ..TrainConfig::default()
+        };
+        assert_eq!(
+            resolve_run_dir(&cfg),
+            Some(PathBuf::from("/tmp/from-config"))
+        );
+        let cfg = TrainConfig { run_dir: None, ..TrainConfig::default() };
+        // Whatever MBSSL_RUN_DIR holds, an explicit empty config field must
+        // not shadow it — and with no env var the result is None. The env
+        // half is covered end-to-end by tests/telemetry_trace.rs to avoid
+        // set_var races across threads here.
+        if std::env::var("MBSSL_RUN_DIR").map_or(true, |v| v.is_empty()) {
+            assert_eq!(resolve_run_dir(&cfg), None);
+        }
+    }
+
+    #[test]
+    fn sparkline_maps_extremes_and_gaps() {
+        let s = sparkline(&[Some(0.0), None, Some(1.0)]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars, vec!['▁', '·', '█']);
+        // Flat series renders mid ticks, not a panic.
+        let flat = sparkline(&[Some(2.0), Some(2.0)]);
+        assert_eq!(flat.chars().count(), 2);
+    }
+
+    #[test]
+    fn report_renders_comparison_for_two_runs() {
+        let mk = |name: &str, shift: f64| RunRecord {
+            name: name.into(),
+            manifest: manifest(),
+            epochs: vec![
+                record(0, 2.5 - shift, Some(0.30 + shift)),
+                record(1, 1.9 - shift, Some(0.35 + shift)),
+            ],
+        };
+        let out = render_report(&[mk("base", 0.0), mk("tuned", 0.04)]);
+        assert!(out.contains("run base:"), "{out}");
+        assert!(out.contains("run tuned:"), "{out}");
+        assert!(out.contains("NDCG@10"), "{out}");
+        assert!(out.contains("0.3900"), "tuned best ndcg@10 missing:\n{out}");
+        assert!(out.contains("ndcg@10"), "{out}");
+        // Exactly one header + two data rows in the comparison table.
+        let rows: Vec<&str> = out.lines().filter(|l| l.starts_with("base") || l.starts_with("tuned")).collect();
+        assert_eq!(rows.len(), 2, "{out}");
+    }
+
+    #[test]
+    fn empty_run_dir_reports_missing_files() {
+        let err = read_run_dir(Path::new("/nonexistent/mbssl-run")).unwrap_err();
+        assert!(err.contains("manifest.json"), "{err}");
+    }
+}

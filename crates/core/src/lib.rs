@@ -12,18 +12,22 @@
 //! - [`model`]: the full [`Mbmissl`] model;
 //! - [`analysis`]: interest-recovery and embedding-export tooling;
 //! - [`trainer`] / [`recommender`]: the shared training loop and
-//!   leave-one-out evaluator every model in the workspace runs through.
+//!   leave-one-out evaluator every model in the workspace runs through;
+//! - [`ledger`]: the per-run directory (`MBSSL_RUN_DIR`) with a manifest
+//!   and per-epoch metrics, read back by `mbssl report`.
 
 pub mod analysis;
 pub mod config;
 pub mod encoder;
 pub mod interest;
+pub mod ledger;
 pub mod model;
 pub mod recommender;
 pub mod ssl;
 pub mod trainer;
 
 pub use config::{BehaviorSchema, EncoderKind, ExtractorKind, ModelConfig, TrainConfig};
+pub use ledger::{read_run_dir, render_report, EpochRecord, RunLedger, RunManifest, RunRecord};
 pub use model::Mbmissl;
 pub use recommender::{evaluate, recommend_top_n, Recommendation, SequentialRecommender};
 pub use mbssl_data::sampler::PreparedBatch;

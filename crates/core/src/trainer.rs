@@ -19,6 +19,7 @@ use mbssl_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use mbssl_tensor::Tensor;
 
 use crate::config::TrainConfig;
+use crate::ledger::{resolve_run_dir, EpochRecord, RunLedger, RunManifest};
 use crate::recommender::{evaluate, SequentialRecommender};
 
 /// A model the [`Trainer`] can fit. Each training step is split in two:
@@ -87,6 +88,11 @@ pub struct EpochStats {
     pub train_loss: f32,
     pub val_ndcg10: Option<f64>,
     pub val_hr10: Option<f64>,
+    pub val_ndcg5: Option<f64>,
+    pub val_hr5: Option<f64>,
+    /// Training throughput: instances consumed / training-phase seconds
+    /// (excludes validation evaluation time).
+    pub items_per_sec: f64,
     pub seconds: f64,
 }
 
@@ -208,6 +214,30 @@ impl Trainer {
             ))
         };
 
+        // Run ledger (MBSSL_RUN_DIR / config.run_dir): best-effort — an IO
+        // failure warns and disables it, never aborts training. Writes
+        // happen strictly after the epoch's compute and touch no RNG, so
+        // training is bit-for-bit identical with the ledger on or off.
+        let mut ledger = resolve_run_dir(cfg).and_then(|dir| {
+            let manifest = RunManifest::capture(
+                &model.name(),
+                num_params,
+                split.train.len(),
+                split.val.len(),
+                cfg,
+            );
+            match RunLedger::create(&dir, &manifest) {
+                Ok(l) => Some(l),
+                Err(e) => {
+                    eprintln!(
+                        "mbssl: run ledger disabled: cannot create {}: {e}",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
+
         let batches_per_epoch = split.train.len().div_ceil(cfg.batch_size);
         let start = Instant::now();
         let mut history = Vec::new();
@@ -225,6 +255,7 @@ impl Trainer {
             let epoch_start = Instant::now();
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
+            let mut instances = 0usize;
             for _ in 0..batches_per_epoch {
                 // How long the consumer stalls waiting on the producer: the
                 // pipeline's headroom (≈0 when prefetch keeps up).
@@ -235,6 +266,7 @@ impl Trainer {
                 let Some((prepared, mut graph_rng)) = fetched else {
                     break;
                 };
+                instances += prepared.batch.size;
                 let _step_sp = telemetry::span("trainer.train_step");
                 opt.zero_grad();
                 let loss =
@@ -246,26 +278,57 @@ impl Trainer {
                 opt.step();
             }
             let train_loss = if batches > 0 { loss_sum / batches as f32 } else { 0.0 };
+            let train_seconds = epoch_start.elapsed().as_secs_f64();
             epochs_run = epoch + 1;
 
-            let (val_ndcg10, val_hr10) = if let Some(cands) = &val_candidates {
+            let val_metrics = if let Some(cands) = &val_candidates {
                 if (epoch + 1) % cfg.eval_every == 0 {
-                    let metrics = evaluate(model, &split.val, cands, cfg.batch_size).aggregate();
-                    (Some(metrics.ndcg10), Some(metrics.hr10))
+                    Some(evaluate(model, &split.val, cands, cfg.batch_size).aggregate())
                 } else {
-                    (None, None)
+                    None
                 }
             } else {
-                (None, None)
+                None
             };
+            let val_ndcg10 = val_metrics.as_ref().map(|m| m.ndcg10);
+            let val_hr10 = val_metrics.as_ref().map(|m| m.hr10);
 
-            history.push(EpochStats {
+            let stats = EpochStats {
                 epoch,
                 train_loss,
                 val_ndcg10,
                 val_hr10,
+                val_ndcg5: val_metrics.as_ref().map(|m| m.ndcg5),
+                val_hr5: val_metrics.as_ref().map(|m| m.hr5),
+                items_per_sec: if train_seconds > 0.0 {
+                    instances as f64 / train_seconds
+                } else {
+                    0.0
+                },
                 seconds: epoch_start.elapsed().as_secs_f64(),
-            });
+            };
+            if let Some(l) = ledger.as_mut() {
+                let alloc = mbssl_tensor::alloc::stats();
+                let (pool_jobs, _pool_inline, pool_chunks) = mbssl_tensor::pool::stats();
+                let record = EpochRecord {
+                    epoch: stats.epoch,
+                    train_loss: stats.train_loss as f64,
+                    val_hr5: stats.val_hr5,
+                    val_hr10: stats.val_hr10,
+                    val_ndcg5: stats.val_ndcg5,
+                    val_ndcg10: stats.val_ndcg10,
+                    items_per_sec: stats.items_per_sec,
+                    seconds: stats.seconds,
+                    alloc_hit_rate_pct: alloc.hit_rate_pct(),
+                    pool_jobs,
+                    pool_chunks,
+                };
+                if let Err(e) = l.append_epoch(&record) {
+                    eprintln!("mbssl: run ledger disabled: {e}");
+                    ledger = None;
+                }
+            }
+            history.push(stats);
             if cfg.verbose {
                 // Progress lines go through telemetry so they reach stderr
                 // (as before) AND the JSONL trace when one is active.

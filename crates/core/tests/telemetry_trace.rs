@@ -21,6 +21,14 @@ static MODE_LOCK: Mutex<()> = Mutex::new(());
 /// Trains a small MBMISSL for 2 epochs on synthetic data under the given
 /// trace mode; returns the final parameters and per-epoch loss history.
 fn train_once(mode: telemetry::TraceMode) -> (Vec<Vec<f32>>, Vec<f32>) {
+    train_once_in(mode, None)
+}
+
+/// Like [`train_once`] but additionally writing a run-ledger directory.
+fn train_once_in(
+    mode: telemetry::TraceMode,
+    run_dir: Option<String>,
+) -> (Vec<Vec<f32>>, Vec<f32>) {
     telemetry::set_mode(mode);
     let g = SyntheticConfig::taobao_like(77).scaled(0.05).generate();
     let split = leave_one_out(&g.dataset, &SplitConfig::default());
@@ -46,6 +54,7 @@ fn train_once(mode: telemetry::TraceMode) -> (Vec<Vec<f32>>, Vec<f32>) {
         num_negatives: 8,
         seed: 9,
         verbose: false,
+        run_dir,
         ..TrainConfig::default()
     });
     let report = trainer.fit(&model, &split, &sampler);
@@ -109,6 +118,7 @@ fn jsonl_trace_is_valid_and_does_not_perturb_training() {
     let text = std::fs::read_to_string(&trace_path).expect("trace file missing");
     let _ = std::fs::remove_file(&trace_path);
     let mut span_labels = Vec::new();
+    let mut span_edges: Vec<(String, String, f64)> = Vec::new(); // (parent, label, total_ns)
     let mut gauge_labels = Vec::new();
     let mut saw_meta = false;
     for (lineno, line) in text.lines().enumerate() {
@@ -137,6 +147,10 @@ fn jsonl_trace_is_valid_and_does_not_perturb_training() {
                 assert!(obj_get(&rec, "bytes").is_some(), "span {label} lacks bytes");
                 assert!(count >= 1.0, "span {label} with zero count");
                 assert!(min <= max && max <= total.max(max), "span {label} ns ordering");
+                let parent = obj_get(&rec, "parent")
+                    .and_then(as_str)
+                    .unwrap_or_else(|| panic!("span {label} lacks a parent field"));
+                span_edges.push((parent.to_string(), label.to_string(), total));
                 span_labels.push(label.to_string());
             }
             "counter" | "gauge" => {
@@ -180,6 +194,90 @@ fn jsonl_trace_is_valid_and_does_not_perturb_training() {
             "no {prefix}* gauge in trace: {gauge_labels:?}"
         );
     }
+
+    // 4. Hierarchy: spans carry their recording parent. The training step
+    //    must be an edge under the epoch span, and kernels must appear as
+    //    children of the step — not as roots.
+    assert!(
+        span_edges
+            .iter()
+            .any(|(p, l, _)| p == "trainer.epoch" && l == "trainer.train_step"),
+        "trainer.train_step not recorded under trainer.epoch: {span_edges:?}"
+    );
+    assert!(
+        span_edges
+            .iter()
+            .any(|(p, l, _)| p == "trainer.train_step" && l.starts_with("kernel.")),
+        "no kernel.* edge under trainer.train_step: {span_edges:?}"
+    );
+
+    // 5. Self-time identity: children are strictly nested inside their
+    //    parent's guard, so summed child time can exceed the label's own
+    //    total only by clock jitter. `self = total − child` must be a
+    //    meaningful (≥0 within 1%) quantity for the hot training span.
+    let label_total = |label: &str| -> f64 {
+        span_edges.iter().filter(|(_, l, _)| l == label).map(|(_, _, t)| t).sum()
+    };
+    let child_total = |label: &str| -> f64 {
+        span_edges.iter().filter(|(p, _, _)| p == label).map(|(_, _, t)| t).sum()
+    };
+    for label in ["trainer.train_step", "trainer.epoch"] {
+        let total = label_total(label);
+        let child = child_total(label);
+        assert!(total > 0.0, "{label} has zero total time");
+        assert!(
+            child <= total * 1.01,
+            "{label}: child time {child} exceeds total {total} by more than 1% — \
+             self-time (total − child) would be nonsense"
+        );
+    }
+}
+
+/// Training with the run ledger active is bit-for-bit identical to
+/// training without it, and the run directory it leaves behind is complete
+/// and parseable.
+#[test]
+fn run_ledger_does_not_perturb_training_and_roundtrips() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    let run_dir = std::env::temp_dir().join(format!(
+        "mbssl_ledger_run_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    let (params_off, losses_off) = train_once(telemetry::TraceMode::Off);
+    let (params_led, losses_led) = train_once_in(
+        telemetry::TraceMode::Off,
+        Some(run_dir.to_string_lossy().into_owned()),
+    );
+    telemetry::set_mode(telemetry::TraceMode::Off);
+
+    assert_eq!(losses_off, losses_led, "loss history diverged under the run ledger");
+    for (i, (a, b)) in params_off.iter().zip(params_led.iter()).enumerate() {
+        assert_eq!(a, b, "parameter tensor {i} diverged under the run ledger");
+    }
+
+    let run = mbssl_core::read_run_dir(&run_dir).expect("run dir unreadable");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    assert!(run.manifest.model.contains("MBMISSL"), "{}", run.manifest.model);
+    assert_eq!(run.manifest.config.epochs, 2);
+    assert!(run.manifest.cores >= 1);
+    assert!(run.manifest.num_params > 0);
+    assert!(run.manifest.train_instances > 0);
+    assert!(run.manifest.val_instances > 0);
+    assert_eq!(run.epochs.len(), losses_led.len());
+    for (i, epoch) in run.epochs.iter().enumerate() {
+        assert_eq!(epoch.epoch, i);
+        assert_eq!(epoch.train_loss, losses_led[i] as f64, "epoch {i} loss mismatch");
+        assert!(epoch.items_per_sec > 0.0, "epoch {i} has no throughput");
+        assert!(epoch.seconds > 0.0);
+        assert!(epoch.val_ndcg10.is_some(), "epoch {i} skipped validation");
+        assert!(epoch.val_hr5.is_some() && epoch.val_ndcg5.is_some());
+    }
+    // The report renderer must at least show the run and its curves.
+    let rendered = mbssl_core::render_report(&[run]);
+    assert!(rendered.contains("NDCG@10"), "{rendered}");
+    assert!(rendered.contains("items/s"), "{rendered}");
 }
 
 /// `progress` lines must land in the JSONL trace immediately (not at

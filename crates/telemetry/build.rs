@@ -1,0 +1,27 @@
+//! Embeds the git revision at compile time (`MBSSL_BUILD_GIT_REV`) so
+//! traces and run ledgers cut by a binary stamp the revision it was built
+//! from — not whatever repository the process happens to be started in,
+//! which is what the old runtime `git rev-parse` subprocess reported. At
+//! runtime `MBSSL_GIT_REV` overrides the embedded value (see `git_rev`).
+
+use std::process::Command;
+
+fn main() {
+    println!("cargo:rerun-if-env-changed=MBSSL_GIT_REV");
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_default();
+    // Re-run when the checkout's HEAD moves so the embedded rev stays
+    // current (harmless no-ops outside a git checkout).
+    println!("cargo:rerun-if-changed={manifest_dir}/../../.git/HEAD");
+    let rev = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(&manifest_dir)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    if let Some(rev) = rev {
+        println!("cargo:rustc-env=MBSSL_BUILD_GIT_REV={rev}");
+    }
+}

@@ -4,10 +4,21 @@
 //! aggregates per-label statistics and emits them as a human-readable
 //! table or machine-readable JSONL.
 //!
-//! The crate is deliberately zero-dependency (std only) so every layer of
+//! The crate is deliberately zero-dependency (std only; the in-repo serde
+//! shims appear only as dev-dependencies of its tests) so every layer of
 //! the workspace — the tensor kernels, the allocator, the worker pool, the
 //! trainer, the CLI, the benches — can report into one registry without a
 //! dependency cycle.
+//!
+//! # Hierarchy
+//!
+//! Spans are **hierarchical**: each thread keeps a stack of open span
+//! labels, and a completed span records under its `(parent, label)` edge —
+//! the label of the span that was open when it started, or `""` at the
+//! root. [`drain`] returns one record per edge, which is what lets
+//! `mbssl trace summary` attribute *self-time* (a span's total minus its
+//! children's totals) instead of double-counting nested work. See
+//! DESIGN.md §12 for the aggregation model.
 //!
 //! # Modes
 //!
@@ -60,6 +71,7 @@
 //! telemetry::set_mode(telemetry::TraceMode::Off);
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -169,7 +181,11 @@ struct SpanAgg {
 }
 
 struct Registry {
-    spans: HashMap<&'static str, SpanAgg>,
+    /// Span aggregates keyed by `(parent label, label)` — the parent-edge
+    /// aggregation model (DESIGN.md §12): each completed span records under
+    /// the edge from its enclosing span (or `""` at the root), so trace
+    /// analysis can attribute self-time vs. child-time exactly.
+    spans: HashMap<(&'static str, &'static str), SpanAgg>,
     counters: HashMap<&'static str, u64>,
     gauges: HashMap<&'static str, u64>,
 }
@@ -211,10 +227,25 @@ pub fn register_collector(f: Collector) {
 // Spans
 // ---------------------------------------------------------------------------
 
+thread_local! {
+    /// Labels of the spans currently open on this thread, outermost first.
+    /// Only touched when tracing is enabled, so the disabled fast path
+    /// never reads thread-local state. Each thread (main, prefetch
+    /// producer, pool workers) has its own stack, so parent attribution is
+    /// exact per thread and spans opened on worker threads root at `""`.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
 /// RAII span guard returned by [`span`]; records into the registry on drop.
 #[must_use = "a span measures the scope it lives in; binding it to `_` drops it immediately"]
 pub struct Span {
     label: &'static str,
+    /// Label of the span that was open on this thread when this one
+    /// started (`""` at the root).
+    parent: &'static str,
+    /// This span's index on the thread-local stack; drop truncates back to
+    /// it, which stays correct even if guards are dropped out of order.
+    depth: usize,
     start: Option<Instant>,
     bytes: u64,
 }
@@ -234,8 +265,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
         let mut reg = registry().lock().unwrap();
-        let agg = reg.spans.entry(self.label).or_default();
+        let agg = reg.spans.entry((self.parent, self.label)).or_default();
         agg.count += 1;
         agg.total_ns += elapsed;
         agg.min_ns = if agg.count == 1 { elapsed } else { agg.min_ns.min(elapsed) };
@@ -245,19 +277,28 @@ impl Drop for Span {
 }
 
 /// Starts a scoped span timer. The returned guard records
-/// `{count, total/min/max ns, bytes}` under `label` when it drops.
+/// `{count, total/min/max ns, bytes}` under the `(parent, label)` edge
+/// when it drops, where `parent` is the label of the span already open on
+/// this thread (the hierarchical attribution model — see DESIGN.md §12).
 ///
 /// `label` is a `&'static str` by design: labels are a closed, greppable
 /// vocabulary (`layer.what`, see DESIGN.md §12), not data.
 ///
-/// Disabled-mode cost: one relaxed atomic load (see crate docs).
+/// Disabled-mode cost: one relaxed atomic load (see crate docs); the
+/// thread-local parent stack is only touched when tracing is enabled.
 #[inline]
 pub fn span(label: &'static str) -> Span {
-    Span {
-        label,
-        start: if enabled() { Some(Instant::now()) } else { None },
-        bytes: 0,
+    if !enabled() {
+        return Span { label, parent: "", depth: 0, start: None, bytes: 0 };
     }
+    let (parent, depth) = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or("");
+        let depth = stack.len();
+        stack.push(label);
+        (parent, depth)
+    });
+    Span { label, parent, depth, start: Some(Instant::now()), bytes: 0 }
 }
 
 // ---------------------------------------------------------------------------
@@ -317,6 +358,10 @@ impl RecordKind {
 pub struct LabelStats {
     /// The span/counter/gauge label.
     pub label: String,
+    /// Label of the enclosing span at record time (spans only; `""` for
+    /// root spans, counters, and gauges). One label can appear in several
+    /// records, one per distinct parent edge.
+    pub parent: String,
     /// Which instrument produced this record.
     pub kind: RecordKind,
     /// Number of span completions (spans only).
@@ -334,9 +379,9 @@ pub struct LabelStats {
 }
 
 /// Snapshots and resets the registry: runs the registered collectors,
-/// then returns one record per span/counter/gauge label, sorted by kind
-/// then label for deterministic output. Returns an empty vec when tracing
-/// is disabled.
+/// then returns one record per `(parent, label)` span edge and one per
+/// counter/gauge label, sorted by kind, label, then parent for
+/// deterministic output. Returns an empty vec when tracing is disabled.
 pub fn drain() -> Vec<LabelStats> {
     if !enabled() {
         return Vec::new();
@@ -350,9 +395,10 @@ pub fn drain() -> Vec<LabelStats> {
         }
     }
     let mut out: Vec<LabelStats> = Vec::new();
-    for (label, agg) in reg.spans.drain() {
+    for ((parent, label), agg) in reg.spans.drain() {
         out.push(LabelStats {
             label: label.to_string(),
+            parent: parent.to_string(),
             kind: RecordKind::Span,
             count: agg.count,
             total_ns: agg.total_ns,
@@ -365,6 +411,7 @@ pub fn drain() -> Vec<LabelStats> {
     for (label, value) in reg.counters.drain() {
         out.push(LabelStats {
             label: label.to_string(),
+            parent: String::new(),
             kind: RecordKind::Counter,
             count: 0,
             total_ns: 0,
@@ -377,6 +424,7 @@ pub fn drain() -> Vec<LabelStats> {
     for (label, value) in reg.gauges.drain() {
         out.push(LabelStats {
             label: label.to_string(),
+            parent: String::new(),
             kind: RecordKind::Gauge,
             count: 0,
             total_ns: 0,
@@ -386,7 +434,13 @@ pub fn drain() -> Vec<LabelStats> {
             value,
         });
     }
-    out.sort_by(|a, b| a.kind.as_str().cmp(b.kind.as_str()).then(a.label.cmp(&b.label)));
+    out.sort_by(|a, b| {
+        a.kind
+            .as_str()
+            .cmp(b.kind.as_str())
+            .then(a.label.cmp(&b.label))
+            .then(a.parent.cmp(&b.parent))
+    });
     out
 }
 
@@ -394,13 +448,36 @@ pub fn drain() -> Vec<LabelStats> {
 // Flushing
 // ---------------------------------------------------------------------------
 
+/// The `MBSSL_*` variables stamped into every meta record.
+const META_ENV_KEYS: [&str; 7] = [
+    "MBSSL_THREADS",
+    "MBSSL_ALLOC",
+    "MBSSL_FUSED",
+    "MBSSL_TRACE",
+    "MBSSL_BENCH_ONLY",
+    "MBSSL_RUN_DIR",
+    "MBSSL_GIT_REV",
+];
+
 /// Run metadata stamped into every JSONL flush, mirroring the
 /// `git_rev`/`cores`/env stamp `scripts/bench_smoke.sh` writes into
 /// `BENCH_throughput.json`.
-fn meta_record(section: &str) -> String {
+pub fn meta_record(section: &str) -> String {
+    let env: Vec<(String, String)> = META_ENV_KEYS
+        .iter()
+        .map(|k| (k.to_string(), std::env::var(k).unwrap_or_default()))
+        .collect();
+    meta_record_with(section, git_rev(), &env)
+}
+
+/// [`meta_record`] with the revision and environment stamp supplied by the
+/// caller. Public so the round-trip tests can feed adversarial env values;
+/// not part of the stable API.
+#[doc(hidden)]
+pub fn meta_record_with(section: &str, rev: Option<&str>, env: &[(String, String)]) -> String {
     let mut s = String::from("{\"kind\":\"meta\"");
     push_field_str(&mut s, "section", section);
-    match git_rev() {
+    match rev {
         Some(rev) => push_field_str(&mut s, "git_rev", rev),
         None => s.push_str(",\"git_rev\":null"),
     }
@@ -411,18 +488,11 @@ fn meta_record(section: &str) -> String {
         std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(0),
     );
     s.push_str(",\"env\":{");
-    for (i, key) in ["MBSSL_THREADS", "MBSSL_ALLOC", "MBSSL_FUSED", "MBSSL_TRACE", "MBSSL_BENCH_ONLY"]
-        .iter()
-        .enumerate()
-    {
+    for (i, (key, value)) in env.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        s.push_str(&format!(
-            "{}:{}",
-            json_str(key),
-            json_str(&std::env::var(key).unwrap_or_default())
-        ));
+        s.push_str(&format!("{}:{}", json_str(key), json_str(value)));
     }
     s.push_str("}}");
     s
@@ -435,24 +505,22 @@ fn unix_time_s() -> u64 {
         .unwrap_or(0)
 }
 
-/// `git rev-parse HEAD` of the current directory, attempted once per
-/// process (traces are usually cut from a repo checkout; `None` otherwise).
-fn git_rev() -> Option<&'static str> {
+/// The git revision stamped into traces and run ledgers: `MBSSL_GIT_REV`
+/// when set and non-empty (the override for packaged binaries and CI),
+/// otherwise the revision the build script embedded at compile time
+/// (`None` when the crate was built outside a git checkout).
+///
+/// Deliberately **not** a runtime `git` subprocess: a binary run outside
+/// the repo used to stamp `null` — or a *different* repo's rev — into
+/// trace meta, and shelling out sat on the flush path.
+pub fn git_rev() -> Option<&'static str> {
     static REV: OnceLock<Option<String>> = OnceLock::new();
     REV.get_or_init(|| {
-        let out = std::process::Command::new("git")
-            .args(["rev-parse", "HEAD"])
-            .output()
-            .ok()?;
-        if !out.status.success() {
-            return None;
-        }
-        let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
-        if rev.is_empty() {
-            None
-        } else {
-            Some(rev)
-        }
+        std::env::var("MBSSL_GIT_REV")
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .or_else(|| option_env!("MBSSL_BUILD_GIT_REV").map(str::to_string))
     })
     .as_deref()
 }
@@ -484,13 +552,16 @@ fn push_field_u64(out: &mut String, key: &str, value: u64) {
     out.push_str(&format!(",{}:{}", json_str(key), value));
 }
 
-/// The JSONL line for one drained record (no trailing newline).
+/// The JSONL line for one drained record (no trailing newline). Span
+/// records carry their `parent` edge (`""` for root spans); counters and
+/// gauges omit the field.
 pub fn record_to_jsonl(rec: &LabelStats, section: &str) -> String {
     let mut s = format!("{{\"kind\":{}", json_str(rec.kind.as_str()));
     push_field_str(&mut s, "section", section);
     push_field_str(&mut s, "label", &rec.label);
     match rec.kind {
         RecordKind::Span => {
+            push_field_str(&mut s, "parent", &rec.parent);
             push_field_u64(&mut s, "count", rec.count);
             push_field_u64(&mut s, "total_ns", rec.total_ns);
             push_field_u64(&mut s, "min_ns", rec.min_ns);
@@ -505,21 +576,41 @@ pub fn record_to_jsonl(rec: &LabelStats, section: &str) -> String {
     s
 }
 
-/// Renders drained records as the human-readable summary table (spans
-/// sorted by total time, then counters/gauges).
+/// Renders drained records as the human-readable summary table (span
+/// edges sorted by total time, shown as `parent > label`, then
+/// counters/gauges). The label column widens to the longest entry so long
+/// labels never shear the grid.
 pub fn render_table(stats: &[LabelStats]) -> String {
     let mut spans: Vec<&LabelStats> = stats.iter().filter(|r| r.kind == RecordKind::Span).collect();
     spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(&b.label)));
+    let names: Vec<String> = spans
+        .iter()
+        .map(|r| {
+            if r.parent.is_empty() {
+                r.label.clone()
+            } else {
+                format!("{} > {}", r.parent, r.label)
+            }
+        })
+        .collect();
+    let others: Vec<&LabelStats> = stats.iter().filter(|r| r.kind != RecordKind::Span).collect();
+    let width = names
+        .iter()
+        .map(|n| n.chars().count())
+        .chain(others.iter().map(|r| r.label.chars().count()))
+        .chain(["counter/gauge".len()]) // widest header
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<28} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
+        "{:<width$} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
         "span", "count", "total_ms", "mean_us", "max_us", "bytes"
     ));
-    for r in &spans {
+    for (name, r) in names.iter().zip(&spans) {
         let mean_us = if r.count > 0 { r.total_ns as f64 / r.count as f64 / 1e3 } else { 0.0 };
         out.push_str(&format!(
-            "{:<28} {:>10} {:>12.3} {:>12.1} {:>12.1} {:>12}\n",
-            r.label,
+            "{:<width$} {:>10} {:>12.3} {:>12.1} {:>12.1} {:>12}\n",
+            name,
             r.count,
             r.total_ns as f64 / 1e6,
             mean_us,
@@ -527,11 +618,10 @@ pub fn render_table(stats: &[LabelStats]) -> String {
             r.bytes
         ));
     }
-    let others: Vec<&LabelStats> = stats.iter().filter(|r| r.kind != RecordKind::Span).collect();
     if !others.is_empty() {
-        out.push_str(&format!("{:<28} {:>10}\n", "counter/gauge", "value"));
+        out.push_str(&format!("{:<width$} {:>10}\n", "counter/gauge", "value"));
         for r in others {
-            out.push_str(&format!("{:<28} {:>10}\n", r.label, r.value));
+            out.push_str(&format!("{:<width$} {:>10}\n", r.label, r.value));
         }
     }
     out
@@ -608,12 +698,21 @@ pub fn progress(line: &str) {
         return;
     }
     if let TraceMode::Jsonl(path) = mode() {
-        let mut rec = String::from("{\"kind\":\"progress\"");
-        push_field_str(&mut rec, "message", line);
-        push_field_u64(&mut rec, "unix_time_s", unix_time_s());
-        rec.push_str("}\n");
+        let mut rec = progress_record(line);
+        rec.push('\n');
         append_to_trace(&path, &rec);
     }
+}
+
+/// The `{"kind":"progress"}` JSONL line for `line` (no trailing newline).
+/// Public for the round-trip tests; not part of the stable API.
+#[doc(hidden)]
+pub fn progress_record(line: &str) -> String {
+    let mut rec = String::from("{\"kind\":\"progress\"");
+    push_field_str(&mut rec, "message", line);
+    push_field_u64(&mut rec, "unix_time_s", unix_time_s());
+    rec.push('}');
+    rec
 }
 
 // ---------------------------------------------------------------------------
@@ -737,6 +836,7 @@ mod tests {
     fn jsonl_escaping_and_fields() {
         let rec = LabelStats {
             label: "weird\"label\\with\nnewline".into(),
+            parent: "outer span".into(),
             kind: RecordKind::Span,
             count: 2,
             total_ns: 10,
@@ -748,11 +848,67 @@ mod tests {
         let line = record_to_jsonl(&rec, "sec\t1");
         assert!(line.contains("\\\"label\\\\with\\n"));
         assert!(line.contains("\"section\":\"sec\\t1\""));
+        assert!(line.contains("\"parent\":\"outer span\""));
         for field in ["\"kind\":\"span\"", "\"count\":2", "\"total_ns\":10", "\"min_ns\":3", "\"max_ns\":7", "\"bytes\":0"] {
             assert!(line.contains(field), "missing {field} in {line}");
         }
         let counter = LabelStats { kind: RecordKind::Counter, value: 5, ..rec.clone() };
-        assert!(record_to_jsonl(&counter, "").contains("\"value\":5"));
+        let counter_line = record_to_jsonl(&counter, "");
+        assert!(counter_line.contains("\"value\":5"));
+        assert!(!counter_line.contains("\"parent\""), "counters must omit parent: {counter_line}");
+    }
+
+    #[test]
+    fn nested_spans_record_parent_edges() {
+        let _g = lock();
+        set_mode(TraceMode::Summary);
+        drain();
+        {
+            let _outer = span("test.outer");
+            {
+                let _inner = span("test.inner");
+            }
+            {
+                let _inner = span("test.inner");
+            }
+        }
+        {
+            let _inner = span("test.inner"); // root this time
+        }
+        let stats = drain();
+        let edge = |parent: &str, label: &str| {
+            stats
+                .iter()
+                .find(|r| r.kind == RecordKind::Span && r.parent == parent && r.label == label)
+        };
+        assert_eq!(edge("test.outer", "test.inner").expect("nested edge missing").count, 2);
+        assert_eq!(edge("", "test.inner").expect("root edge missing").count, 1);
+        assert_eq!(edge("", "test.outer").expect("outer root edge missing").count, 1);
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn span_stack_is_per_thread() {
+        let _g = lock();
+        set_mode(TraceMode::Summary);
+        drain();
+        let _outer = span("test.thread_outer");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // A fresh thread has an empty stack: this span must root at
+                // "", not under the spawning thread's open span.
+                let _s = span("test.thread_inner");
+            });
+        });
+        drop(_outer);
+        let stats = drain();
+        assert!(
+            stats
+                .iter()
+                .any(|r| r.label == "test.thread_inner" && r.parent.is_empty()),
+            "cross-thread span inherited a parent: {stats:?}"
+        );
+        set_mode(TraceMode::Off);
     }
 
     #[test]
@@ -779,10 +935,10 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
-    #[test]
-    fn render_table_orders_spans_by_total_time() {
-        let mk = |label: &str, total: u64| LabelStats {
+    fn mk_span(label: &str, total: u64) -> LabelStats {
+        LabelStats {
             label: label.into(),
+            parent: String::new(),
             kind: RecordKind::Span,
             count: 1,
             total_ns: total,
@@ -790,10 +946,38 @@ mod tests {
             max_ns: total,
             bytes: 0,
             value: 0,
-        };
-        let table = render_table(&[mk("small", 10), mk("big", 1000)]);
+        }
+    }
+
+    #[test]
+    fn render_table_orders_spans_by_total_time() {
+        let table = render_table(&[mk_span("small", 10), mk_span("big", 1000)]);
         let big_at = table.find("big").unwrap();
         let small_at = table.find("small").unwrap();
         assert!(big_at < small_at, "table not sorted by total time:\n{table}");
+    }
+
+    #[test]
+    fn render_table_widens_to_longest_label() {
+        let long = "kernel.exceptionally_long_label_that_used_to_shear_the_grid";
+        let mut edge = mk_span(long, 500);
+        edge.parent = "trainer.train_step".into();
+        let table = render_table(&[mk_span("tiny", 10), edge]);
+        // With the old fixed 28-char label column, a long label pushed its
+        // numeric columns out of the grid; now the label column widens to
+        // the longest entry, so the header and every span row (the rows
+        // sharing the 6-column layout) have identical total width.
+        let widths: Vec<usize> = table.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 3, "unexpected table shape:\n{table}");
+        assert!(
+            widths.iter().all(|&w| w == widths[0]),
+            "column grid sheared (line widths {widths:?}):\n{table}"
+        );
+        // The longest name must still be followed by a separating space.
+        let name = format!("trainer.train_step > {long}");
+        assert!(
+            table.lines().any(|l| l.starts_with(&format!("{name} "))),
+            "long label row missing separator:\n{table}"
+        );
     }
 }

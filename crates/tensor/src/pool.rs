@@ -37,6 +37,18 @@ static JOBS_PARALLEL: AtomicU64 = AtomicU64::new(0);
 static JOBS_INLINE: AtomicU64 = AtomicU64::new(0);
 static CHUNKS_DISTRIBUTED: AtomicU64 = AtomicU64::new(0);
 
+/// Snapshot of the pool occupancy counters: `(jobs broadcast, jobs run
+/// inline, chunks distributed)`, cumulative since process start. The same
+/// numbers the `pool.*` telemetry gauges publish, exposed directly so the
+/// run ledger can record them without a telemetry drain.
+pub fn stats() -> (u64, u64, u64) {
+    (
+        JOBS_PARALLEL.load(Ordering::Relaxed),
+        JOBS_INLINE.load(Ordering::Relaxed),
+        CHUNKS_DISTRIBUTED.load(Ordering::Relaxed),
+    )
+}
+
 /// Gauge snapshot of the pool occupancy counters for `mbssl-telemetry`.
 fn telemetry_collector() -> Vec<(&'static str, u64)> {
     vec![

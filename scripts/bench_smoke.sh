@@ -16,6 +16,10 @@
 # MBSSL_BENCH_TOL_PCT (default 2%) fails the script, enforcing the
 # "disabled-mode tracing is free" contract.
 #
+# On success, one summary line {git_rev, date, fused/unfused/traced train_step
+# items/s} is appended to the committed BENCH_history.jsonl, so throughput
+# history accumulates across commits and stays greppable/plottable.
+#
 # Usage: scripts/bench_smoke.sh [extra cargo-bench args]
 # Env:   MBSSL_THREADS       — forwarded to the worker pool (see DESIGN.md §Threading).
 #        MBSSL_FUSED         — fused transformer kernels (see DESIGN.md §Fusion).
@@ -158,6 +162,23 @@ if prev:
                 file=sys.stderr,
             )
             sys.exit(1)
+
+# One throughput-history line per successful run: the three train_step
+# figures (fused-ambient / unfused / traced) against rev + date.
+def train_step_items(rows):
+    r = next((r for r in rows if "train_step" in r["name"]), None)
+    return r["items_per_sec"] if r else None
+
+history = {
+    "git_rev": git_rev,
+    "date": meta["date"],
+    "cores": meta["cores"],
+    "train_step_items_per_sec": train_step_items(rows),
+    "train_step_unfused_items_per_sec": train_step_items(unfused_rows),
+    "train_step_traced_items_per_sec": train_step_items(traced_rows),
+}
+with open("BENCH_history.jsonl", "a") as fh:
+    fh.write(json.dumps(history) + "\n")
 
 json.dump(report, sys.stdout, indent=2)
 print()

@@ -18,10 +18,18 @@
 #   6. traced tests         — full workspace tests with MBSSL_TRACE=jsonl:…
 #                             so every suite also passes with live telemetry
 #                             (determinism + near-zero-overhead contract).
-#   7. rustdoc              — `cargo doc --no-deps` for the workspace crates
+#   7. trace workflow       — synth → traced 2-epoch training with a run
+#                             ledger → `mbssl trace summary`, then
+#                             `mbssl trace diff` against the committed
+#                             BENCH_trace_baseline.jsonl on the share metric
+#                             (tolerance MBSSL_BENCH_TOL_PCT share points,
+#                             default 5; spans under 3% of wall never gate),
+#                             and an `mbssl report` smoke over two run dirs.
+#   8. rustdoc              — `cargo doc --no-deps` for the workspace crates
 #                             with warnings promoted to errors (missing-docs
 #                             regressions fail here).
-#   8. bench smoke          — refreshes BENCH_throughput.json and fails if the
+#   9. bench smoke          — refreshes BENCH_throughput.json, appends one
+#                             line to BENCH_history.jsonl, and fails if the
 #                             bench harness itself breaks (numbers are
 #                             machine-dependent; only the telemetry-off
 #                             train_step overhead bound is asserted there).
@@ -70,9 +78,29 @@ echo "==> allocator escape hatch (MBSSL_ALLOC=off)"
 MBSSL_ALLOC=off cargo test --release -p mbssl-tensor --test packed_gemm -q
 
 trace_file=$(mktemp -t mbssl_ci_trace.XXXXXX.jsonl)
-trap 'rm -f "$trace_file"' EXIT
+trace_dir=$(mktemp -d -t mbssl_ci_tracewf.XXXXXX)
+trap 'rm -rf "$trace_file" "$trace_dir"' EXIT
 echo "==> traced tests (MBSSL_TRACE=jsonl:$trace_file, full workspace)"
 MBSSL_TRACE="jsonl:$trace_file" cargo test --workspace -q
+
+echo "==> trace workflow (synth → traced train + ledger → trace summary/diff → report)"
+mbssl=target/release/mbssl
+"$mbssl" synth --out "$trace_dir/log.tsv" --scale 0.05 --seed 11
+"$mbssl" train --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --epochs 2 --dim 16 --interests 2 \
+    --trace "jsonl:$trace_dir/trace.jsonl" --run-dir "$trace_dir/run0"
+"$mbssl" trace summary "$trace_dir/trace.jsonl" \
+    --collapsed "$trace_dir/trace.folded" > /dev/null
+# Share-of-wall regression gate against the committed baseline: machine-
+# portable (compares where time goes, not absolute speed). Only spans that
+# hold ≥3% of wall gate, with MBSSL_BENCH_TOL_PCT (default 5) share points
+# of headroom for scheduler jitter.
+"$mbssl" trace diff BENCH_trace_baseline.jsonl "$trace_dir/trace.jsonl" \
+    --metric share --tol "${MBSSL_BENCH_TOL_PCT:-5}" --min-share 3
+"$mbssl" train --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model2.ckpt" --epochs 2 --dim 16 --interests 2 \
+    --run-dir "$trace_dir/run1"
+"$mbssl" report "$trace_dir/run0" "$trace_dir/run1"
 
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -1,11 +1,16 @@
 //! `mbssl` command-line interface: train, evaluate, and serve
-//! recommendations on your own TSV interaction logs.
+//! recommendations on your own TSV interaction logs, plus trace analysis
+//! and run-ledger reporting.
 //!
 //! ```text
-//! mbssl train     --data log.tsv --target favorite --model out.ckpt [--epochs N] [--dim D] [--interests K]
+//! mbssl train     --data log.tsv --target favorite --model out.ckpt [--epochs N] [--dim D] [--interests K] [--run-dir DIR]
 //! mbssl evaluate  --data log.tsv --target favorite --model out.ckpt
 //! mbssl recommend --data log.tsv --target favorite --model out.ckpt --user 42 --top 10
 //! mbssl stats     --data log.tsv --target favorite
+//! mbssl synth     --out log.tsv [--preset taobao|yelp] [--scale F] [--seed S]
+//! mbssl trace summary trace.jsonl [--section S] [--collapsed OUT.folded]
+//! mbssl trace diff base.jsonl new.jsonl [--tol PCT] [--metric mean|total|share] [--min-share PCT]
+//! mbssl report RUN_DIR [RUN_DIR...]
 //! ```
 //!
 //! TSV format: `user \t item \t behavior \t timestamp` with behaviors in
@@ -14,7 +19,9 @@
 //! Every command accepts `--trace MODE` (`off`, `summary`, or
 //! `jsonl:<path>`), equivalent to setting `MBSSL_TRACE`: `summary` prints a
 //! span table to stderr on exit, `jsonl:<path>` appends machine-readable
-//! trace records to `<path>`.
+//! trace records to `<path>`. `mbssl trace summary`/`diff` analyze those
+//! JSONL files after the fact; `trace diff` exits nonzero when any span
+//! regresses beyond the tolerance (default `MBSSL_BENCH_TOL_PCT`, else 2%).
 
 use std::collections::HashSet;
 use std::process::ExitCode;
@@ -26,9 +33,13 @@ use mbssl::data::io::load_tsv;
 use mbssl::data::preprocess::{k_core, leave_one_out, SplitConfig};
 use mbssl::data::sampler::{EvalCandidates, NegativeSampler};
 use mbssl::data::{Behavior, Dataset};
+use mbssl::trace::{collapsed_stacks, diff, render_diff, render_summary, DiffMetric, DiffOptions, Trace};
 
 struct Args {
     command: String,
+    /// Bare (non `--flag`) arguments after the command, in order — e.g.
+    /// the subcommand and file paths of `trace diff base.jsonl new.jsonl`.
+    positionals: Vec<String>,
     values: Vec<(String, String)>,
 }
 
@@ -36,6 +47,7 @@ impl Args {
     fn parse() -> Option<Args> {
         let mut argv = std::env::args().skip(1);
         let command = argv.next()?;
+        let mut positionals = Vec::new();
         let mut values = Vec::new();
         let mut key: Option<String> = None;
         for arg in argv {
@@ -47,14 +59,13 @@ impl Args {
             } else if let Some(k) = key.take() {
                 values.push((k, arg));
             } else {
-                eprintln!("unexpected positional argument {arg:?}");
-                return None;
+                positionals.push(arg);
             }
         }
         if let Some(k) = key.take() {
             values.push((k, "true".to_string()));
         }
-        Some(Args { command, values })
+        Some(Args { command, positionals, values })
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -71,18 +82,30 @@ impl Args {
     fn require(&self, key: &str) -> Result<&str, String> {
         self.get(key).ok_or_else(|| format!("missing --{key}"))
     }
+
+    fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
+        self.positionals
+            .get(index)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing {what} argument"))
+    }
 }
 
 fn usage() {
     eprintln!(
         "usage:\n  \
          mbssl train     --data LOG.tsv --target BEHAVIOR --model OUT.ckpt \
-[--epochs N] [--dim D] [--interests K] [--seed S]\n  \
+[--epochs N] [--dim D] [--interests K] [--seed S] [--run-dir DIR]\n  \
          mbssl evaluate  --data LOG.tsv --target BEHAVIOR --model IN.ckpt\n  \
          mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N]\n  \
-         mbssl stats     --data LOG.tsv --target BEHAVIOR\n\n\
+         mbssl stats     --data LOG.tsv --target BEHAVIOR\n  \
+         mbssl synth     --out LOG.tsv [--preset taobao|yelp] [--scale F] [--seed S]\n  \
+         mbssl trace summary TRACE.jsonl [--section S] [--collapsed OUT.folded]\n  \
+         mbssl trace diff BASE.jsonl NEW.jsonl [--tol PCT] [--metric mean|total|share] [--min-share PCT] [--section S]\n  \
+         mbssl report RUN_DIR [RUN_DIR...]\n\n\
          BEHAVIOR ∈ {{click, cart, favorite, purchase}}\n\
-         all commands accept --trace off|summary|jsonl:PATH (telemetry; see also MBSSL_TRACE)"
+         all commands accept --trace off|summary|jsonl:PATH (telemetry; see also MBSSL_TRACE);\n\
+         train writes a run ledger when --run-dir or MBSSL_RUN_DIR is set (read back by `mbssl report`)"
     );
 }
 
@@ -161,6 +184,7 @@ fn run() -> Result<(), String> {
                 patience: 4,
                 verbose: true,
                 seed,
+                run_dir: args.get("run-dir").map(String::from),
                 ..TrainConfig::default()
             });
             let report = trainer.fit(&model, &split, &sampler);
@@ -209,6 +233,91 @@ fn run() -> Result<(), String> {
             for (rank, rec) in recs.iter().enumerate() {
                 println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, rec.item, rec.score);
             }
+            Ok(())
+        }
+        "synth" => {
+            use mbssl::data::synthetic::SyntheticConfig;
+            let out = args.require("out")?;
+            let scale: f64 = args.get_or("scale", "0.05").parse().map_err(|_| "bad --scale")?;
+            let preset = args.get_or("preset", "taobao");
+            let config = match preset {
+                "taobao" => SyntheticConfig::taobao_like(seed),
+                "yelp" => SyntheticConfig::yelp_like(seed),
+                other => return Err(format!("unknown --preset {other:?} (expected taobao | yelp)")),
+            };
+            let dataset = config.scaled(scale).generate().dataset;
+            let mut tsv = String::from("user\titem\tbehavior\ttimestamp\n");
+            for (user, seq) in dataset.sequences.iter().enumerate() {
+                for (t, (&item, &behavior)) in
+                    seq.items.iter().zip(seq.behaviors.iter()).enumerate()
+                {
+                    tsv.push_str(&format!("{user}\t{item}\t{}\t{t}\n", behavior.token()));
+                }
+            }
+            std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {} ({} users, {} items, {} events, preset {preset}, scale {scale})",
+                out,
+                dataset.num_users,
+                dataset.num_items,
+                dataset.num_interactions()
+            );
+            Ok(())
+        }
+        "trace" => match args.positional(0, "trace subcommand")? {
+            "summary" => {
+                let path = args.positional(1, "trace JSONL file")?;
+                let trace = Trace::parse_file(path, args.get("section"))?;
+                print!("{}", render_summary(&trace));
+                if let Some(out) = args.get("collapsed") {
+                    std::fs::write(out, collapsed_stacks(&trace))
+                        .map_err(|e| format!("writing {out}: {e}"))?;
+                    eprintln!("collapsed stacks written to {out}");
+                }
+                Ok(())
+            }
+            "diff" => {
+                let base_path = args.positional(1, "base trace JSONL file")?;
+                let new_path = args.positional(2, "new trace JSONL file")?;
+                let section = args.get("section");
+                let base = Trace::parse_file(base_path, section)?;
+                let new = Trace::parse_file(new_path, section)?;
+                let mut opts = DiffOptions::default();
+                if let Some(tol) = args.get("tol") {
+                    opts.tol_pct = tol.parse().map_err(|_| "bad --tol")?;
+                }
+                if let Some(metric) = args.get("metric") {
+                    opts.metric = DiffMetric::parse(metric)?;
+                }
+                if let Some(floor) = args.get("min-share") {
+                    opts.min_share_pct = floor.parse().map_err(|_| "bad --min-share")?;
+                }
+                let report = diff(&base, &new, &opts);
+                print!("{}", render_diff(&report));
+                if report.regressions > 0 {
+                    Err(format!(
+                        "{} span(s) regressed beyond {}% tolerance",
+                        report.regressions, report.tol_pct
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            other => {
+                usage();
+                Err(format!("unknown trace subcommand {other:?}"))
+            }
+        },
+        "report" => {
+            if args.positionals.is_empty() {
+                usage();
+                return Err("report needs at least one RUN_DIR".into());
+            }
+            let mut runs = Vec::new();
+            for dir in &args.positionals {
+                runs.push(mbssl::core::read_run_dir(std::path::Path::new(dir))?);
+            }
+            print!("{}", mbssl::core::render_report(&runs));
             Ok(())
         }
         other => {

@@ -12,6 +12,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end train-and-evaluate run.
 
+pub mod trace;
+
 pub use mbssl_baselines as baselines;
 pub use mbssl_core as core;
 pub use mbssl_data as data;

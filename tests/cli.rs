@@ -73,6 +73,108 @@ fn cli_full_workflow() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// synth → traced train with a run ledger → trace summary/diff → report:
+/// the full observability loop through the real binary.
+#[test]
+fn cli_trace_and_report_workflow() {
+    let dir = std::env::temp_dir().join("mbssl_cli_trace_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("synthetic.tsv");
+    let log_s = log.to_str().unwrap();
+    let ckpt = dir.join("model.ckpt");
+    let trace = dir.join("trace.jsonl");
+    let trace_s = trace.to_str().unwrap();
+    let run_dir = dir.join("run0");
+
+    // synth writes a loadable TSV.
+    let (ok, text) = run(&["synth", "--out", log_s, "--scale", "0.05", "--seed", "11"]);
+    assert!(ok, "synth failed: {text}");
+    assert!(log.exists());
+
+    // Traced training that also writes a run ledger.
+    let (ok, text) = run(&[
+        "train", "--data", log_s, "--target", "purchase", "--model",
+        ckpt.to_str().unwrap(), "--epochs", "2", "--dim", "16", "--interests", "2",
+        "--trace", &format!("jsonl:{trace_s}"), "--run-dir", run_dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "traced train failed: {text}");
+    assert!(trace.exists(), "no trace written");
+    assert!(run_dir.join("manifest.json").exists(), "no manifest written");
+    assert!(run_dir.join("metrics.jsonl").exists(), "no metrics written");
+
+    // trace summary renders the hierarchy and exports collapsed stacks.
+    let folded = dir.join("trace.folded");
+    let (ok, text) = run(&[
+        "trace", "summary", trace_s, "--collapsed", folded.to_str().unwrap(),
+    ]);
+    assert!(ok, "trace summary failed: {text}");
+    assert!(text.contains("trainer.train_step"), "{text}");
+    assert!(text.contains("self%"), "{text}");
+    let folded_text = std::fs::read_to_string(&folded).unwrap();
+    assert!(
+        folded_text.contains("trainer.epoch;trainer.train_step"),
+        "collapsed stacks lack the epoch>step edge:\n{folded_text}"
+    );
+
+    // Identical traces diff clean (exit 0); a synthetically slowed trace
+    // must fail the gate (exit 1).
+    let (ok, text) = run(&["trace", "diff", trace_s, trace_s]);
+    assert!(ok, "identical traces flagged as regression: {text}");
+    assert!(text.contains("0 regression(s)"), "{text}");
+
+    let slowed = dir.join("slowed.jsonl");
+    let slowed_text = std::fs::read_to_string(&trace)
+        .unwrap()
+        .lines()
+        .map(|line| {
+            if line.contains("\"label\":\"trainer.train_step\"") {
+                // Double total_ns on the hot span: a 100% mean regression.
+                let mut out = String::new();
+                for part in line.split(",\"total_ns\":") {
+                    if out.is_empty() {
+                        out.push_str(part);
+                    } else {
+                        let digits: String =
+                            part.chars().take_while(|c| c.is_ascii_digit()).collect();
+                        let rest = &part[digits.len()..];
+                        let doubled = digits.parse::<u64>().unwrap() * 2;
+                        out.push_str(&format!(",\"total_ns\":{doubled}{rest}"));
+                    }
+                }
+                out
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&slowed, slowed_text).unwrap();
+    let (ok, text) = run(&["trace", "diff", trace_s, slowed.to_str().unwrap(), "--tol", "5"]);
+    assert!(!ok, "slowed trace passed the diff gate: {text}");
+    assert!(text.contains("regressed"), "{text}");
+    assert!(text.contains("trainer.train_step"), "{text}");
+
+    // report renders curves + comparison over two run dirs.
+    let run_dir2 = dir.join("run1");
+    let (ok, text) = run(&[
+        "train", "--data", log_s, "--target", "purchase", "--model",
+        ckpt.to_str().unwrap(), "--epochs", "2", "--dim", "16", "--interests", "2",
+        "--run-dir", run_dir2.to_str().unwrap(),
+    ]);
+    assert!(ok, "second run failed: {text}");
+    let (ok, text) = run(&[
+        "report", run_dir.to_str().unwrap(), run_dir2.to_str().unwrap(),
+    ]);
+    assert!(ok, "report failed: {text}");
+    assert!(text.contains("run run0:"), "{text}");
+    assert!(text.contains("run run1:"), "{text}");
+    assert!(text.contains("NDCG@10"), "{text}");
+    assert!(text.contains("items/s"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_rejects_bad_input() {
     let (ok, text) = run(&["train", "--target", "favorite"]);
@@ -81,6 +183,17 @@ fn cli_rejects_bad_input() {
 
     let (ok, _) = run(&["nonsense"]);
     assert!(!ok);
+
+    // trace/report argument errors fail cleanly with a usage hint.
+    let (ok, text) = run(&["trace", "summary"]);
+    assert!(!ok);
+    assert!(text.contains("missing trace JSONL file"), "{text}");
+    let (ok, text) = run(&["trace", "frobnicate", "x.jsonl"]);
+    assert!(!ok);
+    assert!(text.contains("unknown trace subcommand"), "{text}");
+    let (ok, text) = run(&["report"]);
+    assert!(!ok);
+    assert!(text.contains("RUN_DIR"), "{text}");
 
     let dir = std::env::temp_dir().join("mbssl_cli_test_bad");
     std::fs::create_dir_all(&dir).unwrap();
