@@ -24,9 +24,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use mbssl_bench::{bench_model_config, build_workload};
-use mbssl_core::{evaluate, BehaviorSchema, Mbmissl, TrainableRecommender};
+use mbssl_core::{
+    evaluate, recommend_top_n_reference, BehaviorSchema, Mbmissl, SequentialRecommender,
+    TrainableRecommender,
+};
 use mbssl_data::preprocess::TrainInstance;
 use mbssl_data::sampler::EvalCandidates;
+use mbssl_data::ItemId;
 use mbssl_telemetry as telemetry;
 use mbssl_tensor::{alloc, kernels};
 
@@ -140,6 +144,60 @@ fn bench_throughput(c: &mut Criterion) {
         });
         emit_alloc_section("evaluate");
         emit_telemetry_section("evaluate");
+    }
+
+    // Serving: full-catalog top-10 for one user, on a full-scale catalog
+    // (serving ranks the whole inventory, so unlike the train/eval
+    // sections this workload is NOT scaled down; `itemsN` = catalog size
+    // and items/sec = catalog items ranked per second). The engine bench
+    // compiles ONCE outside the timed loop (pre-packed weights are a
+    // serving-startup cost) and then ranks via one prepacked GEMM per
+    // request; the graph bench is the pre-engine path, which re-encodes
+    // the history for every 512-item score_batch chunk. Their ratio is the
+    // PR's headline speedup.
+    let recommend_names = ["throughput_recommend_top_n", "throughput_recommend_graph"];
+    if recommend_names.iter().any(|n| bench_enabled(n)) {
+        let serving = build_workload("taobao-like", 1.0, 11);
+        let sd = &serving.dataset;
+        let schema = BehaviorSchema::new(sd.behaviors.clone(), sd.target_behavior);
+        let serving_model = Mbmissl::new(sd.num_items, schema, bench_model_config(11));
+        let history = &serving.split.test[0].history;
+        let exclude: std::collections::HashSet<ItemId> = history.items.iter().copied().collect();
+        let catalog = sd.num_items;
+        let name = format!("throughput_recommend_top_n_items{catalog}");
+        if bench_enabled(&name) {
+            alloc::reset_stats();
+            let engine = serving_model
+                .prepare_inference()
+                .expect("benches run with the engine enabled");
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    engine
+                        .recommend_catalog(black_box(history), catalog, 10, &exclude)
+                        .expect("engine has a catalog path")
+                });
+            });
+            emit_alloc_section("recommend");
+            emit_telemetry_section("recommend");
+        }
+        let name = format!("throughput_recommend_graph_items{catalog}");
+        if bench_enabled(&name) {
+            alloc::reset_stats();
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    recommend_top_n_reference(
+                        &serving_model,
+                        black_box(history),
+                        catalog,
+                        10,
+                        &exclude,
+                        512,
+                    )
+                });
+            });
+            emit_alloc_section("recommend_graph");
+            emit_telemetry_section("recommend_graph");
+        }
     }
 }
 

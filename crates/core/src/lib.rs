@@ -13,12 +13,15 @@
 //! - [`analysis`]: interest-recovery and embedding-export tooling;
 //! - [`trainer`] / [`recommender`]: the shared training loop and
 //!   leave-one-out evaluator every model in the workspace runs through;
+//! - [`infer`]: the graph-free serving engine ([`infer::InferenceModel`])
+//!   `evaluate` / `recommend_top_n` compile trained models into;
 //! - [`ledger`]: the per-run directory (`MBSSL_RUN_DIR`) with a manifest
 //!   and per-epoch metrics, read back by `mbssl report`.
 
 pub mod analysis;
 pub mod config;
 pub mod encoder;
+pub mod infer;
 pub mod interest;
 pub mod ledger;
 pub mod model;
@@ -27,8 +30,12 @@ pub mod ssl;
 pub mod trainer;
 
 pub use config::{BehaviorSchema, EncoderKind, ExtractorKind, ModelConfig, TrainConfig};
+pub use infer::InferenceModel;
 pub use ledger::{read_run_dir, render_report, EpochRecord, RunLedger, RunManifest, RunRecord};
 pub use model::Mbmissl;
-pub use recommender::{evaluate, recommend_top_n, Recommendation, SequentialRecommender};
+pub use recommender::{
+    evaluate, evaluate_reference, recommend_top_n, recommend_top_n_reference, Recommendation,
+    SequentialRecommender,
+};
 pub use mbssl_data::sampler::PreparedBatch;
 pub use trainer::{TrainReport, TrainableRecommender, Trainer};

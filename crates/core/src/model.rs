@@ -24,8 +24,8 @@ pub struct Mbmissl {
     config: ModelConfig,
     schema: BehaviorSchema,
     input: InputLayer,
-    backbone: Backbone,
-    extractor: InterestExtractor,
+    pub(crate) backbone: Backbone,
+    pub(crate) extractor: InterestExtractor,
     num_items: usize,
 }
 
@@ -386,6 +386,14 @@ impl SequentialRecommender for Mbmissl {
                 .map(|b| data[b * c..(b + 1) * c].to_vec())
                 .collect()
         })
+    }
+
+    fn prepare_inference(&self) -> Option<Box<dyn SequentialRecommender>> {
+        if crate::infer::enabled() {
+            Some(Box::new(crate::infer::InferenceModel::compile(self)))
+        } else {
+            None
+        }
     }
 }
 

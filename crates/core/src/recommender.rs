@@ -2,6 +2,7 @@
 //! models (core + baselines) run through — the "same pipeline for every
 //! method" fairness contract of the evaluation.
 
+use std::collections::HashSet;
 use std::sync::Mutex;
 
 use mbssl_data::preprocess::EvalInstance;
@@ -9,7 +10,7 @@ use mbssl_data::sampler::EvalCandidates;
 use mbssl_data::{ItemId, Sequence};
 use mbssl_metrics::PerInstanceMetrics;
 use mbssl_telemetry as telemetry;
-use mbssl_tensor::pool;
+use mbssl_tensor::{alloc, pool};
 
 /// Anything that can score candidate items given a user history.
 ///
@@ -24,6 +25,49 @@ pub trait SequentialRecommender: Sync {
     /// Scores `candidates[i]` for `histories[i]`. Higher = better. All
     /// candidate lists in one call have equal length.
     fn score_batch(&self, histories: &[&Sequence], candidates: &[&[ItemId]]) -> Vec<Vec<f32>>;
+
+    /// Scores into a caller-provided flat buffer: `out[i * c + j]` is the
+    /// score of `candidates[i][j]` (`c` = shared candidate-list length,
+    /// `out.len() == histories.len() * c`). The default delegates to
+    /// [`score_batch`](Self::score_batch) and copies; allocation-conscious
+    /// implementations (the inference engine) override it to write
+    /// directly. Must produce exactly the same numbers as `score_batch`.
+    fn score_batch_into(&self, histories: &[&Sequence], candidates: &[&[ItemId]], out: &mut [f32]) {
+        let c = candidates.first().map(|l| l.len()).unwrap_or(0);
+        assert_eq!(out.len(), histories.len() * c, "output buffer shape");
+        let lists = self.score_batch(histories, candidates);
+        if c == 0 {
+            return;
+        }
+        for (row, list) in out.chunks_mut(c).zip(lists.iter()) {
+            row.copy_from_slice(list);
+        }
+    }
+
+    /// Compiles this model into a faster scoring-only form, if it has one.
+    /// [`evaluate`] and [`recommend_top_n`] call this once per invocation
+    /// and run the returned recommender in place of `self`. The contract:
+    /// the compiled form must score **identically** (bit-for-bit for f32
+    /// engines; within the documented drift gate for quantized ones).
+    /// Default: `None` (no compiled form; used as-is).
+    fn prepare_inference(&self) -> Option<Box<dyn SequentialRecommender>> {
+        None
+    }
+
+    /// Ranks the whole catalog `1..=num_items` for one user directly,
+    /// returning the top `n` (minus `exclude`), or `None` if this model
+    /// has no specialized catalog path. [`recommend_top_n`] tries this
+    /// before falling back to chunked `score_batch` calls. Must rank
+    /// exactly like the fallback (same scores, same tie-breaking).
+    fn recommend_catalog(
+        &self,
+        _history: &Sequence,
+        _num_items: usize,
+        _n: usize,
+        _exclude: &HashSet<ItemId>,
+    ) -> Option<Vec<Recommendation>> {
+        None
+    }
 }
 
 /// Evaluates a recommender on instances with prebuilt candidate lists
@@ -31,11 +75,41 @@ pub trait SequentialRecommender: Sync {
 /// call. Returns the per-instance ranks for aggregation and significance
 /// testing.
 ///
-/// Scoring chunks run in parallel on the shared worker pool; each chunk
-/// writes into its own slot, and slots are drained in chunk order, so the
-/// returned metrics are identical to the sequential loop for any pool
-/// size (including `MBSSL_THREADS=1`).
+/// If the model offers a compiled inference form
+/// ([`SequentialRecommender::prepare_inference`]), scoring runs through it;
+/// since compiled engines score bit-for-bit like the source model, the
+/// returned ranks are unchanged. Use [`evaluate_reference`] to force the
+/// model's own `score_batch` path.
+///
+/// Scoring chunks run in parallel on the shared worker pool, each writing
+/// its window of **one shared flat score buffer** (rented from the tensor
+/// allocator and recycled afterwards — no per-chunk `Vec<Vec<f32>>`
+/// allocation), so the returned metrics are identical to the sequential
+/// loop for any pool size (including `MBSSL_THREADS=1`).
 pub fn evaluate<R: SequentialRecommender + ?Sized>(
+    model: &R,
+    instances: &[EvalInstance],
+    candidates: &EvalCandidates,
+    batch_size: usize,
+) -> PerInstanceMetrics {
+    match model.prepare_inference() {
+        Some(engine) => evaluate_with(engine.as_ref(), instances, candidates, batch_size),
+        None => evaluate_with(model, instances, candidates, batch_size),
+    }
+}
+
+/// [`evaluate`] without the engine hook: always runs `model`'s own scoring
+/// path. This is the parity reference the inference tests compare against.
+pub fn evaluate_reference<R: SequentialRecommender + ?Sized>(
+    model: &R,
+    instances: &[EvalInstance],
+    candidates: &EvalCandidates,
+    batch_size: usize,
+) -> PerInstanceMetrics {
+    evaluate_with(model, instances, candidates, batch_size)
+}
+
+fn evaluate_with<R: SequentialRecommender + ?Sized>(
     model: &R,
     instances: &[EvalInstance],
     candidates: &EvalCandidates,
@@ -49,10 +123,44 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
     assert!(batch_size > 0);
     let mut eval_sp = telemetry::span("eval.evaluate");
     eval_sp.add_bytes((instances.len() * std::mem::size_of::<u32>()) as u64);
+    if instances.is_empty() {
+        return PerInstanceMetrics::from_score_lists(&[]);
+    }
+    let c = candidates.lists[0].len();
+    let uniform = candidates.lists.iter().all(|l| l.len() == c);
+    if uniform && c > 0 {
+        // Fast path (the 1-vs-99 protocol always lands here): one flat
+        // buffer for every score in the evaluation, written in place by
+        // the chunk workers through `score_batch_into`. One allocator
+        // request total, independent of the number of chunks.
+        let mut flat = alloc::zeroed(instances.len() * c);
+        pool::parallel_chunks_mut(&mut flat, batch_size * c, |ci, window| {
+            let chunk_start = ci * batch_size;
+            let chunk_end = (chunk_start + batch_size).min(instances.len());
+            let histories: Vec<&Sequence> = instances[chunk_start..chunk_end]
+                .iter()
+                .map(|i| &i.history)
+                .collect();
+            let cand_refs: Vec<&[ItemId]> = candidates.lists[chunk_start..chunk_end]
+                .iter()
+                .map(|l| l.as_slice())
+                .collect();
+            // no_grad is thread-local, so the guard must live inside the
+            // pool closure: evaluation never records autograd nodes or
+            // allocates gradient buffers regardless of which worker runs
+            // the chunk.
+            let _chunk_sp = telemetry::span("eval.score_chunk");
+            mbssl_tensor::no_grad(|| model.score_batch_into(&histories, &cand_refs, window));
+        });
+        let metrics = PerInstanceMetrics::from_flat_scores(&flat, c);
+        alloc::recycle(flat);
+        return metrics;
+    }
+    // Ragged candidate lists: fall back to per-chunk score lists. One slot
+    // per scoring chunk; the per-slot mutex is uncontended (each chunk
+    // index is claimed by exactly one pool thread) and exists to keep the
+    // indexed writes safe without unsafe code.
     let n_chunks = instances.len().div_ceil(batch_size);
-    // One slot per scoring chunk. The per-slot mutex is uncontended (each
-    // chunk index is claimed by exactly one pool thread); it exists to keep
-    // the indexed writes safe without unsafe code.
     let slots: Vec<Mutex<Vec<Vec<f32>>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
     pool::parallel_for(n_chunks, |ci| {
         let chunk_start = ci * batch_size;
@@ -65,9 +173,6 @@ pub fn evaluate<R: SequentialRecommender + ?Sized>(
             .iter()
             .map(|l| l.as_slice())
             .collect();
-        // no_grad is thread-local, so the guard must live inside the pool
-        // closure: evaluation never records autograd nodes or allocates
-        // gradient buffers regardless of which worker runs the chunk.
         let _chunk_sp = telemetry::span("eval.score_chunk");
         *slots[ci].lock().unwrap() =
             mbssl_tensor::no_grad(|| model.score_batch(&histories, &cand_refs));
@@ -91,9 +196,9 @@ pub struct Recommendation {
 /// scores keep the earliest-scored (lowest-id) item, matching the old
 /// bounded-insertion behavior exactly.
 #[derive(PartialEq)]
-struct RankKey {
-    score: f32,
-    item: ItemId,
+pub(crate) struct RankKey {
+    pub(crate) score: f32,
+    pub(crate) item: ItemId,
 }
 
 impl Eq for RankKey {}
@@ -113,15 +218,44 @@ impl PartialOrd for RankKey {
 }
 
 /// Produces the top-`n` recommendations for one user by scoring the whole
-/// catalog in chunks. `exclude` (typically the user's already-interacted
-/// items) are skipped. This is the serving-style entry point; evaluation
-/// uses [`evaluate`] with candidate sets instead.
+/// catalog. `exclude` (typically the user's already-interacted items) are
+/// skipped. This is the serving-style entry point; evaluation uses
+/// [`evaluate`] with candidate sets instead.
+///
+/// Models with a direct catalog path
+/// ([`SequentialRecommender::recommend_catalog`], possibly reached through
+/// [`SequentialRecommender::prepare_inference`]) rank in one pass; others
+/// fall back to scoring the catalog in `chunk_size`-item chunks
+/// ([`recommend_top_n_reference`]). Both paths rank identically.
 pub fn recommend_top_n<R: SequentialRecommender + ?Sized>(
     model: &R,
     history: &Sequence,
     num_items: usize,
     n: usize,
-    exclude: &std::collections::HashSet<ItemId>,
+    exclude: &HashSet<ItemId>,
+    chunk_size: usize,
+) -> Vec<Recommendation> {
+    assert!(n > 0 && chunk_size > 0);
+    if let Some(recs) = model.recommend_catalog(history, num_items, n, exclude) {
+        return recs;
+    }
+    if let Some(engine) = model.prepare_inference() {
+        if let Some(recs) = engine.recommend_catalog(history, num_items, n, exclude) {
+            return recs;
+        }
+    }
+    recommend_top_n_reference(model, history, num_items, n, exclude, chunk_size)
+}
+
+/// The chunked `score_batch` top-n path, bypassing any compiled engine or
+/// catalog specialization. This is the parity reference for the engine's
+/// one-pass catalog ranking.
+pub fn recommend_top_n_reference<R: SequentialRecommender + ?Sized>(
+    model: &R,
+    history: &Sequence,
+    num_items: usize,
+    n: usize,
+    exclude: &HashSet<ItemId>,
     chunk_size: usize,
 ) -> Vec<Recommendation> {
     use std::cmp::Reverse;

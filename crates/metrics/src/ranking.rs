@@ -113,6 +113,18 @@ impl PerInstanceMetrics {
         }
     }
 
+    /// Like [`from_score_lists`](Self::from_score_lists), but over one flat
+    /// row-major score matrix with `c` candidates per instance (row layout
+    /// `scores[i * c + j]`, index 0 = target) — the zero-copy form the
+    /// evaluator's shared scoring buffer uses.
+    pub fn from_flat_scores(scores: &[f32], c: usize) -> Self {
+        assert!(c > 0, "candidate lists must be non-empty");
+        assert_eq!(scores.len() % c, 0, "flat score matrix is ragged");
+        PerInstanceMetrics {
+            ranks: scores.chunks(c).map(target_rank).collect(),
+        }
+    }
+
     /// Per-instance NDCG@K values.
     pub fn ndcg_at(&self, k: usize) -> Vec<f64> {
         self.ranks.iter().map(|&r| ndcg_at_k(r, k)).collect()

@@ -9,6 +9,7 @@
 
 use crate::alloc;
 use crate::pool;
+use crate::simd;
 use mbssl_telemetry as telemetry;
 
 /// Work (in multiply-adds) below which GEMM stays single-threaded.
@@ -33,13 +34,15 @@ const PACK_MIN_CMN: usize = 4096;
 const PACK_NT_MIN_WORK: usize = 16 * 16 * 16;
 
 /// Microkernel tile height: rows of C held in registers per inner call.
-const MR: usize = 4;
-/// Microkernel tile width: columns of C per call (two 4-lane SIMD vectors).
-const NR: usize = 8;
+/// Public so [`crate::simd`] and the pack-once consumers share the layout.
+pub const MR: usize = 4;
+/// Microkernel tile width: columns of C per call (one 8-lane AVX2 vector,
+/// or two 4-lane vectors on narrower ISAs).
+pub const NR: usize = 8;
 /// k-dimension block size: pack panels of at most this many k-steps so the
 /// active A strip (MR·KC) and B strip (NR·KC) stay cache-resident while the
 /// microkernel streams over them.
-const KC: usize = 256;
+pub const KC: usize = 256;
 
 /// Elements below which row-wise / elementwise kernels stay
 /// single-threaded: broadcasting a pool job costs on the order of a few
@@ -230,14 +233,112 @@ fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
     out
 }
 
+/// A matrix packed once into the `pack_b_panels` layout, for GEMMs whose
+/// right-hand side is reused across many calls (inference weights, the
+/// catalog embedding table). Packing is pure data movement, so
+/// [`gemm_nn_prepacked`] over a `PackedB` is bit-identical to [`gemm_nn`]
+/// over the original row-major matrix.
+pub struct PackedB {
+    data: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Packs row-major `b` (`k × n`) into microkernel panels. Done once;
+    /// the packed buffer is owned until drop (not recycled).
+    pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        assert_eq!(b.len(), k * n, "PackedB::pack shape mismatch");
+        PackedB {
+            data: pack_b_panels(b, k, n),
+            k,
+            n,
+        }
+    }
+
+    /// Inner (k) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column (n) dimension of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Minimum scratch length callers of
+    /// [`gemm_nn_prepacked_scratch`] must provide.
+    pub const SCRATCH_LEN: usize = MR * KC;
+}
+
+/// C += A(m×k) · B with B pre-packed by [`PackedB::pack`]. Bit-identical
+/// to [`gemm_nn`] on the unpacked matrix (the packed and naive paths share
+/// the per-element accumulation order); skips the per-call pack entirely.
+pub fn gemm_nn_prepacked(a: &[f32], b: &PackedB, c: &mut [f32], m: usize) {
+    debug_assert_eq!(a.len(), m * b.k);
+    debug_assert_eq!(c.len(), m * b.n);
+    let mut sp = telemetry::span("kernel.gemm_nn");
+    sp.add_bytes(4 * (m * b.k + b.k * b.n + m * b.n) as u64);
+    let threads = thread_count(m * b.k * b.n, PAR_GEMM_THRESHOLD);
+    if threads <= 1 || m < 2 {
+        let mut apack = alloc::zeroed(MR * KC);
+        gemm_nn_packed_panel_with(a, &b.data, c, b.k, b.n, &mut apack);
+        alloc::recycle(apack);
+        return;
+    }
+    let (k, n) = (b.k, b.n);
+    let rows_per = rows_per_chunk(m, threads);
+    pool::parallel_chunks_mut(c, rows_per * n, |ci, c_chunk| {
+        let row = ci * rows_per;
+        let take = c_chunk.len() / n;
+        let mut apack = alloc::zeroed(MR * KC);
+        gemm_nn_packed_panel_with(&a[row * k..(row + take) * k], &b.data, c_chunk, k, n, &mut apack);
+        alloc::recycle(apack);
+    });
+}
+
+/// [`gemm_nn_prepacked`] with a caller-provided A-repack scratch buffer of
+/// at least [`PackedB::SCRATCH_LEN`] elements (no allocator traffic at
+/// all). Always sequential — the inference engine calls this per request
+/// with arena-owned scratch.
+pub fn gemm_nn_prepacked_scratch(
+    a: &[f32],
+    b: &PackedB,
+    c: &mut [f32],
+    m: usize,
+    apack: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * b.k);
+    debug_assert_eq!(c.len(), m * b.n);
+    assert!(apack.len() >= PackedB::SCRATCH_LEN, "scratch too small");
+    let mut sp = telemetry::span("kernel.gemm_nn");
+    sp.add_bytes(4 * (m * b.k + b.k * b.n + m * b.n) as u64);
+    gemm_nn_packed_panel_with(a, &b.data, c, b.k, b.n, apack);
+}
+
 /// Packed driver for one row panel of [`gemm_nn`]:
 /// C(rows×n) += A(rows×k) · B, with B already packed by [`pack_b_panels`].
 /// A is repacked per (KC-block × MR-strip) into a small p-major buffer so
 /// the microkernel reads both operands contiguously.
 fn gemm_nn_packed_panel(a: &[f32], bpack: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let mut apack = alloc::zeroed(MR * KC);
+    gemm_nn_packed_panel_with(a, bpack, c, k, n, &mut apack);
+    alloc::recycle(apack);
+}
+
+/// [`gemm_nn_packed_panel`] with caller-provided A-repack scratch
+/// (`len >= MR*KC`; stale contents are fine — every position read is
+/// written first within its tile).
+fn gemm_nn_packed_panel_with(
+    a: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    apack: &mut [f32],
+) {
     let rows = rows_of(c.len(), n);
     let n_round = n.div_ceil(NR) * NR;
-    let mut apack = alloc::zeroed(MR * KC);
     for pc0 in (0..k).step_by(KC) {
         let kc = KC.min(k - pc0);
         let block = pc0 * n_round;
@@ -256,11 +357,10 @@ fn gemm_nn_packed_panel(a: &[f32], bpack: &[f32], c: &mut [f32], k: usize, n: us
             for (s, j0) in (0..n).step_by(NR).enumerate() {
                 let nr = NR.min(n - j0);
                 let strip = &bpack[block + s * kc * NR..][..kc * NR];
-                microkernel(&apack, strip, &mut c[i0 * n + j0..], n, mr, nr, kc);
+                microkernel(apack, strip, &mut c[i0 * n + j0..], n, mr, nr, kc);
             }
         }
     }
-    alloc::recycle(apack);
 }
 
 /// The register-tiled inner kernel shared by the packed `nn` and `tn`
@@ -286,24 +386,15 @@ fn microkernel(
 ) {
     if mr == MR && nr == NR {
         // Full tile: fixed bounds so the accumulators stay in registers.
-        let mut acc = [[0.0f32; NR]; MR];
-        for (r, row) in acc.iter_mut().enumerate() {
-            row.copy_from_slice(&c[r * c_stride..][..NR]);
+        // The k-sweep itself lives in `simd::gemm_tile`, which picks the
+        // AVX2 or scalar variant (bit-identical either way).
+        let mut acc = [0.0f32; MR * NR];
+        for r in 0..MR {
+            acc[r * NR..][..NR].copy_from_slice(&c[r * c_stride..][..NR]);
         }
-        for p in 0..kc {
-            let b = &bpack[p * NR..][..NR];
-            for (r, row) in acc.iter_mut().enumerate() {
-                let a = apack[p * MR + r];
-                if a == 0.0 {
-                    continue;
-                }
-                for (acc_v, &b_v) in row.iter_mut().zip(b.iter()) {
-                    *acc_v += a * b_v;
-                }
-            }
-        }
-        for (r, row) in acc.iter().enumerate() {
-            c[r * c_stride..][..NR].copy_from_slice(row);
+        simd::gemm_tile(apack, bpack, &mut acc, kc);
+        for r in 0..MR {
+            c[r * c_stride..][..NR].copy_from_slice(&acc[r * NR..][..NR]);
         }
         return;
     }
@@ -430,32 +521,10 @@ fn gemm_nt_packed_panel(a: &[f32], bpack: &[f32], c: &mut [f32], k: usize, n: us
 /// arithmetic — the same four p-mod-4 partial-sum chains filled in the same
 /// order, the same remainder chain, combined as `s0 + s1 + s2 + s3 + rest` —
 /// so the result is bit-identical to calling `dot` per element while the
-/// lane dimension vectorizes.
+/// lane dimension vectorizes. The loop body lives in [`crate::simd`],
+/// which dispatches between the AVX2 and scalar variants.
 fn nt_row_strip(a_row: &[f32], strip: &[f32], c_out: &mut [f32]) {
-    let k = a_row.len();
-    let chunks = k / 4;
-    let mut s = [[0.0f32; NR]; 4];
-    let mut rest = [0.0f32; NR];
-    for i in 0..chunks {
-        let o = i * 4;
-        for (ch, s_ch) in s.iter_mut().enumerate() {
-            let a_v = a_row[o + ch];
-            let b_v = &strip[(o + ch) * NR..][..NR];
-            for (acc, &bv) in s_ch.iter_mut().zip(b_v.iter()) {
-                *acc += a_v * bv;
-            }
-        }
-    }
-    for p in chunks * 4..k {
-        let a_v = a_row[p];
-        let b_v = &strip[p * NR..][..NR];
-        for (acc, &bv) in rest.iter_mut().zip(b_v.iter()) {
-            *acc += a_v * bv;
-        }
-    }
-    for (jj, c_v) in c_out.iter_mut().enumerate() {
-        *c_v += s[0][jj] + s[1][jj] + s[2][jj] + s[3][jj] + rest[jj];
-    }
+    simd::nt_strip(a_row, strip, c_out);
 }
 
 fn gemm_nt_rows(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {

@@ -40,8 +40,10 @@ pub mod nn;
 mod ops;
 pub mod optim;
 pub mod pool;
+pub mod quant;
 pub mod serialize;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use autograd::no_grad;

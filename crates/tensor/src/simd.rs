@@ -1,0 +1,294 @@
+//! Explicit SIMD variants of the packed GEMM inner kernels.
+//!
+//! The scalar microkernels in [`crate::kernels`] auto-vectorize reasonably
+//! well, but the compiler must stay conservative around the `a == 0.0` skip
+//! and the accumulator layout. This module provides hand-written
+//! `std::arch` AVX2 versions of the two inner loops — the MR×NR register
+//! tile of the packed `nn`/`tn` path and the NR-lane strip of the packed
+//! `nt` path — selected once at runtime and gated by `MBSSL_SIMD`.
+//!
+//! # Bit-identity contract
+//!
+//! The SIMD kernels are **bit-for-bit identical** to the scalar references,
+//! not merely close:
+//!
+//! - every multiply-add is a separate `_mm256_mul_ps` + `_mm256_add_ps`
+//!   (never FMA), so each lane performs the same two individually rounded
+//!   f32 operations as the scalar `acc += a * b`;
+//! - accumulation visits k-steps in the same ascending order, with the
+//!   same partial-sum structure (`nt` keeps the four p-mod-4 chains plus
+//!   remainder, combined `s0 + s1 + s2 + s3 + rest`);
+//! - the `a == 0.0` skip of the tile kernel is applied per (row, p) exactly
+//!   where the scalar kernel applies it (skipping a whole vector of
+//!   identical lanes is the same as skipping each lane);
+//! - NR = 8 makes each accumulator row exactly one `__m256`, so no lane is
+//!   split or reassociated.
+//!
+//! `tests/simd_parity.rs` pins the contract with proptests; the kernels are
+//! public so the tests can drive both variants directly regardless of the
+//! ambient `MBSSL_SIMD` setting.
+
+use std::sync::OnceLock;
+
+use crate::kernels::{MR, NR};
+
+// The tile kernel's vectorized zero test loads one a-column as a single
+// __m128; NR = 8 makes each accumulator row one __m256 (see module docs).
+const _: () = assert!(MR == 4, "gemm_tile_avx2 assumes MR == 4");
+const _: () = assert!(NR == 8, "the AVX2 kernels assume NR == 8");
+
+/// Whether SIMD dispatch is allowed. Defaults to on; `MBSSL_SIMD=off`
+/// (or `0` / `none`) forces the scalar fallbacks. Read once and cached for
+/// the process lifetime, mirroring `MBSSL_FUSED` / `MBSSL_ALLOC`.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("MBSSL_SIMD").as_deref(),
+            Ok("off") | Ok("0") | Ok("none")
+        )
+    })
+}
+
+/// Whether the CPU supports the AVX2 kernels (independent of the
+/// `MBSSL_SIMD` gate). Always `false` off x86-64.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the AVX2 kernels are actually in use: enabled by the env gate
+/// *and* supported by the CPU. Cached; dispatch sites branch on this.
+pub fn active() -> bool {
+    static ACTIVE: OnceLock<bool> = OnceLock::new();
+    *ACTIVE.get_or_init(|| enabled() && avx2_available())
+}
+
+/// One MR×NR register-tile accumulation: `acc[r][..] += apack[p*MR+r] *
+/// bpack[p*NR..][..NR]` over `kc` packed steps. `acc` is row-major
+/// `MR * NR`; dispatches to AVX2 when [`active`].
+#[inline]
+pub fn gemm_tile(apack: &[f32], bpack: &[f32], acc: &mut [f32], kc: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { gemm_tile_avx2(apack, bpack, acc, kc) };
+        return;
+    }
+    gemm_tile_scalar(apack, bpack, acc, kc);
+}
+
+/// Scalar reference for [`gemm_tile`]: the exact accumulation loop of the
+/// packed microkernel's full-tile path.
+pub fn gemm_tile_scalar(apack: &[f32], bpack: &[f32], acc: &mut [f32], kc: usize) {
+    debug_assert!(acc.len() >= MR * NR);
+    for p in 0..kc {
+        let b = &bpack[p * NR..][..NR];
+        for r in 0..MR {
+            let a = apack[p * MR + r];
+            if a == 0.0 {
+                continue;
+            }
+            let row = &mut acc[r * NR..][..NR];
+            for (acc_v, &b_v) in row.iter_mut().zip(b.iter()) {
+                *acc_v += a * b_v;
+            }
+        }
+    }
+}
+
+/// AVX2 variant of [`gemm_tile`]. Each accumulator row is one `__m256`;
+/// every step is broadcast → mul → add (no FMA) with the scalar kernel's
+/// per-(row, p) `a == 0.0` skip, so results are bit-identical to
+/// [`gemm_tile_scalar`].
+///
+/// # Safety
+/// The CPU must support AVX2 (check [`avx2_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_tile_avx2(apack: &[f32], bpack: &[f32], acc: &mut [f32], kc: usize) {
+    use std::arch::x86_64::*;
+    debug_assert!(acc.len() >= MR * NR);
+    let mut rows = [_mm256_setzero_ps(); MR];
+    for (r, row) in rows.iter_mut().enumerate() {
+        *row = _mm256_loadu_ps(acc.as_ptr().add(r * NR));
+    }
+    let zero4 = _mm_setzero_ps();
+    for p in 0..kc {
+        let b = _mm256_loadu_ps(bpack.as_ptr().add(p * NR));
+        // One vectorized zero test over the whole a-column (MR = 4 = one
+        // __m128) replaces MR scalar compare-and-branch pairs. cmpeq treats
+        // -0.0 == 0.0 and NaN != 0.0 exactly like the scalar `a == 0.0`.
+        let a4 = _mm_loadu_ps(apack.as_ptr().add(p * MR));
+        if _mm_movemask_ps(_mm_cmpeq_ps(a4, zero4)) == 0 {
+            for (r, row) in rows.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*apack.get_unchecked(p * MR + r));
+                // mul + add, not FMA: each lane rounds twice exactly like
+                // the scalar `acc += a * b`.
+                *row = _mm256_add_ps(*row, _mm256_mul_ps(a, b));
+            }
+        } else {
+            for (r, row) in rows.iter_mut().enumerate() {
+                let a = *apack.get_unchecked(p * MR + r);
+                if a == 0.0 {
+                    continue;
+                }
+                *row = _mm256_add_ps(*row, _mm256_mul_ps(_mm256_set1_ps(a), b));
+            }
+        }
+    }
+    for (r, row) in rows.iter().enumerate() {
+        _mm256_storeu_ps(acc.as_mut_ptr().add(r * NR), *row);
+    }
+}
+
+/// One packed-`nt` strip: `c_out[jj] += dot(a_row, lane jj of strip)` for
+/// `c_out.len() <= NR` lanes, reproducing [`crate::kernels::dot`]'s chain
+/// structure per lane. Dispatches to AVX2 when [`active`].
+#[inline]
+pub fn nt_strip(a_row: &[f32], strip: &[f32], c_out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { nt_strip_avx2(a_row, strip, c_out) };
+        return;
+    }
+    nt_strip_scalar(a_row, strip, c_out);
+}
+
+/// Scalar reference for [`nt_strip`]: four p-mod-4 partial-sum chains plus
+/// a remainder chain, combined `s0 + s1 + s2 + s3 + rest` — exactly the
+/// per-lane arithmetic of the naive `dot`.
+pub fn nt_strip_scalar(a_row: &[f32], strip: &[f32], c_out: &mut [f32]) {
+    let k = a_row.len();
+    let chunks = k / 4;
+    let mut s = [[0.0f32; NR]; 4];
+    let mut rest = [0.0f32; NR];
+    for i in 0..chunks {
+        let o = i * 4;
+        for (ch, s_ch) in s.iter_mut().enumerate() {
+            let a_v = a_row[o + ch];
+            let b_v = &strip[(o + ch) * NR..][..NR];
+            for (acc, &bv) in s_ch.iter_mut().zip(b_v.iter()) {
+                *acc += a_v * bv;
+            }
+        }
+    }
+    for p in chunks * 4..k {
+        let a_v = a_row[p];
+        let b_v = &strip[p * NR..][..NR];
+        for (acc, &bv) in rest.iter_mut().zip(b_v.iter()) {
+            *acc += a_v * bv;
+        }
+    }
+    for (jj, c_v) in c_out.iter_mut().enumerate() {
+        *c_v += s[0][jj] + s[1][jj] + s[2][jj] + s[3][jj] + rest[jj];
+    }
+}
+
+/// AVX2 variant of [`nt_strip`]: the four partial-sum chains and the
+/// remainder chain are each one `__m256`, advanced with broadcast → mul →
+/// add (no FMA) in the same order as the scalar code, and combined
+/// left-to-right (`((s0 + s1) + s2) + s3) + rest`) per lane — bit-identical
+/// to [`nt_strip_scalar`].
+///
+/// # Safety
+/// The CPU must support AVX2 (check [`avx2_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn nt_strip_avx2(a_row: &[f32], strip: &[f32], c_out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let k = a_row.len();
+    let chunks = k / 4;
+    let mut s = [_mm256_setzero_ps(); 4];
+    let mut rest = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let o = i * 4;
+        for (ch, s_ch) in s.iter_mut().enumerate() {
+            let a_v = _mm256_set1_ps(*a_row.get_unchecked(o + ch));
+            let b_v = _mm256_loadu_ps(strip.as_ptr().add((o + ch) * NR));
+            *s_ch = _mm256_add_ps(*s_ch, _mm256_mul_ps(a_v, b_v));
+        }
+    }
+    for p in chunks * 4..k {
+        let a_v = _mm256_set1_ps(*a_row.get_unchecked(p));
+        let b_v = _mm256_loadu_ps(strip.as_ptr().add(p * NR));
+        rest = _mm256_add_ps(rest, _mm256_mul_ps(a_v, b_v));
+    }
+    // ((((s0 + s1) + s2) + s3) + rest), matching the scalar combine order.
+    let total = _mm256_add_ps(
+        _mm256_add_ps(_mm256_add_ps(_mm256_add_ps(s[0], s[1]), s[2]), s[3]),
+        rest,
+    );
+    let mut lanes = [0.0f32; NR];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), total);
+    for (jj, c_v) in c_out.iter_mut().enumerate() {
+        *c_v += lanes[jj];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fill(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    #[test]
+    fn tile_scalar_matches_avx2_when_available() {
+        if !avx2_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        for kc in [0usize, 1, 3, 17, 256] {
+            let mut apack = fill(&mut rng, (kc * MR).max(1));
+            // Exercise the a == 0.0 skip.
+            for v in apack.iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let bpack = fill(&mut rng, (kc * NR).max(1));
+            let init = fill(&mut rng, MR * NR);
+            let mut scalar = init.clone();
+            let mut simd = init.clone();
+            gemm_tile_scalar(&apack, &bpack, &mut scalar, kc);
+            unsafe { gemm_tile_avx2(&apack, &bpack, &mut simd, kc) };
+            assert_eq!(scalar, simd, "kc={kc}");
+        }
+    }
+
+    #[test]
+    fn nt_strip_scalar_matches_avx2_when_available() {
+        if !avx2_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        for k in [0usize, 1, 4, 5, 31, 64] {
+            for nr in 1..=NR {
+                let a_row = fill(&mut rng, k);
+                let strip = fill(&mut rng, (k * NR).max(1));
+                let init = fill(&mut rng, nr);
+                let mut scalar = init.clone();
+                let mut simd = init.clone();
+                nt_strip_scalar(&a_row, &strip, &mut scalar);
+                unsafe { nt_strip_avx2(&a_row, &strip, &mut simd) };
+                assert_eq!(scalar, simd, "k={k} nr={nr}");
+            }
+        }
+    }
+
+    #[test]
+    fn env_gate_consistency() {
+        // active() can only be true when both the gate and the CPU allow it.
+        assert!(!active() || (enabled() && avx2_available()));
+    }
+}

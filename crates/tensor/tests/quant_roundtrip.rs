@@ -1,0 +1,91 @@
+//! Round-trip error bounds for the quantized catalog-scorer storage
+//! ([`mbssl_tensor::quant`]).
+//!
+//! The i8 scheme stores one scale per row (`max_abs / 127`), so every
+//! decoded element must sit within half a quantization step
+//! (`scale / 2`) of the original, and every dot product within the sum of
+//! per-element bounds. bf16 keeps 8 mantissa bits, so relative error per
+//! element is below 2^-8 (0.4%). These bounds are what justifies the
+//! default `MBSSL_QUANT_TOL` drift gate on ranking metrics.
+
+use mbssl_tensor::quant::{bf16_to_f32, f32_to_bf16, Bf16Rows, QuantizedRows};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    /// Every element decodes to within scale/2 of the original; the row
+    /// scale is exactly max_abs/127.
+    #[test]
+    fn i8_elementwise_error_bounded_by_half_scale(
+        rows in 1usize..6, cols in 1usize..40, seed in 0u64..300, amp in 0.01f32..50.0
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-amp..amp)).collect();
+        let q = QuantizedRows::quantize(&w, rows, cols);
+        let mut decoded = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            prop_assert_eq!(q.scale(r), if max_abs == 0.0 { 0.0 } else { max_abs / 127.0 });
+            q.decode_row_into(r, &mut decoded);
+            let bound = q.scale(r) / 2.0 + q.scale(r) * 1e-5 + 1e-12;
+            for (j, (&orig, &dec)) in row.iter().zip(decoded.iter()).enumerate() {
+                prop_assert!(
+                    (orig - dec).abs() <= bound,
+                    "row {} col {}: |{} - {}| > {}", r, j, orig, dec, bound
+                );
+            }
+        }
+    }
+
+    /// A quantized dot stays within the accumulated per-element bound of
+    /// the f32 dot: |q·x − w·x| ≤ Σ_j (scale/2)·|x_j| (plus f32 slack).
+    #[test]
+    fn i8_dot_error_bounded(cols in 1usize..40, seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let q = QuantizedRows::quantize(&w, 1, cols);
+        let exact: f32 = w.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+        let got = q.dot(0, &x);
+        let x_l1: f32 = x.iter().map(|v| v.abs()).sum();
+        let bound = q.scale(0) / 2.0 * x_l1 + 1e-3;
+        prop_assert!(
+            (exact - got).abs() <= bound,
+            "|{} - {}| > {}", exact, got, bound
+        );
+    }
+
+    /// bf16 round-trip keeps relative error under 2^-8 per element (the
+    /// worst case for round-to-nearest-even with 8 mantissa bits).
+    #[test]
+    fn bf16_relative_error_bounded(v in -1.0e6f32..1.0e6) {
+        let d = bf16_to_f32(f32_to_bf16(v));
+        prop_assert!((v - d).abs() <= v.abs() / 256.0 + f32::MIN_POSITIVE);
+    }
+}
+
+#[test]
+fn i8_zero_row_roundtrips_to_zero() {
+    let q = QuantizedRows::quantize(&[0.0; 12], 3, 4);
+    for r in 0..3 {
+        assert_eq!(q.scale(r), 0.0);
+        assert_eq!(q.dot(r, &[1.0, -2.0, 3.0, -4.0]), 0.0);
+    }
+}
+
+#[test]
+fn bf16_rows_dot_matches_elementwise_decode() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cols = 24;
+    let w: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let rows = Bf16Rows::convert(&w, 1, cols);
+    let manual: f32 = w
+        .iter()
+        .zip(x.iter())
+        .map(|(&a, &b)| bf16_to_f32(f32_to_bf16(a)) * b)
+        .sum();
+    assert_eq!(rows.dot(0, &x), manual);
+}

@@ -1,0 +1,130 @@
+//! Bit-for-bit parity of the hand-written AVX2 microkernels with their
+//! scalar references, and of the full `gemm_nn` dispatch (which routes
+//! through them when `MBSSL_SIMD` allows) with the naive kernel.
+//!
+//! The SIMD kernels promise *identity*, not closeness: mul+add instead of
+//! FMA, same k-step order, same partial-sum structure, same `a == 0.0`
+//! skip. So every assertion here is `==` on f32 bits. CI runs this suite
+//! under `MBSSL_THREADS=1`, `2`, and the default, and under
+//! `MBSSL_SIMD=off`, to pin that neither threading nor dispatch changes a
+//! single bit.
+
+use mbssl_tensor::kernels::{self, PackedB, KC, MR, NR};
+use mbssl_tensor::simd;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fill(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Exact zeros exercise the microkernel's `a == 0.0` skip, which must fire
+/// at identical (row, p) positions in both variants.
+fn sprinkle_zeros(v: &mut [f32], rng: &mut StdRng) {
+    for x in v.iter_mut() {
+        if rng.gen_range(0.0f32..1.0) < 0.15 {
+            *x = 0.0;
+        }
+    }
+}
+
+proptest! {
+    /// The MR×NR register tile: scalar vs AVX2 across k-block depths
+    /// straddling the KC boundary.
+    #[test]
+    fn gemm_tile_scalar_matches_avx2(kc in 0usize..(KC + 9), seed in 0u64..200) {
+        if !simd::avx2_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut apack = fill(&mut rng, (kc * MR).max(1));
+        sprinkle_zeros(&mut apack, &mut rng);
+        let bpack = fill(&mut rng, (kc * NR).max(1));
+        let init = fill(&mut rng, MR * NR);
+        let mut scalar = init.clone();
+        let mut avx2 = init;
+        simd::gemm_tile_scalar(&apack, &bpack, &mut scalar, kc);
+        // SAFETY: guarded by avx2_available() above.
+        unsafe { simd::gemm_tile_avx2(&apack, &bpack, &mut avx2, kc) };
+        prop_assert_eq!(scalar, avx2);
+    }
+
+    /// The NR-lane nt strip: scalar vs AVX2 across dot lengths and partial
+    /// lane counts (m=1-style single-row strips included).
+    #[test]
+    fn nt_strip_scalar_matches_avx2(k in 0usize..70, nr in 1usize..=NR, seed in 0u64..200) {
+        if !simd::avx2_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a_row = fill(&mut rng, k);
+        sprinkle_zeros(&mut a_row, &mut rng);
+        let strip = fill(&mut rng, (k * NR).max(1));
+        let init = fill(&mut rng, nr);
+        let mut scalar = init.clone();
+        let mut avx2 = init;
+        simd::nt_strip_scalar(&a_row, &strip, &mut scalar);
+        // SAFETY: guarded by avx2_available() above.
+        unsafe { simd::nt_strip_avx2(&a_row, &strip, &mut avx2) };
+        prop_assert_eq!(scalar, avx2);
+    }
+
+    /// Full `gemm_nn` dispatch (naive rows / packed / SIMD / threaded —
+    /// whatever the ambient env selects) vs the naive reference across
+    /// ragged shapes, including m=1 and k=0.
+    #[test]
+    fn gemm_nn_dispatch_bitwise_ragged(m in 1usize..12, k in 0usize..48, n in 1usize..24, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut got = vec![0.0f32; m * n];
+        kernels::gemm_nn(&a, &b, &mut got, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nn_naive(&a, &b, &mut naive, m, k, n);
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Pre-packed GEMM (the inference engine's weight layout) is
+    /// bit-identical to `gemm_nn` on the unpacked matrix — both the
+    /// pool-dispatched and the explicit-scratch sequential entry points.
+    #[test]
+    fn prepacked_bitwise_matches_gemm_nn(m in 1usize..12, k in 0usize..48, n in 1usize..24, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut a, b) = (fill(&mut rng, m * k), fill(&mut rng, k * n));
+        sprinkle_zeros(&mut a, &mut rng);
+        let mut reference = vec![0.0f32; m * n];
+        kernels::gemm_nn(&a, &b, &mut reference, m, k, n);
+        let packed = PackedB::pack(&b, k, n);
+        let mut got = vec![0.0f32; m * n];
+        kernels::gemm_nn_prepacked(&a, &packed, &mut got, m);
+        prop_assert_eq!(&got, &reference);
+        got.fill(0.0);
+        let mut scratch = vec![0.0f32; PackedB::SCRATCH_LEN];
+        kernels::gemm_nn_prepacked_scratch(&a, &packed, &mut got, m, &mut scratch);
+        prop_assert_eq!(&got, &reference);
+    }
+}
+
+/// Shapes big enough to cross the packed-path threshold (`m >= 2*MR`,
+/// `k*n >= 8192`) and, with enough worker threads, the parallel split —
+/// the dispatch tiers the proptest shapes above can't reach.
+#[test]
+fn gemm_nn_dispatch_bitwise_large_packed_shapes() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for (m, k, n) in [(16usize, 128usize, 64usize), (33, 300, 40), (9, 64, 129)] {
+        let mut a = fill(&mut rng, m * k);
+        sprinkle_zeros(&mut a, &mut rng);
+        let b = fill(&mut rng, k * n);
+        let mut got = vec![0.0f32; m * n];
+        kernels::gemm_nn(&a, &b, &mut got, m, k, n);
+        let mut naive = vec![0.0f32; m * n];
+        kernels::gemm_nn_naive(&a, &b, &mut naive, m, k, n);
+        assert_eq!(got, naive, "m={m} k={k} n={n}");
+
+        let packed = PackedB::pack(&b, k, n);
+        let mut pre = vec![0.0f32; m * n];
+        kernels::gemm_nn_prepacked(&a, &packed, &mut pre, m);
+        assert_eq!(pre, naive, "prepacked m={m} k={k} n={n}");
+    }
+}

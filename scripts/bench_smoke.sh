@@ -4,7 +4,10 @@
 #
 # Three passes:
 #   1. the full suite with fusion at its ambient setting and telemetry OFF
-#      (the numbers of record);
+#      (the numbers of record) — this includes the serving pair
+#      `throughput_recommend_top_n` (inference engine, one-pass catalog
+#      ranking) vs `throughput_recommend_graph` (pre-engine chunked path);
+#      their ratio is distilled into the report's `recommend.speedup`;
 #   2. a `train_step`-only pass with MBSSL_FUSED=off so the report shows the
 #      fused and unfused training step side by side;
 #   3. a `train_step`-only pass with MBSSL_TRACE=summary so the report's
@@ -108,6 +111,21 @@ report = {"unit": "items/sec", "meta": meta, "benchmarks": rows}
 if unfused_rows:
     report["unfused"] = unfused_rows
 
+# Serving speedup: the inference-engine catalog ranking vs the pre-engine
+# chunked score_batch path, side by side with the ratio of record.
+def items_per_sec(rows, sub):
+    r = next((r for r in rows if sub in r["name"]), None)
+    return r["items_per_sec"] if r else None
+
+rec_engine = items_per_sec(rows, "recommend_top_n")
+rec_graph = items_per_sec(rows, "recommend_graph")
+if rec_engine and rec_graph:
+    report["recommend"] = {
+        "engine_items_per_sec": rec_engine,
+        "graph_items_per_sec": rec_graph,
+        "speedup": round(rec_engine / rec_graph, 2),
+    }
+
 # Top spans by total time per traced section, alongside the traced
 # throughput so the tracing cost is visible next to the numbers of record.
 telemetry = {}
@@ -176,6 +194,9 @@ history = {
     "train_step_items_per_sec": train_step_items(rows),
     "train_step_unfused_items_per_sec": train_step_items(unfused_rows),
     "train_step_traced_items_per_sec": train_step_items(traced_rows),
+    "recommend_engine_items_per_sec": rec_engine,
+    "recommend_graph_items_per_sec": rec_graph,
+    "recommend_speedup": round(rec_engine / rec_graph, 2) if rec_engine and rec_graph else None,
 }
 with open("BENCH_history.jsonl", "a") as fh:
     fh.write(json.dumps(history) + "\n")

@@ -15,20 +15,31 @@
 #                             size; the recycler is thread-local + shared).
 #   5. escape hatches       — full workspace tests with MBSSL_FUSED=off, and
 #                             the packed-GEMM suite with MBSSL_ALLOC=off.
-#   6. traced tests         — full workspace tests with MBSSL_TRACE=jsonl:…
+#   6. inference engine     — infer-parity suite under the default engine-on
+#                             path, under MBSSL_INFER=off (the autograd
+#                             escape hatch must restore the old serving path
+#                             exactly), under MBSSL_SIMD=off (scalar
+#                             microkernels must not change a bit), and the
+#                             quantized-catalog drift gate under
+#                             MBSSL_QUANT=i8 (the exact-parity top-n test is
+#                             skipped there: an i8 catalog is *supposed* to
+#                             differ from the f32 reference within tol). The
+#                             SIMD microkernel parity proptests also run
+#                             inside the pool-size loop of stage 2.
+#   7. traced tests         — full workspace tests with MBSSL_TRACE=jsonl:…
 #                             so every suite also passes with live telemetry
 #                             (determinism + near-zero-overhead contract).
-#   7. trace workflow       — synth → traced 2-epoch training with a run
+#   8. trace workflow       — synth → traced 2-epoch training with a run
 #                             ledger → `mbssl trace summary`, then
 #                             `mbssl trace diff` against the committed
 #                             BENCH_trace_baseline.jsonl on the share metric
 #                             (tolerance MBSSL_BENCH_TOL_PCT share points,
 #                             default 5; spans under 3% of wall never gate),
 #                             and an `mbssl report` smoke over two run dirs.
-#   8. rustdoc              — `cargo doc --no-deps` for the workspace crates
+#   9. rustdoc              — `cargo doc --no-deps` for the workspace crates
 #                             with warnings promoted to errors (missing-docs
 #                             regressions fail here).
-#   9. bench smoke          — refreshes BENCH_throughput.json, appends one
+#  10. bench smoke          — refreshes BENCH_throughput.json, appends one
 #                             line to BENCH_history.jsonl, and fails if the
 #                             bench harness itself breaks (numbers are
 #                             machine-dependent; only the telemetry-off
@@ -69,6 +80,13 @@ for threads in 1 2 ""; do
     else
         env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test alloc_budget -q
     fi
+
+    echo "==> SIMD microkernel parity proptests (MBSSL_THREADS=$label)"
+    if [[ -n "$threads" ]]; then
+        MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test simd_parity -q
+    else
+        env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test simd_parity -q
+    fi
 done
 
 echo "==> fusion escape hatch (MBSSL_FUSED=off, full workspace)"
@@ -76,6 +94,22 @@ MBSSL_FUSED=off cargo test --workspace -q
 
 echo "==> allocator escape hatch (MBSSL_ALLOC=off)"
 MBSSL_ALLOC=off cargo test --release -p mbssl-tensor --test packed_gemm -q
+
+echo "==> inference-engine parity (engine on, ambient SIMD)"
+cargo test --release -p mbssl-core --test infer_parity -q
+
+echo "==> inference escape hatch (MBSSL_INFER=off restores the autograd path)"
+MBSSL_INFER=off cargo test --release -p mbssl-core --test infer_parity -q
+
+echo "==> SIMD escape hatch (MBSSL_SIMD=off, scalar microkernels)"
+MBSSL_SIMD=off cargo test --release -p mbssl-tensor --test simd_parity -q
+MBSSL_SIMD=off cargo test --release -p mbssl-core --test infer_parity -q
+
+# The exact-parity top-n test is skipped under ambient i8: a quantized
+# catalog intentionally reorders near-ties; the drift gate below bounds it.
+echo "==> quantized catalog drift gate (MBSSL_QUANT=i8)"
+MBSSL_QUANT=i8 cargo test --release -p mbssl-core --test infer_parity -q \
+    -- --skip engine_top_n_matches_chunked_reference_exactly
 
 trace_file=$(mktemp -t mbssl_ci_trace.XXXXXX.jsonl)
 trace_dir=$(mktemp -d -t mbssl_ci_tracewf.XXXXXX)

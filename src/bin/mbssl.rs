@@ -121,6 +121,20 @@ fn load_dataset(args: &Args) -> Result<(Dataset, Behavior), String> {
     Ok((dataset, target))
 }
 
+/// One-line stderr note for scoring commands: whether they run on the
+/// compiled inference engine (`MBSSL_INFER`) and with which catalog
+/// quantization (`MBSSL_QUANT`).
+fn engine_banner() -> String {
+    if mbssl::core::infer::enabled() {
+        format!(
+            "scoring via inference engine (MBSSL_INFER=on, quant={:?}; set MBSSL_INFER=off for the autograd path)",
+            mbssl::tensor::quant::mode()
+        )
+    } else {
+        "scoring via autograd path (MBSSL_INFER=off)".to_string()
+    }
+}
+
 fn model_config(args: &Args, seed: u64) -> ModelConfig {
     ModelConfig {
         dim: args.get_or("dim", "32").parse().expect("--dim must be an integer"),
@@ -205,6 +219,7 @@ fn run() -> Result<(), String> {
             let model = Mbmissl::new(dataset.num_items, schema, model_config(&args, seed));
             model.load(ckpt).map_err(|e| format!("loading {ckpt}: {e}"))?;
             let candidates = EvalCandidates::build(&split.test, &sampler, 99, seed);
+            eprintln!("{}", engine_banner());
             let metrics = evaluate(&model, &split.test, &candidates, 256).aggregate();
             println!("test metrics (1-vs-99): {}", metrics.summary());
             Ok(())
@@ -225,6 +240,7 @@ fn run() -> Result<(), String> {
             model.load(ckpt).map_err(|e| format!("loading {ckpt}: {e}"))?;
             let history = &dataset.sequences[user];
             let seen: HashSet<_> = history.items.iter().copied().collect();
+            eprintln!("{}", engine_banner());
             let recs = recommend_top_n(&model, history, dataset.num_items, top, &seen, 512);
             println!(
                 "top-{top} recommendations for user {user} ({} history events):",
