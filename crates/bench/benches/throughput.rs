@@ -25,8 +25,8 @@ use rand::SeedableRng;
 
 use mbssl_bench::{bench_model_config, build_workload};
 use mbssl_core::{
-    evaluate, recommend_top_n_reference, BehaviorSchema, Mbmissl, SequentialRecommender,
-    TrainableRecommender,
+    evaluate, recommend_top_n_reference, BehaviorSchema, InferenceModel, Mbmissl,
+    SequentialRecommender, TrainableRecommender,
 };
 use mbssl_data::preprocess::TrainInstance;
 use mbssl_data::sampler::EvalCandidates;
@@ -155,7 +155,15 @@ fn bench_throughput(c: &mut Criterion) {
     // request; the graph bench is the pre-engine path, which re-encodes
     // the history for every 512-item score_batch chunk. Their ratio is the
     // PR's headline speedup.
-    let recommend_names = ["throughput_recommend_top_n", "throughput_recommend_graph"];
+    let recommend_names = [
+        "throughput_recommend_top_n_items2400",
+        "throughput_recommend_graph_items2400",
+        "throughput_recommend_ann_items2400",
+        "throughput_recommend_top_n_xl_items24000",
+        "throughput_recommend_ann_xl_items24000",
+        "index_build_catalog2400",
+        "index_build_catalog24000",
+    ];
     if recommend_names.iter().any(|n| bench_enabled(n)) {
         let serving = build_workload("taobao-like", 1.0, 11);
         let sd = &serving.dataset;
@@ -197,6 +205,84 @@ fn bench_throughput(c: &mut Criterion) {
             });
             emit_alloc_section("recommend_graph");
             emit_telemetry_section("recommend_graph");
+        }
+
+        // Two-stage retrieval (DESIGN.md §14): IVF probe + candidate
+        // re-rank vs the exhaustive one-GEMM ranking, on the full-scale
+        // catalog and on a 10x synthetic catalog where the asymptotics
+        // actually show. `index_build_catalogN` rows carry the one-off
+        // k-means build cost (no `itemsN` suffix: items/sec there is
+        // builds/sec, and ns_per_iter is the build time itself).
+        let name = format!("throughput_recommend_ann_items{catalog}");
+        if bench_enabled(&name) {
+            alloc::reset_stats();
+            let mut engine = InferenceModel::compile(&serving_model);
+            let index = engine.build_index(11);
+            engine.attach_index(index).expect("index geometry matches");
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    engine
+                        .recommend_catalog(black_box(history), catalog, 10, &exclude)
+                        .expect("engine has a catalog path")
+                });
+            });
+            emit_alloc_section("recommend_ann");
+            emit_telemetry_section("recommend_ann");
+        }
+        let name = format!("index_build_catalog{catalog}");
+        if bench_enabled(&name) {
+            let engine = InferenceModel::compile(&serving_model);
+            c.bench_function(&name, |b| {
+                b.iter(|| black_box(engine.build_index(11)));
+            });
+        }
+
+        // ~10x catalog: same behavior schema and histories (their item ids
+        // all fit), random item table at xl scale. Serving cost is
+        // catalog-bound, so this is where retrieve-then-rerank pulls away.
+        let xl_catalog = 24_000usize;
+        let xl_names = [
+            format!("throughput_recommend_top_n_xl_items{xl_catalog}"),
+            format!("throughput_recommend_ann_xl_items{xl_catalog}"),
+            format!("index_build_catalog{xl_catalog}"),
+        ];
+        if xl_names.iter().any(|n| bench_enabled(n)) {
+            let schema = BehaviorSchema::new(sd.behaviors.clone(), sd.target_behavior);
+            let xl_model = Mbmissl::new(xl_catalog, schema, bench_model_config(11));
+            if bench_enabled(&xl_names[0]) {
+                alloc::reset_stats();
+                let engine = InferenceModel::compile(&xl_model);
+                c.bench_function(&xl_names[0], |b| {
+                    b.iter(|| {
+                        engine
+                            .recommend_catalog(black_box(history), xl_catalog, 10, &exclude)
+                            .expect("engine has a catalog path")
+                    });
+                });
+                emit_alloc_section("recommend_xl");
+                emit_telemetry_section("recommend_xl");
+            }
+            if bench_enabled(&xl_names[1]) {
+                alloc::reset_stats();
+                let mut engine = InferenceModel::compile(&xl_model);
+                let index = engine.build_index(11);
+                engine.attach_index(index).expect("index geometry matches");
+                c.bench_function(&xl_names[1], |b| {
+                    b.iter(|| {
+                        engine
+                            .recommend_catalog(black_box(history), xl_catalog, 10, &exclude)
+                            .expect("engine has a catalog path")
+                    });
+                });
+                emit_alloc_section("recommend_ann_xl");
+                emit_telemetry_section("recommend_ann_xl");
+            }
+            if bench_enabled(&xl_names[2]) {
+                let engine = InferenceModel::compile(&xl_model);
+                c.bench_function(&xl_names[2], |b| {
+                    b.iter(|| black_box(engine.build_index(11)));
+                });
+            }
         }
     }
 }

@@ -1,0 +1,629 @@
+//! IVF-Flat approximate catalog retrieval (DESIGN.md §14).
+//!
+//! Exhaustive `recommend_top_n` does O(catalog) work per request; the
+//! standard production shape is retrieve-then-rerank. This module holds the
+//! retrieval half: an **inverted-file (IVF) index** over the item-embedding
+//! table. A k-means clusterer partitions the catalog into `nlist` lists;
+//! serving scores each interest vector against the `nlist` centroids,
+//! probes the top `nprobe` lists per interest (union across interests —
+//! items live in exactly one list, so the union never duplicates), and
+//! hands the resulting candidate set to the inference engine's gather-based
+//! re-ranker ([`crate::infer::InferenceModel::score_candidates`]).
+//!
+//! - **Build** is deterministic for a given `(table, nlist, seed)` at any
+//!   worker-pool size: Lloyd iterations assign items in parallel pool
+//!   chunks, each chunk one GEMM against the pre-packed transposed centroid
+//!   matrix (the same MR=4/NR=8/KC=256 microkernels — and therefore the
+//!   same SIMD dispatch — as every other hot GEMM), and the centroid update
+//!   is a sequential pass. Runs under an `index.build` span.
+//! - **Serialization** is a small versioned binary written next to the
+//!   checkpoint (conventionally `<ckpt>.ivf`), loadable without retraining.
+//!   Corrupt, truncated, or version-mismatched files fail with a clear
+//!   [`AnnError`]; consumers degrade to exhaustive scoring (warn-and-
+//!   degrade, like the run ledger's IO handling).
+//! - **Gating**: `MBSSL_ANN=off` disables probing everywhere even when an
+//!   index is attached, restoring today's exhaustive path bit-for-bit —
+//!   the same escape-hatch pattern as `MBSSL_INFER` / `MBSSL_FUSED`.
+//!   `MBSSL_ANN_NLIST` / `MBSSL_ANN_NPROBE` override the built/probed list
+//!   counts.
+//!
+//! Retrieval is approximate: recall@10 of the ANN path against the
+//! exhaustive top-10 is the pinned metric (`tests/ann.rs` gates it at the
+//! default `nlist`/`nprobe`). Re-ranked scores themselves are **bit-exact**
+//! — the re-ranker reuses the exhaustive per-item arithmetic — so the ANN
+//! result is always the exhaustive ranking restricted to the retrieved
+//! candidate set, with identical tie-breaking.
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+use mbssl_data::ItemId;
+use mbssl_telemetry as telemetry;
+use mbssl_tensor::kernels::PackedB;
+use mbssl_tensor::{kernels, pool};
+
+/// Serialization magic: 8 bytes so a truncated checkpoint can never alias.
+const MAGIC: &[u8; 8] = b"MBSSLIVF";
+/// Current on-disk format version.
+const VERSION: u32 = 1;
+/// Lloyd-iteration budget; assignment usually stabilizes much earlier and
+/// the loop stops at the first unchanged pass.
+const KMEANS_ITERS: usize = 12;
+/// Items assigned per parallel chunk of the k-means assignment pass.
+const ASSIGN_CHUNK: usize = 512;
+
+/// Whether ANN probing is allowed. Defaults to on; `MBSSL_ANN=off` (or
+/// `0` / `none`) keeps every consumer on the exhaustive path even when an
+/// index is attached. Read once and cached, mirroring `MBSSL_INFER`.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("MBSSL_ANN").as_deref(),
+            Ok("off") | Ok("0") | Ok("none")
+        )
+    })
+}
+
+/// Default number of inverted lists for a catalog of `num_items`:
+/// `MBSSL_ANN_NLIST` if set, else `4 * sqrt(num_items)` (finer-grained than
+/// the classic `sqrt(N)` so each probe retrieves a tighter neighborhood),
+/// clamped so every list can hold at least a couple of items.
+pub fn default_nlist(num_items: usize) -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let from_env = *ENV.get_or_init(|| {
+        std::env::var("MBSSL_ANN_NLIST")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    let nlist = from_env.unwrap_or_else(|| (4.0 * (num_items as f64).sqrt()).round() as usize);
+    nlist.clamp(1, (num_items / 2).max(1))
+}
+
+/// Default number of lists probed per interest vector: `MBSSL_ANN_NPROBE`
+/// if set, else `nlist / 16` (≈6% of the lists per interest; the union
+/// across interests widens actual coverage), at least 1.
+pub fn default_nprobe(nlist: usize) -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let from_env = *ENV.get_or_init(|| {
+        std::env::var("MBSSL_ANN_NPROBE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    from_env.unwrap_or(nlist / 16).clamp(1, nlist)
+}
+
+/// Errors arising from index IO or attaching an index to a model it was
+/// not built for.
+#[derive(Debug)]
+pub enum AnnError {
+    /// Underlying read/write failure (includes truncation mid-field).
+    Io(std::io::Error),
+    /// File does not start with the `MBSSLIVF` magic bytes.
+    BadMagic,
+    /// File uses a format version this build cannot read.
+    BadVersion(u32),
+    /// Structurally invalid file (bad counts, out-of-range ids, trailing
+    /// bytes).
+    Corrupt(String),
+    /// Index geometry disagrees with the model it is being attached to.
+    Mismatch {
+        /// What the model expects, e.g. `dim 32, 2400 items`.
+        expected: String,
+        /// What the index header declares.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for AnnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnError::Io(e) => write!(f, "io error: {e}"),
+            AnnError::BadMagic => write!(f, "not an mbssl IVF index (bad magic)"),
+            AnnError::BadVersion(v) => write!(f, "unsupported IVF index version {v}"),
+            AnnError::Corrupt(msg) => write!(f, "corrupt IVF index: {msg}"),
+            AnnError::Mismatch { expected, found } => {
+                write!(f, "index/model mismatch: model has {expected}, index has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnError {}
+
+impl From<std::io::Error> for AnnError {
+    fn from(e: std::io::Error) -> Self {
+        AnnError::Io(e)
+    }
+}
+
+/// Distribution statistics over the inverted lists, for `mbssl index stats`
+/// and build-time logging.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexStats {
+    /// Number of inverted lists (== `nlist`).
+    pub lists: usize,
+    /// Lists holding zero items (harmless: probing them retrieves nothing).
+    pub empty_lists: usize,
+    /// Smallest list size.
+    pub min_len: usize,
+    /// Mean list size over non-empty lists.
+    pub mean_len: f64,
+    /// Largest list size.
+    pub max_len: usize,
+    /// `max_len / mean_len`: 1.0 is perfectly balanced; large values mean
+    /// a hot list dominates probe cost.
+    pub imbalance: f64,
+    /// Serialized size in bytes (header + centroids + lists).
+    pub bytes: usize,
+}
+
+/// An IVF-Flat index over an item-embedding table.
+///
+/// Covers items `1..=num_items` of a `(num_items + 1) × dim` table whose
+/// row 0 is padding (the layout of the model's item table). Every item
+/// belongs to exactly one inverted list; ids within a list are ascending.
+pub struct IvfIndex {
+    dim: usize,
+    num_items: usize,
+    seed: u64,
+    /// `[nlist, dim]` row-major centroids.
+    centroids: Vec<f32>,
+    /// Centroidsᵀ prepacked for the per-request probe GEMM. Rebuilt from
+    /// `centroids` on build/load; never serialized.
+    packed_centroids: PackedB,
+    lists: Vec<Vec<ItemId>>,
+}
+
+impl std::fmt::Debug for IvfIndex {
+    /// Compact summary (the centroid/list payloads would swamp any log).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IvfIndex")
+            .field("dim", &self.dim)
+            .field("num_items", &self.num_items)
+            .field("nlist", &self.lists.len())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl IvfIndex {
+    /// Clusters `item_table` (`(num_items + 1) × dim`, row 0 = padding)
+    /// into `nlist` lists with seeded Lloyd k-means. Deterministic for a
+    /// given `(table, nlist, seed)` at any `MBSSL_THREADS`; runs under an
+    /// `index.build` telemetry span.
+    pub fn build(item_table: &[f32], num_items: usize, dim: usize, nlist: usize, seed: u64) -> IvfIndex {
+        assert!(num_items >= 1, "cannot index an empty catalog");
+        assert_eq!(item_table.len(), (num_items + 1) * dim, "item table shape");
+        let nlist = nlist.clamp(1, num_items);
+        let mut build_sp = telemetry::span("index.build");
+        build_sp.add_bytes((item_table.len() * std::mem::size_of::<f32>()) as u64);
+
+        // Items only (drop the padding row): rows 1..=num_items.
+        let items = &item_table[dim..];
+
+        // Seeded init: nlist distinct item rows chosen by splitmix64 draws.
+        let mut centroids = vec![0.0f32; nlist * dim];
+        {
+            let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut taken = vec![false; num_items];
+            for c in 0..nlist {
+                let mut idx = (next() % num_items as u64) as usize;
+                while taken[idx] {
+                    idx = (idx + 1) % num_items;
+                }
+                taken[idx] = true;
+                centroids[c * dim..][..dim].copy_from_slice(&items[idx * dim..][..dim]);
+            }
+        }
+
+        let mut assign = vec![0u32; num_items];
+        let mut centroids_t = vec![0.0f32; nlist * dim];
+        let mut half_sq = vec![0.0f32; nlist];
+        for _ in 0..KMEANS_ITERS {
+            // Assignment: nearest centroid by L2, computed as
+            // argmax(dot(e, c) - ||c||²/2) since ||e||² is constant per
+            // item. One GEMM per pool chunk against the packed transpose.
+            kernels::transpose(&centroids, &mut centroids_t, nlist, dim);
+            let packed = PackedB::pack(&centroids_t, dim, nlist);
+            kernels::row_sq_norms(&centroids, dim, &mut half_sq);
+            for h in half_sq.iter_mut() {
+                *h *= 0.5;
+            }
+            let mut next_assign = vec![0.0f32; num_items];
+            pool::parallel_chunks_mut(&mut next_assign, ASSIGN_CHUNK, |ci, window| {
+                let start = ci * ASSIGN_CHUNK;
+                let m = window.len();
+                let mut dots = vec![0.0f32; m * nlist];
+                let mut scratch = vec![0.0f32; PackedB::SCRATCH_LEN];
+                kernels::gemm_nn_prepacked_scratch(
+                    &items[start * dim..(start + m) * dim],
+                    &packed,
+                    &mut dots,
+                    m,
+                    &mut scratch,
+                );
+                for (i, slot) in window.iter_mut().enumerate() {
+                    let row = &dots[i * nlist..][..nlist];
+                    let mut best = 0usize;
+                    let mut best_v = f32::NEG_INFINITY;
+                    for (c, &d) in row.iter().enumerate() {
+                        let v = d - half_sq[c];
+                        // Strict > keeps the lowest centroid id on ties.
+                        if v > best_v {
+                            best_v = v;
+                            best = c;
+                        }
+                    }
+                    // nlist < 2^24, so the index is exact as f32.
+                    *slot = best as f32;
+                }
+            });
+            let mut changed = false;
+            for (a, &v) in assign.iter_mut().zip(next_assign.iter()) {
+                let c = v as u32;
+                changed |= *a != c;
+                *a = c;
+            }
+            if !changed {
+                break;
+            }
+            // Update: mean of members; an empty cluster keeps its previous
+            // centroid (stable, deterministic).
+            let mut sums = vec![0.0f64; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for (i, &c) in assign.iter().enumerate() {
+                counts[c as usize] += 1;
+                let row = &items[i * dim..][..dim];
+                let sum = &mut sums[c as usize * dim..][..dim];
+                for (s, &v) in sum.iter_mut().zip(row.iter()) {
+                    *s += v as f64;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for j in 0..dim {
+                    centroids[c * dim + j] = (sums[c * dim + j] * inv) as f32;
+                }
+            }
+        }
+
+        let mut lists: Vec<Vec<ItemId>> = vec![Vec::new(); nlist];
+        for (i, &c) in assign.iter().enumerate() {
+            // Ascending ids per list by construction.
+            lists[c as usize].push((i + 1) as ItemId);
+        }
+        kernels::transpose(&centroids, &mut centroids_t, nlist, dim);
+        let packed_centroids = PackedB::pack(&centroids_t, dim, nlist);
+        IvfIndex {
+            dim,
+            num_items,
+            seed,
+            centroids,
+            packed_centroids,
+            lists,
+        }
+    }
+
+    /// Embedding dimension the index was built over.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Catalog size the index covers (items `1..=num_items`).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The k-means seed the index was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// List-size distribution and serialized footprint.
+    pub fn stats(&self) -> IndexStats {
+        let lens: Vec<usize> = self.lists.iter().map(|l| l.len()).collect();
+        let non_empty = lens.iter().filter(|&&l| l > 0).count().max(1);
+        let mean = self.num_items as f64 / non_empty as f64;
+        let max = lens.iter().copied().max().unwrap_or(0);
+        IndexStats {
+            lists: self.lists.len(),
+            empty_lists: lens.iter().filter(|&&l| l == 0).count(),
+            min_len: lens.iter().copied().min().unwrap_or(0),
+            mean_len: mean,
+            max_len: max,
+            imbalance: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            bytes: MAGIC.len()
+                + 4
+                + 4 * 8
+                + self.centroids.len() * 4
+                + self.lists.len() * 8
+                + self.num_items * 4,
+        }
+    }
+
+    /// Scores `interests` (`k × dim` row-major) against the centroids,
+    /// probes the top `nprobe` lists per interest (centroid-score ties
+    /// break toward the lower list id), and appends the union of their
+    /// items to `out`. Each item is emitted at most once (lists are
+    /// disjoint and re-probes are skipped), ascending within a list.
+    pub fn probe_into(&self, interests: &[f32], k: usize, nprobe: usize, out: &mut Vec<ItemId>) {
+        assert_eq!(interests.len(), k * self.dim, "interest matrix shape");
+        let nlist = self.lists.len();
+        let nprobe = nprobe.clamp(1, nlist);
+        // One GEMM scores every interest against every centroid via the
+        // prepacked transpose; selection then runs over plain f32 rows.
+        let mut scores = vec![0.0f32; k * nlist];
+        let mut scratch = vec![0.0f32; PackedB::SCRATCH_LEN];
+        kernels::gemm_nn_prepacked_scratch(
+            interests,
+            &self.packed_centroids,
+            &mut scores,
+            k,
+            &mut scratch,
+        );
+        let mut probed = vec![false; nlist];
+        let mut order: Vec<u32> = Vec::with_capacity(nlist);
+        let mut kept: Vec<usize> = Vec::with_capacity(nprobe);
+        for row in scores.chunks_exact(nlist) {
+            order.clear();
+            order.extend(0..nlist as u32);
+            // Total order (score desc, list id asc), so the kept set and
+            // its sorted emission order are deterministic.
+            if nprobe < nlist {
+                order.select_nth_unstable_by(nprobe - 1, |&a, &b| {
+                    row[b as usize]
+                        .total_cmp(&row[a as usize])
+                        .then(a.cmp(&b))
+                });
+            }
+            kept.clear();
+            kept.extend(order[..nprobe].iter().map(|&c| c as usize));
+            kept.sort_unstable();
+            for &c in &kept {
+                if !probed[c] {
+                    probed[c] = true;
+                    out.extend_from_slice(&self.lists[c]);
+                }
+            }
+        }
+    }
+
+    /// Serializes the index to `writer` (see the module docs for the
+    /// format: magic, version, geometry header, centroids, lists).
+    pub fn save<W: Write>(&self, writer: &mut W) -> Result<(), AnnError> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        for v in [
+            self.dim as u64,
+            self.num_items as u64,
+            self.lists.len() as u64,
+            self.seed,
+        ] {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+        let mut buf = Vec::with_capacity(self.centroids.len() * 4);
+        for &v in &self.centroids {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        writer.write_all(&buf)?;
+        for list in &self.lists {
+            writer.write_all(&(list.len() as u64).to_le_bytes())?;
+            let mut buf = Vec::with_capacity(list.len() * 4);
+            for &id in list {
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            writer.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Saves to a file path (conventionally `<checkpoint>.ivf`).
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> Result<(), AnnError> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut file)
+    }
+
+    /// Reads an index back, validating the header, geometry plausibility,
+    /// id ranges, the every-item-exactly-once invariant, and that no
+    /// trailing bytes follow the last list.
+    pub fn load<R: Read>(reader: &mut R) -> Result<IvfIndex, AnnError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(AnnError::BadMagic);
+        }
+        let mut u32buf = [0u8; 4];
+        reader.read_exact(&mut u32buf)?;
+        let version = u32::from_le_bytes(u32buf);
+        if version != VERSION {
+            return Err(AnnError::BadVersion(version));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut read_u64 = |r: &mut R| -> Result<u64, AnnError> {
+            r.read_exact(&mut u64buf)?;
+            Ok(u64::from_le_bytes(u64buf))
+        };
+        let dim = read_u64(reader)? as usize;
+        let num_items = read_u64(reader)? as usize;
+        let nlist = read_u64(reader)? as usize;
+        let seed = read_u64(reader)?;
+        if dim == 0 || dim > 1 << 20 {
+            return Err(AnnError::Corrupt(format!("implausible dim {dim}")));
+        }
+        if num_items == 0 || num_items > 1 << 31 {
+            return Err(AnnError::Corrupt(format!("implausible num_items {num_items}")));
+        }
+        if nlist == 0 || nlist > num_items {
+            return Err(AnnError::Corrupt(format!(
+                "nlist {nlist} out of range for {num_items} items"
+            )));
+        }
+        let mut buf = vec![0u8; nlist * dim * 4];
+        reader.read_exact(&mut buf)?;
+        let centroids: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let mut lists = Vec::with_capacity(nlist);
+        let mut seen = vec![false; num_items + 1];
+        let mut total = 0usize;
+        for c in 0..nlist {
+            let mut u64buf = [0u8; 8];
+            reader.read_exact(&mut u64buf)?;
+            let len = u64::from_le_bytes(u64buf) as usize;
+            total += len;
+            if total > num_items {
+                return Err(AnnError::Corrupt(format!(
+                    "lists hold more than {num_items} items"
+                )));
+            }
+            let mut buf = vec![0u8; len * 4];
+            reader.read_exact(&mut buf)?;
+            let mut list = Vec::with_capacity(len);
+            for idb in buf.chunks_exact(4) {
+                let id = u32::from_le_bytes([idb[0], idb[1], idb[2], idb[3]]);
+                if id == 0 || id as usize > num_items {
+                    return Err(AnnError::Corrupt(format!(
+                        "list {c} holds out-of-range item {id}"
+                    )));
+                }
+                if seen[id as usize] {
+                    return Err(AnnError::Corrupt(format!(
+                        "item {id} appears in more than one list"
+                    )));
+                }
+                seen[id as usize] = true;
+                list.push(id as ItemId);
+            }
+            lists.push(list);
+        }
+        if total != num_items {
+            return Err(AnnError::Corrupt(format!(
+                "lists hold {total} items, expected {num_items}"
+            )));
+        }
+        let mut trailing = [0u8; 1];
+        if reader.read(&mut trailing)? != 0 {
+            return Err(AnnError::Corrupt("trailing bytes after the last list".into()));
+        }
+        let mut centroids_t = vec![0.0f32; nlist * dim];
+        kernels::transpose(&centroids, &mut centroids_t, nlist, dim);
+        let packed_centroids = PackedB::pack(&centroids_t, dim, nlist);
+        Ok(IvfIndex {
+            dim,
+            num_items,
+            seed,
+            centroids,
+            packed_centroids,
+            lists,
+        })
+    }
+
+    /// Loads from a file path.
+    pub fn load_from_file(path: impl AsRef<Path>) -> Result<IvfIndex, AnnError> {
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::load(&mut file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_table(num_items: usize, dim: usize) -> Vec<f32> {
+        // Deterministic, mildly clustered: 4 blobs on the axes.
+        let mut t = vec![0.0f32; (num_items + 1) * dim];
+        for i in 1..=num_items {
+            let blob = i % 4;
+            for j in 0..dim {
+                let base = if j % 4 == blob { 1.0 } else { 0.0 };
+                t[i * dim + j] = base + ((i * 31 + j * 7) % 13) as f32 * 0.01;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_list() {
+        let (n, d) = (100usize, 8usize);
+        let idx = IvfIndex::build(&toy_table(n, d), n, d, 8, 7);
+        let mut seen = vec![false; n + 1];
+        for list in &idx.lists {
+            for w in list.windows(2) {
+                assert!(w[0] < w[1], "list ids not ascending");
+            }
+            for &id in list {
+                assert!(!seen[id as usize], "item {id} in two lists");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen[1..].iter().all(|&s| s), "an item is missing");
+    }
+
+    #[test]
+    fn full_probe_retrieves_everything() {
+        let (n, d) = (64usize, 8usize);
+        let idx = IvfIndex::build(&toy_table(n, d), n, d, 6, 3);
+        let z = vec![0.5f32; d];
+        let mut out = Vec::new();
+        idx.probe_into(&z, 1, idx.nlist(), &mut out);
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn multi_interest_probe_never_duplicates() {
+        let (n, d) = (80usize, 8usize);
+        let idx = IvfIndex::build(&toy_table(n, d), n, d, 10, 3);
+        // Two very different interests probing overlapping lists.
+        let mut z = vec![0.0f32; 2 * d];
+        z[0] = 1.0;
+        z[d + 1] = 1.0;
+        let mut out = Vec::new();
+        idx.probe_into(&z, 2, idx.nlist(), &mut out);
+        let mut ids = out.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.len(), "probe emitted duplicates");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (n, d) = (120usize, 8usize);
+        let t = toy_table(n, d);
+        let a = IvfIndex::build(&t, n, d, 12, 5);
+        let b = IvfIndex::build(&t, n, d, 12, 5);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.lists, b.lists);
+    }
+
+    #[test]
+    fn roundtrip_preserves_index() {
+        let (n, d) = (60usize, 4usize);
+        let idx = IvfIndex::build(&toy_table(n, d), n, d, 5, 3);
+        let mut buf = Vec::new();
+        idx.save(&mut buf).unwrap();
+        let loaded = IvfIndex::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.dim(), d);
+        assert_eq!(loaded.num_items(), n);
+        assert_eq!(loaded.seed(), 3);
+        assert_eq!(loaded.centroids, idx.centroids);
+        assert_eq!(loaded.lists, idx.lists);
+    }
+}

@@ -37,6 +37,18 @@
 //! Telemetry: compilation runs under `infer.pack`, each forward under
 //! `infer.forward`, and catalog ranking under `infer.score_catalog`
 //! (nested in the usual `serve.top_n`).
+//!
+//! # Two-stage retrieval
+//!
+//! Attaching an [`IvfIndex`] ([`InferenceModel::attach_index`]) switches
+//! `recommend_catalog` from the exhaustive full-catalog GEMM to
+//! retrieve-then-rerank (DESIGN.md §14): each interest vector probes the
+//! index (`index.probe` span), and the candidate union is re-ranked by the
+//! same gather-based scoring as [`InferenceModel::score_candidates`]
+//! (`index.rerank` span). Re-ranked scores are bit-identical to the
+//! exhaustive scores of the same items, so the output is exactly the
+//! exhaustive ranking restricted to the retrieved set — recall is the only
+//! approximation. `MBSSL_ANN=off` ignores any attached index.
 
 use std::cell::{Cell, UnsafeCell};
 use std::collections::HashSet;
@@ -49,6 +61,7 @@ use mbssl_telemetry as telemetry;
 use mbssl_tensor::kernels::{self, PackedB};
 use mbssl_tensor::quant::{Bf16Rows, QuantMode, QuantizedRows};
 
+use crate::ann::{self, AnnError, IvfIndex};
 use crate::config::ModelConfig;
 use crate::encoder::Backbone;
 use crate::interest::InterestExtractor;
@@ -655,6 +668,12 @@ enum CatalogTable {
     Bf16(Bf16Rows),
 }
 
+/// An attached IVF index plus its probe width.
+struct AnnState {
+    index: IvfIndex,
+    nprobe: usize,
+}
+
 /// An immutable, graph-free compilation of a trained [`Mbmissl`].
 ///
 /// Build one with [`InferenceModel::compile`] (or let `evaluate` /
@@ -674,6 +693,7 @@ pub struct InferenceModel {
     extractor: ExtractorWeights,
     catalog: CatalogTable,
     quant_mode: QuantMode,
+    ann: Option<AnnState>,
     name: String,
     arenas: Mutex<Vec<Arena>>,
     arena_capacity: usize,
@@ -838,6 +858,7 @@ impl InferenceModel {
             extractor,
             catalog,
             quant_mode: qmode,
+            ann: None,
             name,
             arenas: Mutex::new(vec![Arena::with_capacity(arena_capacity)]),
             arena_capacity,
@@ -848,6 +869,135 @@ impl InferenceModel {
     /// The catalog-scorer representation this engine was compiled with.
     pub fn quant_mode(&self) -> QuantMode {
         self.quant_mode
+    }
+
+    /// Builds an IVF index over this engine's item table with the default
+    /// (env-overridable) `nlist` and the given k-means seed.
+    pub fn build_index(&self, seed: u64) -> IvfIndex {
+        self.build_index_with(ann::default_nlist(self.num_items), seed)
+    }
+
+    /// Builds an IVF index over this engine's item table with an explicit
+    /// list count.
+    pub fn build_index_with(&self, nlist: usize, seed: u64) -> IvfIndex {
+        IvfIndex::build(&self.item_table, self.num_items, self.dim, nlist, seed)
+    }
+
+    /// Attaches `index` with the default (env-overridable) `nprobe`.
+    /// Fails with [`AnnError::Mismatch`] if the index geometry does not
+    /// match this engine's item table.
+    pub fn attach_index(&mut self, index: IvfIndex) -> Result<(), AnnError> {
+        let nprobe = ann::default_nprobe(index.nlist());
+        self.attach_index_with(index, nprobe)
+    }
+
+    /// Attaches `index`, probing `nprobe` lists per interest vector.
+    pub fn attach_index_with(&mut self, index: IvfIndex, nprobe: usize) -> Result<(), AnnError> {
+        if index.dim() != self.dim || index.num_items() != self.num_items {
+            return Err(AnnError::Mismatch {
+                expected: format!("dim {}, {} items", self.dim, self.num_items),
+                found: format!("dim {}, {} items", index.dim(), index.num_items()),
+            });
+        }
+        let nprobe = nprobe.clamp(1, index.nlist());
+        self.ann = Some(AnnState { index, nprobe });
+        Ok(())
+    }
+
+    /// Detaches any attached index, restoring exhaustive ranking.
+    pub fn detach_index(&mut self) {
+        self.ann = None;
+    }
+
+    /// Whether an IVF index is attached (regardless of `MBSSL_ANN`).
+    pub fn has_index(&self) -> bool {
+        self.ann.is_some()
+    }
+
+    /// Scores `history` against an explicit candidate subset through the
+    /// catalog table (exact f32 or the `MBSSL_QUANT` copy), returning one
+    /// score per candidate. Scores are bit-identical to what the same
+    /// items get from exhaustive `recommend_catalog` ranking; this is the
+    /// re-rank half of two-stage retrieval, exposed for callers that bring
+    /// their own retrieval.
+    pub fn score_candidates(&self, history: &Sequence, candidates: &[ItemId]) -> Vec<f32> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let arena = self.rent_arena();
+        let out = {
+            let (_batch, z) = self.interests_for(&[history], &arena);
+            self.rerank_candidates(z, candidates, &arena).to_vec()
+        };
+        self.return_arena(arena);
+        out
+    }
+
+    /// Gather-based candidate scoring: max-over-interest scores for
+    /// `candidates` given interests `z [k, d]`, through whichever catalog
+    /// table the engine was compiled with. The f32 path packs the
+    /// candidate rows with `PackedB::pack_select_into` (arena-backed) and
+    /// runs the same prepacked GEMM as exhaustive catalog scoring;
+    /// quantized paths run
+    /// the same per-row dots as the exhaustive loop — all bit-identical
+    /// to exhaustive scoring.
+    fn rerank_candidates<'a>(
+        &self,
+        z: &[f32],
+        candidates: &[ItemId],
+        arena: &'a Arena,
+    ) -> &'a [f32] {
+        let (d, k, c) = (self.dim, self.num_interests, candidates.len());
+        let out = arena.alloc(c);
+        match &self.catalog {
+            CatalogTable::F32(_) => {
+                let skc = arena.alloc(k * c);
+                let scratch = arena.alloc(PackedB::SCRATCH_LEN);
+                // Fused gather+pack straight off the item table, into the
+                // request arena (recycled global buffers cost ~30% here in
+                // cache locality); feeds the same microkernel as the
+                // prepacked exhaustive GEMM, so scores stay bit-identical
+                // to exhaustive ranking.
+                let panel = arena.alloc(PackedB::packed_len(d, c));
+                let packed = PackedB::pack_select_into(&self.item_table, d, candidates, panel);
+                kernels::gemm_nn_prepacked_scratch(&z[..k * d], packed, skc, k, scratch);
+                for j in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    for kk in 0..k {
+                        let v = skc[kk * c + j];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    out[j] = best;
+                }
+            }
+            CatalogTable::I8(q) => {
+                for (j, &id) in candidates.iter().enumerate() {
+                    let mut best = f32::NEG_INFINITY;
+                    for kk in 0..k {
+                        let v = q.dot(id as usize, &z[kk * d..][..d]);
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    out[j] = best;
+                }
+            }
+            CatalogTable::Bf16(q) => {
+                for (j, &id) in candidates.iter().enumerate() {
+                    let mut best = f32::NEG_INFINITY;
+                    for kk in 0..k {
+                        let v = q.dot(id as usize, &z[kk * d..][..d]);
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    out[j] = best;
+                }
+            }
+        }
+        out
     }
 
     fn rent_arena(&self) -> Arena {
@@ -1023,7 +1173,32 @@ impl SequentialRecommender for InferenceModel {
                     heap.pop();
                 }
             };
+            // Two-stage route: probe the attached index per interest and
+            // re-rank only the candidate union. If the probe retrieves
+            // fewer than `n` rankable items, fall through to exhaustive —
+            // an ANN result must never be shorter than the exhaustive one.
+            let mut ann_done = false;
+            if let Some(st) = self.ann.as_ref().filter(|_| ann::enabled()) {
+                let mut cands: Vec<ItemId> = Vec::new();
+                {
+                    let mut probe_sp = telemetry::span("index.probe");
+                    st.index.probe_into(z, k, st.nprobe, &mut cands);
+                    cands.retain(|id| *id as usize <= num_items && !exclude.contains(id));
+                    probe_sp.add_bytes((cands.len() * std::mem::size_of::<ItemId>()) as u64);
+                }
+                let rankable = num_items - exclude.iter().filter(|id| **id as usize <= num_items).count();
+                if cands.len() >= n.min(rankable) {
+                    let mut rerank_sp = telemetry::span("index.rerank");
+                    rerank_sp.add_bytes((cands.len() * d * std::mem::size_of::<f32>()) as u64);
+                    let scores = self.rerank_candidates(z, &cands, &arena);
+                    for (&id, &s) in cands.iter().zip(scores.iter()) {
+                        push(id, s);
+                    }
+                    ann_done = true;
+                }
+            }
             match &self.catalog {
+                _ if ann_done => {}
                 CatalogTable::F32(packed) => {
                     // One GEMM over the whole catalog. Column v of the
                     // packed transpose is item v's embedding, and each

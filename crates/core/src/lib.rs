@@ -15,10 +15,13 @@
 //!   leave-one-out evaluator every model in the workspace runs through;
 //! - [`infer`]: the graph-free serving engine ([`infer::InferenceModel`])
 //!   `evaluate` / `recommend_top_n` compile trained models into;
+//! - [`ann`]: the IVF-Flat approximate-retrieval index ([`ann::IvfIndex`])
+//!   that turns full-catalog ranking into retrieve-then-rerank;
 //! - [`ledger`]: the per-run directory (`MBSSL_RUN_DIR`) with a manifest
 //!   and per-epoch metrics, read back by `mbssl report`.
 
 pub mod analysis;
+pub mod ann;
 pub mod config;
 pub mod encoder;
 pub mod infer;
@@ -29,6 +32,7 @@ pub mod recommender;
 pub mod ssl;
 pub mod trainer;
 
+pub use ann::{AnnError, IndexStats, IvfIndex};
 pub use config::{BehaviorSchema, EncoderKind, ExtractorKind, ModelConfig, TrainConfig};
 pub use infer::InferenceModel;
 pub use ledger::{read_run_dir, render_report, EpochRecord, RunLedger, RunManifest, RunRecord};

@@ -266,9 +266,116 @@ impl PackedB {
         self.n
     }
 
+    /// Packs selected rows of a row-major `table` (`rows × k`) directly
+    /// into microkernel panels, treating row `select[j]` as column `j` of
+    /// B. Equivalent to gathering the rows, transposing to `k × n`, and
+    /// calling [`PackedB::pack`] — the same values land in the same panel
+    /// slots, so GEMMs over the result are bit-identical — but fused into
+    /// a single pass over the table (no gather or transpose temporaries).
+    /// Built for the two-stage retrieval re-ranker, where the selection
+    /// changes every request.
+    pub fn pack_select(table: &[f32], k: usize, select: &[u32]) -> PackedB {
+        let n = select.len();
+        let mut data = alloc::zeroed(Self::packed_len(k, n));
+        pack_select_fill(table, k, select, &mut data);
+        PackedB { data, k, n }
+    }
+
+    /// [`PackedB::pack_select`] into caller-owned storage (stale contents
+    /// are fine — every slot, pad lanes included, is written). `buf` must
+    /// hold exactly [`PackedB::packed_len`]`(k, select.len())` elements.
+    /// The returned view borrows `buf`; built for the re-ranker, which
+    /// packs a fresh selection per request out of its bump arena instead
+    /// of round-tripping the recycling allocator.
+    pub fn pack_select_into<'a>(
+        table: &[f32],
+        k: usize,
+        select: &[u32],
+        buf: &'a mut [f32],
+    ) -> PackedBView<'a> {
+        let n = select.len();
+        assert_eq!(buf.len(), Self::packed_len(k, n), "pack_select_into buf");
+        pack_select_fill(table, k, select, buf);
+        PackedBView { data: buf, k, n }
+    }
+
+    /// Packed-buffer length (in f32s) for a `k × n` matrix: `n` rounds up
+    /// to a whole number of NR-wide strips.
+    pub fn packed_len(k: usize, n: usize) -> usize {
+        k * n.div_ceil(NR) * NR
+    }
+
+    /// A borrowed [`PackedBView`] of this packed matrix.
+    pub fn view(&self) -> PackedBView<'_> {
+        PackedBView { data: &self.data, k: self.k, n: self.n }
+    }
+
     /// Minimum scratch length callers of
     /// [`gemm_nn_prepacked_scratch`] must provide.
     pub const SCRATCH_LEN: usize = MR * KC;
+}
+
+/// A packed B matrix borrowed from caller-owned storage (same panel layout
+/// as [`PackedB`]); produced by [`PackedB::pack_select_into`] or
+/// [`PackedB::view`]. GEMM entry points accept either form.
+#[derive(Clone, Copy)]
+pub struct PackedBView<'a> {
+    data: &'a [f32],
+    k: usize,
+    n: usize,
+}
+
+impl<'a> PackedBView<'a> {
+    /// Inner (k) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column (n) dimension of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl<'a> From<&'a PackedB> for PackedBView<'a> {
+    fn from(b: &'a PackedB) -> PackedBView<'a> {
+        b.view()
+    }
+}
+
+/// Shared fill for [`PackedB::pack_select`] / [`PackedB::pack_select_into`]:
+/// writes every slot of `data` (ragged-edge pad lanes are zeroed
+/// explicitly, full strips are fully overwritten), so stale buffers pack
+/// identically to fresh ones.
+fn pack_select_fill(table: &[f32], k: usize, select: &[u32], data: &mut [f32]) {
+    assert!(k > 0 && table.len() % k == 0, "table must be rows × k");
+    let n = select.len();
+    let n_round = n.div_ceil(NR) * NR;
+    debug_assert_eq!(data.len(), k * n_round);
+    for pc0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc0);
+        let block = pc0 * n_round;
+        for (s, j0) in (0..n).step_by(NR).enumerate() {
+            let nr = NR.min(n - j0);
+            let strip = &mut data[block + s * kc * NR..][..kc * NR];
+            if nr == NR {
+                // Full strip: SIMD 8×8 transposes off the table rows.
+                let rows: [&[f32]; NR] = std::array::from_fn(|jj| {
+                    &table[select[j0 + jj] as usize * k + pc0..][..kc]
+                });
+                simd::pack_strip(&rows, kc, strip);
+                continue;
+            }
+            // Ragged edge strip: zero first so the pad lanes read 0.
+            strip.fill(0.0);
+            for jj in 0..nr {
+                let src = &table[select[j0 + jj] as usize * k + pc0..][..kc];
+                for (p, &v) in src.iter().enumerate() {
+                    strip[p * NR + jj] = v;
+                }
+            }
+        }
+    }
 }
 
 /// C += A(m×k) · B with B pre-packed by [`PackedB::pack`]. Bit-identical
@@ -300,20 +407,21 @@ pub fn gemm_nn_prepacked(a: &[f32], b: &PackedB, c: &mut [f32], m: usize) {
 /// [`gemm_nn_prepacked`] with a caller-provided A-repack scratch buffer of
 /// at least [`PackedB::SCRATCH_LEN`] elements (no allocator traffic at
 /// all). Always sequential — the inference engine calls this per request
-/// with arena-owned scratch.
-pub fn gemm_nn_prepacked_scratch(
+/// with arena-owned scratch. Accepts `&PackedB` or a [`PackedBView`].
+pub fn gemm_nn_prepacked_scratch<'p>(
     a: &[f32],
-    b: &PackedB,
+    b: impl Into<PackedBView<'p>>,
     c: &mut [f32],
     m: usize,
     apack: &mut [f32],
 ) {
+    let b = b.into();
     debug_assert_eq!(a.len(), m * b.k);
     debug_assert_eq!(c.len(), m * b.n);
     assert!(apack.len() >= PackedB::SCRATCH_LEN, "scratch too small");
     let mut sp = telemetry::span("kernel.gemm_nn");
     sp.add_bytes(4 * (m * b.k + b.k * b.n + m * b.n) as u64);
-    gemm_nn_packed_panel_with(a, &b.data, c, b.k, b.n, apack);
+    gemm_nn_packed_panel_with(a, b.data, c, b.k, b.n, apack);
 }
 
 /// Packed driver for one row panel of [`gemm_nn`]:
@@ -1001,6 +1109,18 @@ pub fn sq_norm(data: &[f32]) -> f32 {
     data.iter().map(|v| v * v).sum()
 }
 
+/// Per-row squared L2 norms of a row-major (rows×cols) matrix, written
+/// into `out` (`rows` long). The distance half of the IVF assignment
+/// identity `‖e − c‖² = ‖e‖² − 2·dot(e, c) + ‖c‖²`: with row norms
+/// precomputed, nearest-centroid search reduces to a GEMM plus this.
+#[inline]
+pub fn row_sq_norms(data: &[f32], cols: usize, out: &mut [f32]) {
+    debug_assert_eq!(data.len(), out.len() * cols);
+    for (o, row) in out.iter_mut().zip(data.chunks_exact(cols)) {
+        *o = sq_norm(row);
+    }
+}
+
 /// Transposes a row-major (rows×cols) matrix into `out` (cols×rows).
 pub fn transpose(src: &[f32], out: &mut [f32], rows: usize, cols: usize) {
     debug_assert_eq!(src.len(), rows * cols);
@@ -1134,6 +1254,59 @@ mod tests {
         let b = seq(11);
         let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot(&a, &b) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn row_sq_norms_matches_per_row_sq_norm() {
+        let data = seq(5 * 7);
+        let mut out = vec![0.0f32; 5];
+        row_sq_norms(&data, 7, &mut out);
+        for (o, row) in out.iter().zip(data.chunks(7)) {
+            assert_eq!(*o, sq_norm(row));
+        }
+    }
+
+    #[test]
+    fn pack_select_matches_gather_transpose_pack() {
+        // n = 13 exercises the ragged (zero-padded) edge strip.
+        let (rows, k, m) = (30usize, 17usize, 3usize);
+        let table = seq(rows * k);
+        let select: Vec<u32> = (0..13u32).map(|j| (j * 7 + 2) % rows as u32).collect();
+        let n = select.len();
+        let mut gathered_t = vec![0.0f32; k * n];
+        for (j, &r) in select.iter().enumerate() {
+            for p in 0..k {
+                gathered_t[p * n + j] = table[r as usize * k + p];
+            }
+        }
+        let reference = PackedB::pack(&gathered_t, k, n);
+        let fused = PackedB::pack_select(&table, k, &select);
+        assert_eq!(fused.k(), k);
+        assert_eq!(fused.n(), n);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fused.data), bits(&reference.data));
+        // And the GEMMs over both agree bit-for-bit.
+        let a = seq(m * k);
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_fused = vec![0.0f32; m * n];
+        gemm_nn_prepacked(&a, &reference, &mut c_ref, m);
+        gemm_nn_prepacked(&a, &fused, &mut c_fused, m);
+        assert_eq!(bits(&c_ref), bits(&c_fused));
+    }
+
+    #[test]
+    fn pack_select_into_stale_buffer_matches_owned() {
+        // A stale (garbage-filled) caller buffer must pack bit-identically
+        // to the owned path — pad lanes included (n = 13 has a ragged edge).
+        let (rows, k) = (30usize, 17usize);
+        let table = seq(rows * k);
+        let select: Vec<u32> = (0..13u32).map(|j| (j * 7 + 2) % rows as u32).collect();
+        let owned = PackedB::pack_select(&table, k, &select);
+        let mut buf = vec![f32::NAN; PackedB::packed_len(k, select.len())];
+        let view = PackedB::pack_select_into(&table, k, &select, &mut buf);
+        assert_eq!((view.k(), view.n()), (k, select.len()));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&buf), bits(&owned.data));
     }
 
     #[test]

@@ -234,6 +234,87 @@ pub unsafe fn nt_strip_avx2(a_row: &[f32], strip: &[f32], c_out: &mut [f32]) {
     }
 }
 
+/// Transposes one NR-column strip of the fused gather-pack
+/// (`kernels::PackedB::pack_select`): `dst[p*NR + jj] = rows[jj][p]` for
+/// `p < kc`. Pure data movement — no arithmetic — so SIMD and scalar are
+/// trivially bit-identical. Dispatches to AVX2 when [`active`].
+#[inline]
+pub fn pack_strip(rows: &[&[f32]; NR], kc: usize, dst: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if active() {
+        // SAFETY: `active()` implies AVX2 was detected at runtime.
+        unsafe { pack_strip_avx2(rows, kc, dst) };
+        return;
+    }
+    pack_strip_scalar(rows, kc, dst);
+}
+
+/// Scalar reference for [`pack_strip`].
+pub fn pack_strip_scalar(rows: &[&[f32]; NR], kc: usize, dst: &mut [f32]) {
+    debug_assert!(dst.len() >= kc * NR);
+    for (jj, row) in rows.iter().enumerate() {
+        for (p, &v) in row[..kc].iter().enumerate() {
+            dst[p * NR + jj] = v;
+        }
+    }
+}
+
+/// AVX2 variant of [`pack_strip`]: 8×8 in-register transposes (unpack
+/// pairs → shuffle quads → permute 128-bit halves), turning the scalar
+/// path's stride-NR scatter stores into contiguous `__m256` stores.
+///
+/// # Safety
+/// The CPU must support AVX2 (check [`avx2_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn pack_strip_avx2(rows: &[&[f32]; NR], kc: usize, dst: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(dst.len() >= kc * NR);
+    let blocks = kc / 8;
+    for b in 0..blocks {
+        let p0 = b * 8;
+        let mut r = [_mm256_setzero_ps(); 8];
+        for (jj, row) in rows.iter().enumerate() {
+            debug_assert!(row.len() >= kc);
+            r[jj] = _mm256_loadu_ps(row.as_ptr().add(p0));
+        }
+        let t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        let t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        let t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        let t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        let t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        let t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        let t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        let t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        let s0 = _mm256_shuffle_ps(t0, t2, 0x44);
+        let s1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+        let s2 = _mm256_shuffle_ps(t1, t3, 0x44);
+        let s3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+        let s4 = _mm256_shuffle_ps(t4, t6, 0x44);
+        let s5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+        let s6 = _mm256_shuffle_ps(t5, t7, 0x44);
+        let s7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+        let out = [
+            _mm256_permute2f128_ps(s0, s4, 0x20),
+            _mm256_permute2f128_ps(s1, s5, 0x20),
+            _mm256_permute2f128_ps(s2, s6, 0x20),
+            _mm256_permute2f128_ps(s3, s7, 0x20),
+            _mm256_permute2f128_ps(s0, s4, 0x31),
+            _mm256_permute2f128_ps(s1, s5, 0x31),
+            _mm256_permute2f128_ps(s2, s6, 0x31),
+            _mm256_permute2f128_ps(s3, s7, 0x31),
+        ];
+        for (p, v) in out.iter().enumerate() {
+            _mm256_storeu_ps(dst.as_mut_ptr().add((p0 + p) * NR), *v);
+        }
+    }
+    for p in blocks * 8..kc {
+        for (jj, row) in rows.iter().enumerate() {
+            *dst.get_unchecked_mut(p * NR + jj) = *row.get_unchecked(p);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +364,24 @@ mod tests {
                 unsafe { nt_strip_avx2(&a_row, &strip, &mut simd) };
                 assert_eq!(scalar, simd, "k={k} nr={nr}");
             }
+        }
+    }
+
+    #[test]
+    fn pack_strip_scalar_matches_avx2_when_available() {
+        if !avx2_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        // kc = 8/64 hit the pure 8×8 path; 13/29 exercise the remainder.
+        for kc in [1usize, 7, 8, 13, 29, 64] {
+            let backing: Vec<Vec<f32>> = (0..NR).map(|_| fill(&mut rng, kc)).collect();
+            let rows: [&[f32]; NR] = std::array::from_fn(|jj| backing[jj].as_slice());
+            let mut scalar = vec![-1.0f32; kc * NR];
+            let mut simd = vec![-2.0f32; kc * NR];
+            pack_strip_scalar(&rows, kc, &mut scalar);
+            unsafe { pack_strip_avx2(&rows, kc, &mut simd) };
+            assert_eq!(scalar, simd, "kc={kc}");
         }
     }
 

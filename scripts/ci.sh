@@ -20,10 +20,14 @@
 #                             escape hatch must restore the old serving path
 #                             exactly), under MBSSL_SIMD=off (scalar
 #                             microkernels must not change a bit), and the
-#                             quantized-catalog drift gate under
-#                             MBSSL_QUANT=i8 (the exact-parity top-n test is
-#                             skipped there: an i8 catalog is *supposed* to
-#                             differ from the f32 reference within tol). The
+#                             quantized-catalog drift gates under
+#                             MBSSL_QUANT=i8 and MBSSL_QUANT=bf16 (the
+#                             exact-parity top-n test is skipped there: a
+#                             quantized catalog is *supposed* to differ from
+#                             the f32 reference within tol), and the
+#                             two-stage retrieval suite (recall gate +
+#                             serialization rejection + tie-break parity)
+#                             under ambient ANN and MBSSL_ANN=off. The
 #                             SIMD microkernel parity proptests also run
 #                             inside the pool-size loop of stage 2.
 #   7. traced tests         — full workspace tests with MBSSL_TRACE=jsonl:…
@@ -35,7 +39,11 @@
 #                             BENCH_trace_baseline.jsonl on the share metric
 #                             (tolerance MBSSL_BENCH_TOL_PCT share points,
 #                             default 5; spans under 3% of wall never gate),
-#                             and an `mbssl report` smoke over two run dirs.
+#                             an `mbssl report` smoke over two run dirs, and
+#                             the index workflow: `mbssl index build` /
+#                             `index stats` / two-stage `recommend`, with an
+#                             MBSSL_ANN=off bit-parity diff against the
+#                             pre-index exhaustive output.
 #   9. rustdoc              — `cargo doc --no-deps` for the workspace crates
 #                             with warnings promoted to errors (missing-docs
 #                             regressions fail here).
@@ -105,11 +113,21 @@ echo "==> SIMD escape hatch (MBSSL_SIMD=off, scalar microkernels)"
 MBSSL_SIMD=off cargo test --release -p mbssl-tensor --test simd_parity -q
 MBSSL_SIMD=off cargo test --release -p mbssl-core --test infer_parity -q
 
-# The exact-parity top-n test is skipped under ambient i8: a quantized
+# The exact-parity top-n test is skipped under ambient i8/bf16: a quantized
 # catalog intentionally reorders near-ties; the drift gate below bounds it.
 echo "==> quantized catalog drift gate (MBSSL_QUANT=i8)"
 MBSSL_QUANT=i8 cargo test --release -p mbssl-core --test infer_parity -q \
     -- --skip engine_top_n_matches_chunked_reference_exactly
+
+echo "==> quantized catalog drift gate (MBSSL_QUANT=bf16)"
+MBSSL_QUANT=bf16 cargo test --release -p mbssl-core --test infer_parity -q \
+    -- --skip engine_top_n_matches_chunked_reference_exactly
+
+echo "==> two-stage retrieval (IVF index + rerank, ambient ANN)"
+cargo test --release -p mbssl-core --test ann -q
+
+echo "==> ANN escape hatch (MBSSL_ANN=off restores exhaustive ranking)"
+MBSSL_ANN=off cargo test --release -p mbssl-core --test ann -q
 
 trace_file=$(mktemp -t mbssl_ci_trace.XXXXXX.jsonl)
 trace_dir=$(mktemp -d -t mbssl_ci_tracewf.XXXXXX)
@@ -135,6 +153,25 @@ mbssl=target/release/mbssl
     --model "$trace_dir/model2.ckpt" --epochs 2 --dim 16 --interests 2 \
     --run-dir "$trace_dir/run1"
 "$mbssl" report "$trace_dir/run0" "$trace_dir/run1"
+
+echo "==> index workflow (build → stats → two-stage recommend → ANN-off parity)"
+# Exhaustive ranking of record, captured before any index exists.
+"$mbssl" recommend --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2 --user 3 --top 5 \
+    > "$trace_dir/recs_exhaustive.txt"
+"$mbssl" index build --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2
+"$mbssl" index stats "$trace_dir/model.ckpt.ivf"
+# Two-stage smoke: the sibling .ivf is picked up automatically.
+"$mbssl" recommend --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2 --user 3 --top 5 \
+    > /dev/null
+# Escape-hatch parity: with the index on disk but MBSSL_ANN=off, the
+# output must be bit-for-bit the pre-index exhaustive ranking.
+MBSSL_ANN=off "$mbssl" recommend --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2 --user 3 --top 5 \
+    > "$trace_dir/recs_ann_off.txt"
+diff "$trace_dir/recs_exhaustive.txt" "$trace_dir/recs_ann_off.txt"
 
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -8,6 +8,8 @@
 //! mbssl recommend --data log.tsv --target favorite --model out.ckpt --user 42 --top 10
 //! mbssl stats     --data log.tsv --target favorite
 //! mbssl synth     --out log.tsv [--preset taobao|yelp] [--scale F] [--seed S]
+//! mbssl index build --data log.tsv --target favorite --model out.ckpt [--out out.ckpt.ivf] [--nlist N]
+//! mbssl index stats INDEX.ivf
 //! mbssl trace summary trace.jsonl [--section S] [--collapsed OUT.folded]
 //! mbssl trace diff base.jsonl new.jsonl [--tol PCT] [--metric mean|total|share] [--min-share PCT]
 //! mbssl report RUN_DIR [RUN_DIR...]
@@ -27,7 +29,8 @@ use std::collections::HashSet;
 use std::process::ExitCode;
 
 use mbssl::core::{
-    evaluate, recommend_top_n, BehaviorSchema, Mbmissl, ModelConfig, TrainConfig, Trainer,
+    evaluate, recommend_top_n, BehaviorSchema, InferenceModel, IvfIndex, Mbmissl, ModelConfig,
+    TrainConfig, Trainer,
 };
 use mbssl::data::io::load_tsv;
 use mbssl::data::preprocess::{k_core, leave_one_out, SplitConfig};
@@ -97,9 +100,11 @@ fn usage() {
          mbssl train     --data LOG.tsv --target BEHAVIOR --model OUT.ckpt \
 [--epochs N] [--dim D] [--interests K] [--seed S] [--run-dir DIR]\n  \
          mbssl evaluate  --data LOG.tsv --target BEHAVIOR --model IN.ckpt\n  \
-         mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N]\n  \
+         mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N] [--index PATH.ivf]\n  \
          mbssl stats     --data LOG.tsv --target BEHAVIOR\n  \
          mbssl synth     --out LOG.tsv [--preset taobao|yelp] [--scale F] [--seed S]\n  \
+         mbssl index build --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--out PATH.ivf] [--nlist N] [--seed S]\n  \
+         mbssl index stats INDEX.ivf\n  \
          mbssl trace summary TRACE.jsonl [--section S] [--collapsed OUT.folded]\n  \
          mbssl trace diff BASE.jsonl NEW.jsonl [--tol PCT] [--metric mean|total|share] [--min-share PCT] [--section S]\n  \
          mbssl report RUN_DIR [RUN_DIR...]\n\n\
@@ -241,7 +246,42 @@ fn run() -> Result<(), String> {
             let history = &dataset.sequences[user];
             let seen: HashSet<_> = history.items.iter().copied().collect();
             eprintln!("{}", engine_banner());
-            let recs = recommend_top_n(&model, history, dataset.num_items, top, &seen, 512);
+            // Two-stage retrieval: `--index PATH`, or `<model>.ivf` if one
+            // sits next to the checkpoint. A missing/corrupt/mismatched
+            // index degrades to exhaustive ranking with a warning rather
+            // than failing the command.
+            let index_path = args
+                .get("index")
+                .map(String::from)
+                .or_else(|| {
+                    let implied = format!("{ckpt}.ivf");
+                    std::path::Path::new(&implied).exists().then_some(implied)
+                });
+            let engine = match index_path {
+                Some(path) if mbssl::core::infer::enabled() && mbssl::core::ann::enabled() => {
+                    let mut engine = InferenceModel::compile(&model);
+                    match IvfIndex::load_from_file(&path).and_then(|ix| {
+                        let (nlist, nprobe_src) = (ix.nlist(), mbssl::core::ann::default_nprobe(ix.nlist()));
+                        engine.attach_index(ix).map(|()| (nlist, nprobe_src))
+                    }) {
+                        Ok((nlist, nprobe)) => {
+                            eprintln!(
+                                "two-stage retrieval via {path} (nlist={nlist}, nprobe={nprobe}; set MBSSL_ANN=off for exhaustive)"
+                            );
+                            Some(engine)
+                        }
+                        Err(e) => {
+                            eprintln!("warning: ignoring index {path}: {e}; ranking exhaustively");
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            let recs = match &engine {
+                Some(engine) => recommend_top_n(engine, history, dataset.num_items, top, &seen, 512),
+                None => recommend_top_n(&model, history, dataset.num_items, top, &seen, 512),
+            };
             println!(
                 "top-{top} recommendations for user {user} ({} history events):",
                 history.len()
@@ -280,6 +320,69 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
+        "index" => match args.positional(0, "index subcommand")? {
+            "build" => {
+                let (dataset, target) = load_dataset(&args)?;
+                let ckpt = args.require("model")?;
+                let out = args
+                    .get("out")
+                    .map(String::from)
+                    .unwrap_or_else(|| format!("{ckpt}.ivf"));
+                let schema = BehaviorSchema::new(dataset.behaviors.clone(), target);
+                let model = Mbmissl::new(dataset.num_items, schema, model_config(&args, seed));
+                model.load(ckpt).map_err(|e| format!("loading {ckpt}: {e}"))?;
+                let engine = InferenceModel::compile(&model);
+                let nlist = match args.get("nlist") {
+                    Some(v) => v.parse().map_err(|_| "bad --nlist")?,
+                    None => mbssl::core::ann::default_nlist(dataset.num_items),
+                };
+                let started = std::time::Instant::now();
+                let index = engine.build_index_with(nlist, seed);
+                let build_ms = started.elapsed().as_secs_f64() * 1e3;
+                index
+                    .save_to_file(&out)
+                    .map_err(|e| format!("writing {out}: {e}"))?;
+                let stats = index.stats();
+                println!(
+                    "index written to {out}: {} items in {} lists ({} empty), built in {build_ms:.1} ms",
+                    index.num_items(),
+                    stats.lists,
+                    stats.empty_lists
+                );
+                println!(
+                    "  list sizes: min {} / mean {:.1} / max {} (imbalance {:.2}), {} bytes on disk",
+                    stats.min_len, stats.mean_len, stats.max_len, stats.imbalance, stats.bytes
+                );
+                Ok(())
+            }
+            "stats" => {
+                let path = args.positional(1, "index file")?;
+                let index =
+                    IvfIndex::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
+                let stats = index.stats();
+                println!("index {path}:");
+                println!("  items        : {}", index.num_items());
+                println!("  dim          : {}", index.dim());
+                println!("  nlist        : {}", stats.lists);
+                println!("  empty lists  : {}", stats.empty_lists);
+                println!(
+                    "  list sizes   : min {} / mean {:.1} / max {}",
+                    stats.min_len, stats.mean_len, stats.max_len
+                );
+                println!("  imbalance    : {:.2}", stats.imbalance);
+                println!("  bytes        : {}", stats.bytes);
+                println!("  kmeans seed  : {}", index.seed());
+                println!(
+                    "  default probe: {} lists/interest",
+                    mbssl::core::ann::default_nprobe(stats.lists)
+                );
+                Ok(())
+            }
+            other => {
+                usage();
+                Err(format!("unknown index subcommand {other:?}"))
+            }
+        },
         "trace" => match args.positional(0, "trace subcommand")? {
             "summary" => {
                 let path = args.positional(1, "trace JSONL file")?;
