@@ -1,0 +1,233 @@
+//! Serving load test — closed-loop concurrent clients against the
+//! micro-batched request engine (DESIGN.md §15), in three phases over the
+//! same engine and request stream:
+//!
+//! 1. `sequential` — batch 1, one worker, cache off: the per-request
+//!    baseline, equivalent to looping `recommend_top_n`;
+//! 2. `batched`    — cross-request micro-batching, cache off: what the
+//!    batcher alone buys under concurrency;
+//! 3. `cached`     — batching plus the per-user interest cache: the
+//!    steady-state serving configuration.
+//!
+//! Reports QPS, p50/p99 latency, the batch-size histogram, and the cache
+//! hit rate per phase (`results/serve.json`); `scripts/bench_smoke.sh`
+//! distills the `serve` section of `BENCH_throughput.json` from it. The
+//! figure of record is `cached QPS / sequential QPS` at ≥16 clients —
+//! the full engine against single-request serving. The batched-only
+//! ratio is reported alongside; on a single-core host it hovers near 1×
+//! (the encoder is compute-bound, so batch amortization needs either
+//! the cache or spare cores to pay off), which is why the cache ships on
+//! by default.
+//!
+//! Flags: `--clients N` (default 16), `--reqs N` per client (default 64),
+//! `--batch N` (default 16), `--top N` (default 10).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mbssl_bench::{build_workload, write_json, ExpOptions};
+use mbssl_core::serve::{RerankChain, ServeConfig, Server, SessionStore};
+use mbssl_core::{BehaviorSchema, InferenceModel, Mbmissl};
+use mbssl_data::UserId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PhaseRow {
+    phase: String,
+    clients: usize,
+    requests: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_batch: f64,
+    cache_hit_rate: f64,
+    /// `batch_hist[s]` = batches that served exactly `s` requests.
+    batch_hist: Vec<u64>,
+}
+
+#[derive(Serialize)]
+struct ServeReport {
+    dataset: String,
+    num_users: usize,
+    num_items: usize,
+    top_n: usize,
+    threads: usize,
+    phases: Vec<PhaseRow>,
+    /// Batched (cache-off) QPS over the sequential baseline.
+    batched_speedup: f64,
+    /// Full-engine (batch + cache) QPS over the sequential baseline —
+    /// the serving figure of record.
+    cached_speedup: f64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// One closed-loop phase: `clients` threads each issue `reqs` blocking
+/// requests round-robin over the user base.
+fn run_phase(
+    phase: &str,
+    engine: InferenceModel,
+    dataset: &mbssl_data::Dataset,
+    config: ServeConfig,
+    clients: usize,
+    reqs: usize,
+    top_n: usize,
+) -> PhaseRow {
+    let server = Server::start(
+        engine,
+        Arc::new(SessionStore::from_dataset(dataset)),
+        RerankChain::empty(),
+        config,
+    );
+    let num_users = dataset.num_users;
+    let started = Instant::now();
+    let server_ref = &server;
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(reqs);
+                    for i in 0..reqs {
+                        let user = ((c * reqs + i) % num_users) as UserId;
+                        let t0 = Instant::now();
+                        let reply = server_ref.submit(user, top_n).expect("server closed");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(reply.recs.len(), top_n.min(num_users.max(top_n)));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+    let stats = server.shutdown();
+    latencies.sort_unstable();
+    let total = clients * reqs;
+    PhaseRow {
+        phase: phase.to_string(),
+        clients,
+        requests: total,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: total as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        mean_batch: stats.mean_batch(),
+        cache_hit_rate: stats.cache_hit_rate(),
+        batch_hist: stats.batch_hist,
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::parse_args();
+    let clients: usize = opts
+        .flag_value("--clients")
+        .map(|v| v.parse().expect("--clients"))
+        .unwrap_or(16);
+    let reqs: usize = opts
+        .flag_value("--reqs")
+        .map(|v| v.parse().expect("--reqs"))
+        .unwrap_or(64);
+    let max_batch: usize = opts
+        .flag_value("--batch")
+        .map(|v| v.parse().expect("--batch"))
+        .unwrap_or(16);
+    let top_n: usize = opts
+        .flag_value("--top")
+        .map(|v| v.parse().expect("--top"))
+        .unwrap_or(10);
+
+    let preset = opts.flag_value("--dataset").unwrap_or("taobao-like").to_string();
+    let workload = build_workload(&preset, opts.scale, opts.seed);
+    let d = &workload.dataset;
+    let schema = BehaviorSchema::new(d.behaviors.clone(), d.target_behavior);
+    let model = Mbmissl::new(d.num_items, schema, mbssl_bench::bench_model_config(opts.seed));
+
+    println!(
+        "serve load test on {preset}: {} users / {} items, {} clients × {} reqs, top-{top_n}, \
+         batch≤{max_batch}, {} worker thread(s)",
+        d.num_users,
+        d.num_items,
+        clients,
+        reqs,
+        mbssl_tensor::pool::threads()
+    );
+
+    // Fresh engine per phase (the server consumes it); compilation is
+    // deterministic so every phase serves the identical model.
+    // `MBSSL_SERVE_WAIT_US` / `MBSSL_SERVE_QUEUE` tune all three phases;
+    // batch width and caching are pinned per phase below.
+    let engine = || InferenceModel::compile(&model);
+    let base = ServeConfig::from_env();
+    let phases = vec![
+        run_phase(
+            "sequential",
+            engine(),
+            d,
+            ServeConfig { max_batch: 1, workers: 1, cache: false, ..base.clone() },
+            clients,
+            reqs,
+            top_n,
+        ),
+        run_phase(
+            "batched",
+            engine(),
+            d,
+            ServeConfig { max_batch, workers: 2, cache: false, ..base.clone() },
+            clients,
+            reqs,
+            top_n,
+        ),
+        run_phase(
+            "cached",
+            engine(),
+            d,
+            ServeConfig { max_batch, workers: 2, cache: true, ..base.clone() },
+            clients,
+            reqs,
+            top_n,
+        ),
+    ];
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "phase", "qps", "p50 µs", "p99 µs", "mean batch", "cache hit%", "wall ms"
+    );
+    for p in &phases {
+        println!(
+            "{:<12} {:>9.0} {:>10} {:>10} {:>10.2} {:>11.0} {:>10.1}",
+            p.phase,
+            p.qps,
+            p.p50_us,
+            p.p99_us,
+            p.mean_batch,
+            100.0 * p.cache_hit_rate,
+            p.wall_ms
+        );
+    }
+    let batched_speedup = phases[1].qps / phases[0].qps;
+    let cached_speedup = phases[2].qps / phases[0].qps;
+    println!(
+        "serve engine speedup (batch+cache): {cached_speedup:.2}x over single-request \
+         serving at {clients} clients (batching alone: {batched_speedup:.2}x)"
+    );
+
+    let report = ServeReport {
+        dataset: preset,
+        num_users: d.num_users,
+        num_items: d.num_items,
+        top_n,
+        threads: mbssl_tensor::pool::threads(),
+        phases,
+        batched_speedup: (batched_speedup * 100.0).round() / 100.0,
+        cached_speedup: (cached_speedup * 100.0).round() / 100.0,
+    };
+    write_json(&opts, "serve", &report);
+}

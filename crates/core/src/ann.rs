@@ -363,20 +363,46 @@ impl IvfIndex {
     /// break toward the lower list id), and appends the union of their
     /// items to `out`. Each item is emitted at most once (lists are
     /// disjoint and re-probes are skipped), ascending within a list.
+    ///
+    /// Allocates its own GEMM buffers per call; hot serving paths use
+    /// [`probe_with`](IvfIndex::probe_with) with arena-rented scratch
+    /// instead.
     pub fn probe_into(&self, interests: &[f32], k: usize, nprobe: usize, out: &mut Vec<ItemId>) {
+        let mut scores = vec![0.0f32; k * self.lists.len()];
+        let mut scratch = vec![0.0f32; PackedB::SCRATCH_LEN];
+        self.probe_with(interests, k, nprobe, &mut scores, &mut scratch, out);
+    }
+
+    /// Scratch-taking variant of [`probe_into`](IvfIndex::probe_into):
+    /// `scores` must hold at least `k * nlist` f32s and `scratch` at least
+    /// [`PackedB::SCRATCH_LEN`]; both are overwritten. The inference
+    /// engine rents them from the per-request arena so steady-state
+    /// probing does zero tensor-buffer allocation. Output is identical to
+    /// `probe_into` (which delegates here).
+    pub fn probe_with(
+        &self,
+        interests: &[f32],
+        k: usize,
+        nprobe: usize,
+        scores: &mut [f32],
+        scratch: &mut [f32],
+        out: &mut Vec<ItemId>,
+    ) {
         assert_eq!(interests.len(), k * self.dim, "interest matrix shape");
         let nlist = self.lists.len();
+        assert!(scores.len() >= k * nlist, "centroid score buffer too small");
         let nprobe = nprobe.clamp(1, nlist);
         // One GEMM scores every interest against every centroid via the
-        // prepacked transpose; selection then runs over plain f32 rows.
-        let mut scores = vec![0.0f32; k * nlist];
-        let mut scratch = vec![0.0f32; PackedB::SCRATCH_LEN];
+        // prepacked transpose (panels packed once at build/load, shared by
+        // every request); selection then runs over plain f32 rows.
+        let scores = &mut scores[..k * nlist];
+        scores.fill(0.0);
         kernels::gemm_nn_prepacked_scratch(
             interests,
             &self.packed_centroids,
-            &mut scores,
+            scores,
             k,
-            &mut scratch,
+            scratch,
         );
         let mut probed = vec![false; nlist];
         let mut order: Vec<u32> = Vec::with_capacity(nlist);

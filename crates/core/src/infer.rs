@@ -674,6 +674,42 @@ struct AnnState {
     nprobe: usize,
 }
 
+/// One catalog-ranking query against a shared interest buffer
+/// ([`InferenceModel::rank_from_interests`]).
+pub struct CatalogQuery<'a> {
+    /// How many recommendations to return.
+    pub n: usize,
+    /// Items to skip (typically the user's already-seen set).
+    pub exclude: &'a HashSet<ItemId>,
+}
+
+/// The outcome of one [`CatalogQuery`].
+pub struct RankedQuery {
+    /// Top-`n` recommendations, score descending, ties toward the lower
+    /// item id — exactly [`recommend_catalog`]'s ordering.
+    ///
+    /// [`recommend_catalog`]: SequentialRecommender::recommend_catalog
+    pub recs: Vec<Recommendation>,
+    /// Whether the two-stage probe+rerank route served this query
+    /// (`false` = exhaustive, including the short-probe fallback).
+    pub used_ann: bool,
+}
+
+/// Heap push for bounded top-`n` retention, shared by every ranking path
+/// so tie-breaking can never diverge between them.
+#[inline]
+fn push_top(
+    heap: &mut std::collections::BinaryHeap<std::cmp::Reverse<RankKey>>,
+    n: usize,
+    item: ItemId,
+    score: f32,
+) {
+    heap.push(std::cmp::Reverse(RankKey { score, item }));
+    if heap.len() > n {
+        heap.pop();
+    }
+}
+
 /// An immutable, graph-free compilation of a trained [`Mbmissl`].
 ///
 /// Build one with [`InferenceModel::compile`] (or let `evaluate` /
@@ -1077,6 +1113,253 @@ impl InferenceModel {
             .forward(h, &batch.valid, batch.size, batch.max_len, self.dim, arena);
         (batch, z)
     }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Interest vectors per user `K`.
+    pub fn num_interests(&self) -> usize {
+        self.num_interests
+    }
+
+    /// Catalog size the engine was compiled for (items `1..=num_items`).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// The truncation cap applied to every history before encoding
+    /// (`ModelConfig::max_seq_len`). The serving batcher buckets requests
+    /// by `history.len().min(max_seq_len())` before batching them into one
+    /// forward — see [`encode_interests`](InferenceModel::encode_interests).
+    pub fn max_seq_len(&self) -> usize {
+        self.config.max_seq_len
+    }
+
+    /// The probe width of the attached index, if one is attached.
+    pub fn attached_nprobe(&self) -> Option<usize> {
+        self.ann.as_ref().map(|st| st.nprobe)
+    }
+
+    /// Encodes `histories` in **one** batched forward through the
+    /// prepacked panels and returns their interest vectors as an owned
+    /// `[b, k, d]` buffer (row `i` belongs to `histories[i]`).
+    ///
+    /// Each row is bit-identical to encoding that history alone **iff**
+    /// every history in the call shares one truncated length:
+    /// right-padding is numerically neutral through attention (masked
+    /// logits exp-underflow to exactly `+0.0`) and every other op is
+    /// row-independent, but the hypergraph temporal edge-slot count
+    /// follows the padded length, so mixing lengths changes the edge set.
+    /// The serving batcher ([`crate::serve`]) groups by truncated length
+    /// before calling this; the grouping is what makes micro-batched
+    /// responses bit-identical to sequential `recommend_top_n`.
+    pub fn encode_interests(&self, histories: &[&Sequence]) -> Vec<f32> {
+        if histories.is_empty() {
+            return Vec::new();
+        }
+        let arena = self.rent_arena();
+        let out = {
+            let (_batch, z) = self.interests_for(histories, &arena);
+            z.to_vec()
+        };
+        self.return_arena(arena);
+        out
+    }
+
+    /// Ranks the catalog `1..=num_items` for a batch of queries whose
+    /// interest vectors are stacked in `z_all` (`queries.len() × k × d`,
+    /// e.g. from [`encode_interests`](InferenceModel::encode_interests) or
+    /// a per-user cache), with one arena rental for the whole batch.
+    ///
+    /// Per query this is **bit-identical** to
+    /// [`recommend_catalog`](SequentialRecommender::recommend_catalog)
+    /// given the same interests (which itself delegates here): the
+    /// exhaustive f32 path runs one GEMM over all queries' interest rows,
+    /// and every output element of the packed GEMM accumulates
+    /// independently per row, so batching changes nothing. The ANN path
+    /// probes per query with arena-rented scratch.
+    ///
+    /// `nprobe_override` narrows the attached probe width for this batch
+    /// (the serving latency-budget hook, `MBSSL_ANN_BUDGET_US`); `None`
+    /// uses the width from `attach_index`.
+    pub fn rank_from_interests(
+        &self,
+        z_all: &[f32],
+        queries: &[CatalogQuery<'_>],
+        num_items: usize,
+        nprobe_override: Option<usize>,
+    ) -> Vec<RankedQuery> {
+        let arena = self.rent_arena();
+        let out = self.rank_from_interests_in(z_all, queries, num_items, nprobe_override, &arena);
+        self.return_arena(arena);
+        out
+    }
+
+    fn rank_from_interests_in(
+        &self,
+        z_all: &[f32],
+        queries: &[CatalogQuery<'_>],
+        num_items: usize,
+        nprobe_override: Option<usize>,
+        arena: &Arena,
+    ) -> Vec<RankedQuery> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let (d, k, rows) = (self.dim, self.num_interests, self.item_rows);
+        assert!(
+            num_items <= self.num_items,
+            "catalog larger than the compiled item table"
+        );
+        assert_eq!(z_all.len(), queries.len() * k * d, "interest buffer shape");
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let r = queries.len();
+        let mut score_sp = telemetry::span("infer.score_catalog");
+        score_sp.add_bytes((r * k * rows * std::mem::size_of::<f32>()) as u64);
+        let ann_active = self.ann.as_ref().filter(|_| ann::enabled());
+        // With no index, exhaustive f32 scoring amortizes: one prepacked
+        // GEMM over all r*k interest rows instead of r separate ones.
+        // Each query then reads only its own k rows, which are
+        // bit-identical to a solo GEMM's.
+        let batch_scores: Option<&[f32]> = match (&self.catalog, ann_active) {
+            (CatalogTable::F32(packed), None) => {
+                let scores = arena.alloc(r * k * rows);
+                let scratch = arena.alloc(PackedB::SCRATCH_LEN);
+                kernels::gemm_nn_prepacked_scratch(z_all, packed, scores, r * k, scratch);
+                Some(scores)
+            }
+            _ => None,
+        };
+        let mut results = Vec::with_capacity(r);
+        for (qi, q) in queries.iter().enumerate() {
+            assert!(q.n > 0);
+            let z = &z_all[qi * k * d..][..k * d];
+            let mut heap: BinaryHeap<Reverse<RankKey>> = BinaryHeap::with_capacity(q.n + 1);
+            // Two-stage route: probe the attached index per interest and
+            // re-rank only the candidate union. If the probe retrieves
+            // fewer than `n` rankable items, fall through to exhaustive —
+            // an ANN result must never be shorter than the exhaustive one.
+            let mut used_ann = false;
+            if let Some(st) = ann_active {
+                let nlist = st.index.nlist();
+                let nprobe = nprobe_override.unwrap_or(st.nprobe).clamp(1, nlist);
+                let mut cands: Vec<ItemId> = Vec::new();
+                {
+                    let mut probe_sp = telemetry::span("index.probe");
+                    let cscores = arena.alloc(k * nlist);
+                    let cscratch = arena.alloc(PackedB::SCRATCH_LEN);
+                    st.index.probe_with(z, k, nprobe, cscores, cscratch, &mut cands);
+                    cands.retain(|id| *id as usize <= num_items && !q.exclude.contains(id));
+                    probe_sp.add_bytes((cands.len() * std::mem::size_of::<ItemId>()) as u64);
+                }
+                let rankable =
+                    num_items - q.exclude.iter().filter(|id| **id as usize <= num_items).count();
+                if cands.len() >= q.n.min(rankable) {
+                    let mut rerank_sp = telemetry::span("index.rerank");
+                    rerank_sp.add_bytes((cands.len() * d * std::mem::size_of::<f32>()) as u64);
+                    let scores = self.rerank_candidates(z, &cands, arena);
+                    for (&id, &s) in cands.iter().zip(scores.iter()) {
+                        push_top(&mut heap, q.n, id, s);
+                    }
+                    used_ann = true;
+                }
+            }
+            if !used_ann {
+                match (&self.catalog, batch_scores) {
+                    (CatalogTable::F32(_), Some(scores)) => {
+                        // One GEMM over the whole catalog (shared across
+                        // the batch above). Column v of the packed
+                        // transpose is item v's embedding, and each output
+                        // element accumulates independently, so these
+                        // scores are bit-identical to the chunked
+                        // reference.
+                        let mine = &scores[qi * k * rows..][..k * rows];
+                        for item in 1..=num_items {
+                            let id = item as ItemId;
+                            if q.exclude.contains(&id) {
+                                continue;
+                            }
+                            let mut best = f32::NEG_INFINITY;
+                            for kk in 0..k {
+                                let v = mine[kk * rows + item];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            push_top(&mut heap, q.n, id, best);
+                        }
+                    }
+                    (CatalogTable::F32(packed), None) => {
+                        // Short-probe fallback with an index attached:
+                        // score this query's interests exhaustively.
+                        let scores = arena.alloc(k * rows);
+                        let scratch = arena.alloc(PackedB::SCRATCH_LEN);
+                        kernels::gemm_nn_prepacked_scratch(z, packed, scores, k, scratch);
+                        for item in 1..=num_items {
+                            let id = item as ItemId;
+                            if q.exclude.contains(&id) {
+                                continue;
+                            }
+                            let mut best = f32::NEG_INFINITY;
+                            for kk in 0..k {
+                                let v = scores[kk * rows + item];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            push_top(&mut heap, q.n, id, best);
+                        }
+                    }
+                    (CatalogTable::I8(qt), _) => {
+                        for item in 1..=num_items {
+                            let id = item as ItemId;
+                            if q.exclude.contains(&id) {
+                                continue;
+                            }
+                            let mut best = f32::NEG_INFINITY;
+                            for kk in 0..k {
+                                let v = qt.dot(item, &z[kk * d..][..d]);
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            push_top(&mut heap, q.n, id, best);
+                        }
+                    }
+                    (CatalogTable::Bf16(qt), _) => {
+                        for item in 1..=num_items {
+                            let id = item as ItemId;
+                            if q.exclude.contains(&id) {
+                                continue;
+                            }
+                            let mut best = f32::NEG_INFINITY;
+                            for kk in 0..k {
+                                let v = qt.dot(item, &z[kk * d..][..d]);
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            push_top(&mut heap, q.n, id, best);
+                        }
+                    }
+                }
+            }
+            let mut recs: Vec<Recommendation> = heap
+                .into_iter()
+                .map(|Reverse(key)| Recommendation {
+                    item: key.item,
+                    score: key.score,
+                })
+                .collect();
+            recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+            results.push(RankedQuery { recs, used_ann });
+        }
+        results
+    }
 }
 
 impl SequentialRecommender for InferenceModel {
@@ -1150,122 +1433,19 @@ impl SequentialRecommender for InferenceModel {
         n: usize,
         exclude: &HashSet<ItemId>,
     ) -> Option<Vec<Recommendation>> {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-
         assert!(n > 0);
-        assert!(
-            num_items <= self.num_items,
-            "catalog larger than the compiled item table"
-        );
         let mut topn_sp = telemetry::span("serve.top_n");
         topn_sp.add_bytes((num_items * std::mem::size_of::<f32>()) as u64);
         let arena = self.rent_arena();
-        let mut heap: BinaryHeap<Reverse<RankKey>> = BinaryHeap::with_capacity(n + 1);
-        {
+        let recs = {
             let (_batch, z) = self.interests_for(&[history], &arena);
-            let (d, k, rows) = (self.dim, self.num_interests, self.item_rows);
-            let mut score_sp = telemetry::span("infer.score_catalog");
-            score_sp.add_bytes((k * rows * std::mem::size_of::<f32>()) as u64);
-            let mut push = |item: ItemId, score: f32| {
-                heap.push(Reverse(RankKey { score, item }));
-                if heap.len() > n {
-                    heap.pop();
-                }
-            };
-            // Two-stage route: probe the attached index per interest and
-            // re-rank only the candidate union. If the probe retrieves
-            // fewer than `n` rankable items, fall through to exhaustive —
-            // an ANN result must never be shorter than the exhaustive one.
-            let mut ann_done = false;
-            if let Some(st) = self.ann.as_ref().filter(|_| ann::enabled()) {
-                let mut cands: Vec<ItemId> = Vec::new();
-                {
-                    let mut probe_sp = telemetry::span("index.probe");
-                    st.index.probe_into(z, k, st.nprobe, &mut cands);
-                    cands.retain(|id| *id as usize <= num_items && !exclude.contains(id));
-                    probe_sp.add_bytes((cands.len() * std::mem::size_of::<ItemId>()) as u64);
-                }
-                let rankable = num_items - exclude.iter().filter(|id| **id as usize <= num_items).count();
-                if cands.len() >= n.min(rankable) {
-                    let mut rerank_sp = telemetry::span("index.rerank");
-                    rerank_sp.add_bytes((cands.len() * d * std::mem::size_of::<f32>()) as u64);
-                    let scores = self.rerank_candidates(z, &cands, &arena);
-                    for (&id, &s) in cands.iter().zip(scores.iter()) {
-                        push(id, s);
-                    }
-                    ann_done = true;
-                }
-            }
-            match &self.catalog {
-                _ if ann_done => {}
-                CatalogTable::F32(packed) => {
-                    // One GEMM over the whole catalog. Column v of the
-                    // packed transpose is item v's embedding, and each
-                    // output element accumulates independently, so these
-                    // scores are bit-identical to the chunked reference.
-                    let scores = arena.alloc(k * rows);
-                    let scratch = arena.alloc(PackedB::SCRATCH_LEN);
-                    kernels::gemm_nn_prepacked_scratch(z, packed, scores, k, scratch);
-                    for item in 1..=num_items {
-                        let id = item as ItemId;
-                        if exclude.contains(&id) {
-                            continue;
-                        }
-                        let mut best = f32::NEG_INFINITY;
-                        for kk in 0..k {
-                            let v = scores[kk * rows + item];
-                            if v > best {
-                                best = v;
-                            }
-                        }
-                        push(id, best);
-                    }
-                }
-                CatalogTable::I8(q) => {
-                    for item in 1..=num_items {
-                        let id = item as ItemId;
-                        if exclude.contains(&id) {
-                            continue;
-                        }
-                        let mut best = f32::NEG_INFINITY;
-                        for kk in 0..k {
-                            let v = q.dot(item, &z[kk * d..][..d]);
-                            if v > best {
-                                best = v;
-                            }
-                        }
-                        push(id, best);
-                    }
-                }
-                CatalogTable::Bf16(q) => {
-                    for item in 1..=num_items {
-                        let id = item as ItemId;
-                        if exclude.contains(&id) {
-                            continue;
-                        }
-                        let mut best = f32::NEG_INFINITY;
-                        for kk in 0..k {
-                            let v = q.dot(item, &z[kk * d..][..d]);
-                            if v > best {
-                                best = v;
-                            }
-                        }
-                        push(id, best);
-                    }
-                }
-            }
-        }
+            let query = CatalogQuery { n, exclude };
+            self.rank_from_interests_in(z, std::slice::from_ref(&query), num_items, None, &arena)
+                .pop()
+                .map(|ranked| ranked.recs)
+        };
         self.return_arena(arena);
-        let mut recs: Vec<Recommendation> = heap
-            .into_iter()
-            .map(|Reverse(key)| Recommendation {
-                item: key.item,
-                score: key.score,
-            })
-            .collect();
-        recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
-        Some(recs)
+        recs
     }
 }
 

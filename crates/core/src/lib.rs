@@ -17,6 +17,9 @@
 //!   `evaluate` / `recommend_top_n` compile trained models into;
 //! - [`ann`]: the IVF-Flat approximate-retrieval index ([`ann::IvfIndex`])
 //!   that turns full-catalog ranking into retrieve-then-rerank;
+//! - [`serve`]: the micro-batched online serving engine (`mbssl serve`)
+//!   with per-user sequence caching, checkpoint hot-swap, and a
+//!   composable re-rank chain;
 //! - [`ledger`]: the per-run directory (`MBSSL_RUN_DIR`) with a manifest
 //!   and per-epoch metrics, read back by `mbssl report`.
 
@@ -29,6 +32,7 @@ pub mod interest;
 pub mod ledger;
 pub mod model;
 pub mod recommender;
+pub mod serve;
 pub mod ssl;
 pub mod trainer;
 
@@ -41,5 +45,6 @@ pub use recommender::{
     evaluate, evaluate_reference, recommend_top_n, recommend_top_n_reference, Recommendation,
     SequentialRecommender,
 };
+pub use serve::{RerankChain, ServeConfig, ServeReply, ServeStats, Server, SessionStore};
 pub use mbssl_data::sampler::PreparedBatch;
 pub use trainer::{TrainReport, TrainableRecommender, Trainer};

@@ -1,0 +1,233 @@
+//! The bounded micro-batching queue (DESIGN.md §15).
+//!
+//! Producers ([`Server::submit`](super::Server::submit) callers) push one
+//! job each and block on a response channel; worker threads drain jobs in
+//! gulps of up to `MBSSL_SERVE_BATCH`, waiting at most `MBSSL_SERVE_WAIT_US`
+//! after the first job for stragglers to accumulate. The queue is the
+//! entire batching policy — the workers just serve whatever one drain
+//! call hands them:
+//!
+//! ```text
+//!   empty ──job arrives──▶ collecting ──batch full──────────▶ drained
+//!     ▲                        │       ──deadline expires──▶ drained
+//!     │                        │       ──queue closed──────▶ drained
+//!     └────── drained batch returned to the worker ◀──────────┘
+//! ```
+//!
+//! Blocking for the *first* job costs nothing under load (the queue is
+//! never empty) and one condvar wait when idle; the straggler wait is
+//! what converts concurrent arrivals into one encoder forward. Capacity
+//! is bounded so a slow consumer back-pressures producers instead of
+//! growing an unbounded backlog.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue whose consumers drain in deadline-bounded
+/// batches.
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue holding at most `capacity` pending items.
+    pub fn new(capacity: usize) -> BatchQueue<T> {
+        assert!(capacity > 0);
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the
+    /// item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).unwrap();
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pending items right now (racy by nature; used for the queue-depth
+    /// gauge and the ANN pressure heuristic).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: further pushes fail, and drains return whatever
+    /// is left, then `false`. Wakes everyone.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Drains one micro-batch into `out` (appended): blocks until at
+    /// least one item is available, then keeps collecting until `max`
+    /// items are gathered or `wait` has elapsed since the first pickup.
+    /// Returns `false` — without touching `out` — only when the queue is
+    /// closed **and** empty, i.e. the consumer should exit.
+    pub fn drain_into(&self, max: usize, wait: Duration, out: &mut Vec<T>) -> bool {
+        assert!(max > 0);
+        let mut state = self.state.lock().unwrap();
+        while state.items.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+        while out.len() < max {
+            match state.items.pop_front() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        // Straggler window, anchored at first pickup: a request that
+        // arrives within `wait` of the batch opening rides along.
+        if out.len() < max && !wait.is_zero() && !state.closed {
+            let deadline = Instant::now() + wait;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (s, _timeout) = self
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap();
+                state = s;
+                while out.len() < max {
+                    match state.items.pop_front() {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                }
+                if out.len() == max || state.closed {
+                    break;
+                }
+            }
+        }
+        drop(state);
+        self.not_full.notify_all();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn drain_caps_at_max_and_leaves_the_rest() {
+        let q = BatchQueue::new(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let mut batch = Vec::new();
+        assert!(q.drain_into(4, Duration::ZERO, &mut batch));
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn drain_returns_partial_batch_after_deadline() {
+        let q = BatchQueue::new(16);
+        q.push(1).unwrap();
+        let started = Instant::now();
+        let mut batch = Vec::new();
+        assert!(q.drain_into(8, Duration::from_millis(20), &mut batch));
+        assert_eq!(batch, vec![1]);
+        assert!(started.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn drain_collects_stragglers_within_the_window() {
+        let q = Arc::new(BatchQueue::new(16));
+        q.push(1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                q.push(2).unwrap();
+                q.push(3).unwrap();
+            })
+        };
+        let mut batch = Vec::new();
+        assert!(q.drain_into(3, Duration::from_millis(500), &mut batch));
+        assert_eq!(batch, vec![1, 2, 3], "full batch should end the wait early");
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn close_drains_leftovers_then_signals_exit() {
+        let q = BatchQueue::new(16);
+        q.push(7).unwrap();
+        q.close();
+        assert!(q.push(8).is_err(), "push after close must fail");
+        let mut batch = Vec::new();
+        assert!(q.drain_into(4, Duration::from_millis(50), &mut batch));
+        assert_eq!(batch, vec![7]);
+        batch.clear();
+        assert!(!q.drain_into(4, Duration::from_millis(50), &mut batch));
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_consumer() {
+        let q = Arc::new(BatchQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut batch = Vec::new();
+                q.drain_into(4, Duration::from_secs(5), &mut batch)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(!consumer.join().unwrap());
+    }
+
+    #[test]
+    fn bounded_capacity_backpressures_producers() {
+        let q = Arc::new(BatchQueue::new(2));
+        q.push(0).unwrap();
+        q.push(1).unwrap();
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2).is_ok())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.len(), 2, "third push must be blocked, not queued");
+        let mut batch = Vec::new();
+        assert!(q.drain_into(2, Duration::ZERO, &mut batch));
+        assert!(blocked.join().unwrap());
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! `mbssl serve` — the micro-batched online serving engine.
+//!
+//! Layered over the offline [`InferenceModel`](crate::infer::InferenceModel):
+//!
+//! - [`batcher`] — bounded queue whose drains convert concurrent
+//!   arrivals into micro-batches (the entire batching policy).
+//! - [`session`] — sharded per-user histories, seen-sets, popularity
+//!   counts, and the epoch-keyed interest cache.
+//! - [`rerank`] — composable post-retrieval stage chain, parsed from a
+//!   `"seen:0.5,pop:0.2,topk:100"` style spec.
+//! - [`server`] — worker loop tying the three together, plus checkpoint
+//!   hot-swap and the ANN latency-budget policy.
+//!
+//! Design notes live in DESIGN.md §15; the bit-identity argument for
+//! batched vs. solo serving is on
+//! [`InferenceModel::encode_interests`](crate::infer::InferenceModel::encode_interests).
+
+pub mod batcher;
+pub mod rerank;
+pub mod server;
+pub mod session;
+
+pub use batcher::BatchQueue;
+pub use rerank::{RerankChain, RerankContext, RerankStage};
+pub use server::{ServeConfig, ServeError, ServeReply, ServeStats, Server};
+pub use session::{SessionStore, UserSnapshot};

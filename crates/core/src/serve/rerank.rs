@@ -1,0 +1,428 @@
+//! Post-retrieval re-ranking as a chain of composable stages
+//! (DESIGN.md §15).
+//!
+//! Retrieval (exhaustive or two-stage) produces a relevance-sorted
+//! candidate list; business policy — demote what the user already saw,
+//! damp popularity feedback loops, flatten or sharpen the score
+//! distribution, cut the tail — is layered on top as a chain of
+//! [`RerankStage`] trait objects, modeled on the `SamplerChain`
+//! architecture of llm-samplers: each stage is independently
+//! unit-testable, configured from one string
+//! (e.g. `"seen:0.5,pop:0.2,temp:0.8,topk:100,topp:0.9"`), and applied in
+//! spec order. Every stage is deterministic (the diversity stages are
+//! *filters*, not samplers), so serving stays reproducible.
+//!
+//! An empty chain is the identity: serving with no `--chain` returns
+//! exactly `recommend_top_n`'s output. A non-empty chain makes the server
+//! over-retrieve ([`RerankChain::overscan`]) so filtering stages have a
+//! tail to cut into before truncating back to the requested `n`.
+
+use std::collections::HashSet;
+
+use mbssl_data::ItemId;
+
+use crate::recommender::Recommendation;
+
+/// Everything a stage may consult besides the candidate list itself.
+pub struct RerankContext<'a> {
+    /// Items the user has already interacted with.
+    pub seen: &'a HashSet<ItemId>,
+    /// Global interaction count per item (session store counts; used by
+    /// the popularity-debias stage).
+    pub popularity: &'a (dyn Fn(ItemId) -> u64 + Sync),
+}
+
+/// One re-ranking stage. Stages transform the list in place and must
+/// leave it sorted score-descending with ties toward the lower item id
+/// (the ordering every retrieval path produces).
+pub trait RerankStage: Send + Sync {
+    /// The token this stage is configured by in a chain spec.
+    fn name(&self) -> &'static str;
+    /// Applies the stage to `recs`.
+    fn apply(&self, ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>);
+}
+
+/// Restores the canonical ordering after a score-mutating stage.
+fn resort(recs: &mut [Recommendation]) {
+    recs.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.item.cmp(&b.item)));
+}
+
+/// Softmax of the current scores (max-subtracted, same shape as the
+/// kernel softmax), used by the probability-mass stages.
+fn softmax(recs: &[Recommendation]) -> Vec<f32> {
+    let max = recs
+        .iter()
+        .map(|r| r.score)
+        .fold(f32::NEG_INFINITY, f32::max);
+    let mut probs: Vec<f32> = recs.iter().map(|r| (r.score - max).exp()).collect();
+    let sum: f32 = probs.iter().sum();
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for p in probs.iter_mut() {
+            *p *= inv;
+        }
+    }
+    probs
+}
+
+/// `seen:λ` — subtracts a flat penalty `λ` from every item the user has
+/// already interacted with. When this stage is present the server stops
+/// hard-excluding seen items at retrieval, so repeats can resurface —
+/// demoted, not banned.
+pub struct SeenPenalty(pub f32);
+
+impl RerankStage for SeenPenalty {
+    fn name(&self) -> &'static str {
+        "seen"
+    }
+    fn apply(&self, ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>) {
+        for r in recs.iter_mut() {
+            if ctx.seen.contains(&r.item) {
+                r.score -= self.0;
+            }
+        }
+        resort(recs);
+    }
+}
+
+/// `pop:γ` — subtracts `γ · ln(1 + count)` per item, damping the
+/// rich-get-richer loop where globally popular items crowd out the
+/// user-specific tail.
+pub struct PopularityDebias(pub f32);
+
+impl RerankStage for PopularityDebias {
+    fn name(&self) -> &'static str {
+        "pop"
+    }
+    fn apply(&self, ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>) {
+        for r in recs.iter_mut() {
+            let count = (ctx.popularity)(r.item);
+            r.score -= self.0 * ((1 + count) as f32).ln();
+        }
+        resort(recs);
+    }
+}
+
+/// `temp:T` — divides scores by `T` (logit temperature). Order-preserving
+/// on its own; it matters by reshaping the distribution the `topp` stage
+/// measures mass over (`T < 1` sharpens → smaller nucleus, `T > 1`
+/// flattens → larger).
+pub struct Temperature(pub f32);
+
+impl RerankStage for Temperature {
+    fn name(&self) -> &'static str {
+        "temp"
+    }
+    fn apply(&self, _ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>) {
+        let inv = 1.0 / self.0;
+        for r in recs.iter_mut() {
+            r.score *= inv;
+        }
+    }
+}
+
+/// `topk:K` — keeps the best `K` candidates.
+pub struct TopK(pub usize);
+
+impl RerankStage for TopK {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+    fn apply(&self, _ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>) {
+        recs.truncate(self.0);
+    }
+}
+
+/// `topp:P` — nucleus filter: softmaxes the current scores and keeps the
+/// shortest prefix whose cumulative probability reaches `P` (always at
+/// least one item). Deterministic — it cuts the tail, it does not sample
+/// from it.
+pub struct TopP(pub f32);
+
+impl RerankStage for TopP {
+    fn name(&self) -> &'static str {
+        "topp"
+    }
+    fn apply(&self, _ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>) {
+        if recs.len() <= 1 {
+            return;
+        }
+        let probs = softmax(recs);
+        let mut mass = 0.0f32;
+        let mut keep = recs.len();
+        for (i, &p) in probs.iter().enumerate() {
+            mass += p;
+            if mass >= self.0 {
+                keep = i + 1;
+                break;
+            }
+        }
+        recs.truncate(keep);
+    }
+}
+
+/// An ordered chain of re-ranking stages.
+pub struct RerankChain {
+    stages: Vec<Box<dyn RerankStage>>,
+}
+
+impl RerankChain {
+    /// The identity chain (serving default).
+    pub fn empty() -> RerankChain {
+        RerankChain { stages: Vec::new() }
+    }
+
+    /// Parses a comma-separated spec: `name[:value]` per stage, applied
+    /// in order. Stages: `seen:λ` (default 1), `pop:γ` (default 0.1),
+    /// `temp:T` (default 1, must be > 0), `topk:K` (required, ≥ 1),
+    /// `topp:P` (required, in (0, 1]). An empty spec is the empty chain.
+    pub fn parse(spec: &str) -> Result<RerankChain, String> {
+        let mut stages: Vec<Box<dyn RerankStage>> = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, value) = match part.split_once(':') {
+                Some((n, v)) => (n.trim(), Some(v.trim())),
+                None => (part, None),
+            };
+            let f32_arg = |default: Option<f32>| -> Result<f32, String> {
+                match value {
+                    Some(v) => v
+                        .parse::<f32>()
+                        .map_err(|_| format!("stage {name:?}: bad value {v:?}")),
+                    None => default.ok_or_else(|| format!("stage {name:?} needs a value")),
+                }
+            };
+            match name {
+                "seen" => {
+                    let w = f32_arg(Some(1.0))?;
+                    if !w.is_finite() || w < 0.0 {
+                        return Err(format!("seen penalty must be finite and ≥ 0, got {w}"));
+                    }
+                    stages.push(Box::new(SeenPenalty(w)));
+                }
+                "pop" => {
+                    let w = f32_arg(Some(0.1))?;
+                    if !w.is_finite() || w < 0.0 {
+                        return Err(format!("pop weight must be finite and ≥ 0, got {w}"));
+                    }
+                    stages.push(Box::new(PopularityDebias(w)));
+                }
+                "temp" => {
+                    let t = f32_arg(Some(1.0))?;
+                    if !t.is_finite() || t <= 0.0 {
+                        return Err(format!("temperature must be finite and > 0, got {t}"));
+                    }
+                    stages.push(Box::new(Temperature(t)));
+                }
+                "topk" => {
+                    let k: usize = value
+                        .ok_or("stage \"topk\" needs a value")?
+                        .parse()
+                        .map_err(|_| format!("stage \"topk\": bad value {value:?}"))?;
+                    if k == 0 {
+                        return Err("topk must be ≥ 1".into());
+                    }
+                    stages.push(Box::new(TopK(k)));
+                }
+                "topp" => {
+                    let p = f32_arg(None)?;
+                    if !(p > 0.0 && p <= 1.0) {
+                        return Err(format!("topp must be in (0, 1], got {p}"));
+                    }
+                    stages.push(Box::new(TopP(p)));
+                }
+                other => return Err(format!("unknown rerank stage {other:?}")),
+            }
+        }
+        Ok(RerankChain { stages })
+    }
+
+    /// Whether the chain is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether any stage with `name` is present.
+    pub fn has_stage(&self, name: &str) -> bool {
+        self.stages.iter().any(|s| s.name() == name)
+    }
+
+    /// Stage names in application order, comma-joined.
+    pub fn describe(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// How many × the requested `n` the server should retrieve before
+    /// applying the chain: 1 for the identity (bit-parity with plain
+    /// top-n), 4 otherwise so filtering stages have a tail to work with.
+    pub fn overscan(&self) -> usize {
+        if self.stages.is_empty() {
+            1
+        } else {
+            4
+        }
+    }
+
+    /// Runs every stage in order.
+    pub fn apply(&self, ctx: &RerankContext<'_>, recs: &mut Vec<Recommendation>) {
+        for stage in &self.stages {
+            stage.apply(ctx, recs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(pairs: &[(ItemId, f32)]) -> Vec<Recommendation> {
+        pairs
+            .iter()
+            .map(|&(item, score)| Recommendation { item, score })
+            .collect()
+    }
+
+    fn items(recs: &[Recommendation]) -> Vec<ItemId> {
+        recs.iter().map(|r| r.item).collect()
+    }
+
+    fn ctx_with<'a>(
+        seen: &'a HashSet<ItemId>,
+        pop: &'a (dyn Fn(ItemId) -> u64 + Sync),
+    ) -> RerankContext<'a> {
+        RerankContext {
+            seen,
+            popularity: pop,
+        }
+    }
+
+    const NO_POP: fn(ItemId) -> u64 = |_| 0;
+
+    #[test]
+    fn seen_penalty_demotes_only_seen_items() {
+        let seen: HashSet<ItemId> = [2].into_iter().collect();
+        let ctx = ctx_with(&seen, &NO_POP);
+        let mut list = recs(&[(2, 1.0), (5, 0.9), (7, 0.1)]);
+        SeenPenalty(0.5).apply(&ctx, &mut list);
+        assert_eq!(items(&list), vec![5, 2, 7]);
+        assert_eq!(list[1].score, 0.5);
+        assert_eq!(list[0].score, 0.9, "unseen scores untouched");
+    }
+
+    #[test]
+    fn popularity_debias_is_log_scaled() {
+        let seen = HashSet::new();
+        let pop = |id: ItemId| if id == 1 { 1 } else { 0 };
+        let ctx = ctx_with(&seen, &pop);
+        let mut list = recs(&[(1, 1.0), (2, 0.9)]);
+        PopularityDebias(0.5).apply(&ctx, &mut list);
+        // item 1: 1.0 − 0.5·ln(1+1) ≈ 0.653 → drops below item 2.
+        assert_eq!(items(&list), vec![2, 1]);
+        assert!((list[1].score - (1.0 - 0.5 * 2f32.ln())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_preserves_order_and_scales_scores() {
+        let seen = HashSet::new();
+        let ctx = ctx_with(&seen, &NO_POP);
+        let mut list = recs(&[(1, 1.0), (2, 0.5)]);
+        Temperature(0.5).apply(&ctx, &mut list);
+        assert_eq!(items(&list), vec![1, 2]);
+        assert_eq!(list[0].score, 2.0);
+        assert_eq!(list[1].score, 1.0);
+    }
+
+    #[test]
+    fn topk_truncates() {
+        let seen = HashSet::new();
+        let ctx = ctx_with(&seen, &NO_POP);
+        let mut list = recs(&[(1, 3.0), (2, 2.0), (3, 1.0)]);
+        TopK(2).apply(&ctx, &mut list);
+        assert_eq!(items(&list), vec![1, 2]);
+        TopK(10).apply(&ctx, &mut list);
+        assert_eq!(list.len(), 2, "topk larger than the list is a no-op");
+    }
+
+    #[test]
+    fn topp_keeps_the_smallest_sufficient_nucleus() {
+        let seen = HashSet::new();
+        let ctx = ctx_with(&seen, &NO_POP);
+        // Scores 10, 10, 0: items 1+2 hold ≈ all of the mass.
+        let mut list = recs(&[(1, 10.0), (2, 10.0), (3, 0.0)]);
+        TopP(0.9).apply(&ctx, &mut list);
+        assert_eq!(items(&list), vec![1, 2]);
+        // p = 1.0 keeps everything.
+        let mut all = recs(&[(1, 1.0), (2, 0.5), (3, 0.1)]);
+        TopP(1.0).apply(&ctx, &mut all);
+        assert_eq!(all.len(), 3);
+        // Always keeps at least the head, however sharp.
+        let mut sharp = recs(&[(1, 100.0), (2, 0.0)]);
+        TopP(0.01).apply(&ctx, &mut sharp);
+        assert_eq!(items(&sharp), vec![1]);
+    }
+
+    #[test]
+    fn chain_applies_in_spec_order() {
+        // seen-penalty then topk: item 1 must be demoted *before* the cut.
+        let seen: HashSet<ItemId> = [1].into_iter().collect();
+        let ctx = ctx_with(&seen, &NO_POP);
+        let chain = RerankChain::parse("seen:5,topk:2").unwrap();
+        let mut list = recs(&[(1, 1.0), (2, 0.9), (3, 0.8)]);
+        chain.apply(&ctx, &mut list);
+        assert_eq!(items(&list), vec![2, 3]);
+        // Reversed order cuts first: the seen item survives.
+        let chain = RerankChain::parse("topk:2,seen:5").unwrap();
+        let mut list = recs(&[(1, 1.0), (2, 0.9), (3, 0.8)]);
+        chain.apply(&ctx, &mut list);
+        assert_eq!(items(&list), vec![2, 1]);
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let seen: HashSet<ItemId> = [1].into_iter().collect();
+        let ctx = ctx_with(&seen, &NO_POP);
+        let chain = RerankChain::parse("").unwrap();
+        assert!(chain.is_empty());
+        assert_eq!(chain.overscan(), 1);
+        let mut list = recs(&[(1, 1.0), (2, 0.9)]);
+        let before = list.clone();
+        chain.apply(&ctx, &mut list);
+        assert_eq!(list, before);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in [
+            "unknown",
+            "seen:-1",
+            "seen:abc",
+            "temp:0",
+            "temp:-2",
+            "topk",
+            "topk:0",
+            "topp",
+            "topp:0",
+            "topp:1.5",
+        ] {
+            assert!(RerankChain::parse(bad).is_err(), "spec {bad:?} should fail");
+        }
+        let chain = RerankChain::parse("seen:0.5, pop:0.2 ,temp:0.8,topk:100,topp:0.9").unwrap();
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain.describe(), "seen,pop,temp,topk,topp");
+        assert!(chain.has_stage("topp"));
+        assert!(!chain.has_stage("nope"));
+        assert_eq!(chain.overscan(), 4);
+    }
+}

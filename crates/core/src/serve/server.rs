@@ -1,0 +1,539 @@
+//! The micro-batched request engine (DESIGN.md §15).
+//!
+//! Worker threads loop on [`BatchQueue::drain_into`], turning whatever
+//! one drain hands them into:
+//!
+//! 1. **one session snapshot pass** (per-user shard locks only),
+//! 2. **one batched encoder forward per history-length group** for every
+//!    cache miss (`serve.forward` span) — grouping by truncated length is
+//!    what keeps batched rows bit-identical to solo forwards, see
+//!    [`InferenceModel::encode_interests`],
+//! 3. **one catalog-ranking call** for the whole batch
+//!    ([`InferenceModel::rank_from_interests`]: single arena rental, one
+//!    fused GEMM on the exhaustive path, arena-scratch probes on the ANN
+//!    path),
+//! 4. the re-rank chain and the per-request response sends
+//!    (`serve.rerank` span).
+//!
+//! The checkpoint hot-swap is an `ArcSwap`-style epoch pointer: readers
+//! clone an `Arc<EngineEpoch>` under a briefly-held `RwLock` read guard,
+//! [`Server::swap_engine`] replaces it under the write guard and bumps
+//! the epoch. In-flight batches keep serving on their cloned `Arc`, so
+//! the old engine drains gracefully — it is freed when the last batch
+//! holding it finishes. Session caches are epoch-keyed, so a swap lazily
+//! invalidates every cached encoding without walking the store.
+//!
+//! `MBSSL_ANN_BUDGET_US` arms the probe-degradation policy: an integer
+//! EWMA tracks per-request ANN time, and when it exceeds the budget —
+//! or the queue backs up past one full batch — `nprobe` shrinks
+//! proportionally for the next batch (never below 1), counted through
+//! the `serve.ann_degraded` counter. Recall degrades; latency holds.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mbssl_data::{Behavior, ItemId, Sequence, UserId};
+use mbssl_telemetry as telemetry;
+
+use crate::infer::{CatalogQuery, InferenceModel};
+use crate::recommender::Recommendation;
+
+use super::batcher::BatchQueue;
+use super::rerank::{RerankChain, RerankContext};
+use super::session::{SessionStore, UserSnapshot};
+
+/// Server tuning, read from `MBSSL_SERVE_*` by [`ServeConfig::from_env`]
+/// or set directly (tests, `exp_serve`).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest micro-batch one drain may collect (`MBSSL_SERVE_BATCH`,
+    /// default 16). 1 disables cross-request batching.
+    pub max_batch: usize,
+    /// Straggler window after the first job of a batch
+    /// (`MBSSL_SERVE_WAIT_US`, default 200 µs). Zero drains only what is
+    /// already queued.
+    pub wait: Duration,
+    /// Worker threads (`MBSSL_SERVE_WORKERS`, default 2 — each forward
+    /// already fans out over the tensor worker pool, so a few batch
+    /// pipelines saturate the cores).
+    pub workers: usize,
+    /// Bounded queue capacity (`MBSSL_SERVE_QUEUE`, default
+    /// `4 × max_batch`, at least 64).
+    pub queue_capacity: usize,
+    /// Per-request ANN latency budget in µs (`MBSSL_ANN_BUDGET_US`,
+    /// default unset = never degrade).
+    pub ann_budget_us: Option<u64>,
+    /// Per-user interest cache (`MBSSL_SERVE_CACHE`, default on; `off`
+    /// re-encodes every request — the honest setting for encoder
+    /// throughput measurements).
+    pub cache: bool,
+    /// Hard-exclude already-seen items at retrieval (the
+    /// `recommend_top_n` contract). [`Server::start`] turns this off
+    /// automatically when the chain has a `seen` stage, which demotes
+    /// instead of banning.
+    pub exclude_seen: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 16,
+            wait: Duration::from_micros(200),
+            workers: 2,
+            queue_capacity: 64,
+            ann_budget_us: None,
+            cache: true,
+            exclude_seen: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `MBSSL_SERVE_BATCH` / `MBSSL_SERVE_WAIT_US` /
+    /// `MBSSL_SERVE_WORKERS` / `MBSSL_SERVE_QUEUE` /
+    /// `MBSSL_ANN_BUDGET_US` / `MBSSL_SERVE_CACHE` environment (reading
+    /// live, not cached — the server is constructed once per process).
+    pub fn from_env() -> ServeConfig {
+        let parse = |name: &str| -> Option<u64> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        };
+        let max_batch = parse("MBSSL_SERVE_BATCH").map(|v| v.max(1) as usize).unwrap_or(16);
+        ServeConfig {
+            max_batch,
+            wait: Duration::from_micros(parse("MBSSL_SERVE_WAIT_US").unwrap_or(200)),
+            workers: parse("MBSSL_SERVE_WORKERS").map(|v| v.max(1) as usize).unwrap_or(2),
+            queue_capacity: parse("MBSSL_SERVE_QUEUE")
+                .map(|v| v.max(1) as usize)
+                .unwrap_or((4 * max_batch).max(64)),
+            ann_budget_us: parse("MBSSL_ANN_BUDGET_US"),
+            cache: !matches!(
+                std::env::var("MBSSL_SERVE_CACHE").as_deref(),
+                Ok("off") | Ok("0") | Ok("none")
+            ),
+            exclude_seen: true,
+        }
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is shutting down (or a worker panicked mid-request).
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One served recommendation response.
+#[derive(Debug)]
+pub struct ServeReply {
+    /// The ranked recommendations.
+    pub recs: Vec<Recommendation>,
+    /// How many requests shared this request's micro-batch.
+    pub batch_size: usize,
+    /// Whether the user's cached encoding was reused (no forward).
+    pub cache_hit: bool,
+    /// Whether the ANN probe width was degraded under the latency budget.
+    pub degraded: bool,
+    /// Engine epoch that served this request.
+    pub epoch: u64,
+}
+
+struct ServeJob {
+    user: UserId,
+    n: usize,
+    tx: mpsc::SyncSender<ServeReply>,
+}
+
+/// A compiled engine pinned to a swap epoch.
+struct EngineEpoch {
+    engine: InferenceModel,
+    epoch: u64,
+}
+
+/// Monotone counters + the batch-size histogram, shared by all workers.
+struct ServeStatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    ann_degraded: AtomicU64,
+    swaps: AtomicU64,
+    /// `batch_hist[s]` = batches that served exactly `s` requests
+    /// (index 0 unused; sized `max_batch + 1`).
+    batch_hist: Box<[AtomicU64]>,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests answered from the per-user interest cache.
+    pub cache_hits: u64,
+    /// Requests that needed an encoder forward.
+    pub cache_misses: u64,
+    /// Requests served with a budget-degraded probe width.
+    pub ann_degraded: u64,
+    /// Checkpoint hot-swaps performed.
+    pub swaps: u64,
+    /// `batch_hist[s]` = batches of size `s` (index 0 unused).
+    pub batch_hist: Vec<u64>,
+}
+
+impl ServeStats {
+    /// Mean requests per micro-batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Cache hits / requests.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+struct ServerInner {
+    engine: RwLock<Arc<EngineEpoch>>,
+    epoch: AtomicU64,
+    store: Arc<SessionStore>,
+    chain: RerankChain,
+    config: ServeConfig,
+    exclude_seen: bool,
+    queue: BatchQueue<ServeJob>,
+    stats: ServeStatsInner,
+    /// Integer EWMA of per-request ANN ranking time in µs (0 = no sample
+    /// yet); `new = (7·old + sample) / 8`.
+    ann_ewma_us: AtomicU64,
+}
+
+/// The long-lived serving engine. Construct with [`Server::start`];
+/// worker threads run until [`Server::shutdown`].
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Compiles nothing — takes an already-compiled engine (with any
+    /// index attached), a session store, a re-rank chain, and the tuning
+    /// config, and spawns the worker threads.
+    pub fn start(
+        engine: InferenceModel,
+        store: Arc<SessionStore>,
+        chain: RerankChain,
+        config: ServeConfig,
+    ) -> Server {
+        assert_eq!(
+            engine.num_items(),
+            store.num_items(),
+            "engine and session store disagree on the catalog size"
+        );
+        // A `seen` chain stage wants repeats demoted, not banned: soft
+        // penalty replaces the hard exclude.
+        let exclude_seen = config.exclude_seen && !chain.has_stage("seen");
+        let max_batch = config.max_batch.max(1);
+        let inner = Arc::new(ServerInner {
+            engine: RwLock::new(Arc::new(EngineEpoch { engine, epoch: 0 })),
+            epoch: AtomicU64::new(0),
+            store,
+            chain,
+            exclude_seen,
+            queue: BatchQueue::new(config.queue_capacity.max(max_batch)),
+            stats: ServeStatsInner {
+                requests: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+                ann_degraded: AtomicU64::new(0),
+                swaps: AtomicU64::new(0),
+                batch_hist: (0..max_batch + 1)
+                    .map(|_| AtomicU64::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            },
+            ann_ewma_us: AtomicU64::new(0),
+            config,
+        });
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mbssl-serve-{i}"))
+                    .spawn(move || worker_loop(inner))
+                    .expect("spawning serve worker")
+            })
+            .collect();
+        Server {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Ranks the catalog for `user`, blocking until a worker serves the
+    /// micro-batch the request lands in. Callable from any number of
+    /// threads; concurrent callers are what batching feeds on.
+    pub fn submit(&self, user: UserId, n: usize) -> Result<ServeReply, ServeError> {
+        assert!(n > 0);
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.inner
+            .queue
+            .push(ServeJob { user, n, tx })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Appends one event to `user`'s session (invalidating only that
+    /// user's cached encoding).
+    pub fn ingest(&self, user: UserId, item: ItemId, behavior: Behavior) -> Result<(), String> {
+        self.inner.store.ingest(user, item, behavior)
+    }
+
+    /// Hot-swaps the serving engine. The new engine serves every batch
+    /// that snapshots after the swap; in-flight batches finish on the old
+    /// one, which is freed when the last of them drops its `Arc` — a
+    /// graceful drain with no barrier. Returns the new epoch.
+    pub fn swap_engine(&self, engine: InferenceModel) -> u64 {
+        assert_eq!(
+            engine.num_items(),
+            self.inner.store.num_items(),
+            "swapped engine disagrees with the session store on catalog size"
+        );
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.inner.engine.write().unwrap() = Arc::new(EngineEpoch { engine, epoch });
+        self.inner.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("serve.swap", 1);
+        epoch
+    }
+
+    /// The shared session store.
+    pub fn store(&self) -> &Arc<SessionStore> {
+        &self.inner.store
+    }
+
+    /// Pending (not yet drained) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.inner.stats;
+        ServeStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_misses: s.cache_misses.load(Ordering::Relaxed),
+            ann_degraded: s.ann_degraded.load(Ordering::Relaxed),
+            swaps: s.swaps.load(Ordering::Relaxed),
+            batch_hist: s.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Closes the queue, serves every already-enqueued request, joins the
+    /// workers, and returns the final counters.
+    pub fn shutdown(self) -> ServeStats {
+        self.inner.queue.close();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+fn worker_loop(inner: Arc<ServerInner>) {
+    let mut jobs: Vec<ServeJob> = Vec::with_capacity(inner.config.max_batch);
+    loop {
+        jobs.clear();
+        let alive = {
+            let _wait_sp = telemetry::span("serve.wait");
+            inner
+                .queue
+                .drain_into(inner.config.max_batch.max(1), inner.config.wait, &mut jobs)
+        };
+        if !alive {
+            break;
+        }
+        serve_batch(&inner, &mut jobs);
+    }
+}
+
+/// Serves one drained micro-batch end to end. See the module docs for
+/// the four phases; every span here is hierarchical under `serve.batch`.
+fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
+    let r = jobs.len();
+    debug_assert!(r > 0);
+    let mut batch_sp = telemetry::span("serve.batch");
+    batch_sp.add_bytes(r as u64);
+    telemetry::gauge_set("serve.queue_depth", inner.queue.len() as u64);
+    let stats = &inner.stats;
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.requests.fetch_add(r as u64, Ordering::Relaxed);
+    stats.batch_hist[r.min(stats.batch_hist.len() - 1)].fetch_add(1, Ordering::Relaxed);
+
+    // Engine snapshot: in-flight batches pin their epoch's engine.
+    let snap = inner.engine.read().unwrap().clone();
+    let engine = &snap.engine;
+    let epoch = snap.epoch;
+    let (k, d) = (engine.num_interests(), engine.dim());
+
+    // Phase 1: session snapshots (shard locks only; encoding and ranking
+    // below run lock-free on the copies).
+    let sessions: Vec<UserSnapshot> = jobs
+        .iter()
+        .map(|job| inner.store.snapshot(job.user, epoch))
+        .collect();
+
+    // Phase 2: resolve cached encodings; group the misses by truncated
+    // history length and run ONE batched forward per group (same-length
+    // grouping is the bit-identity condition — see `encode_interests`).
+    let mut z_all = vec![0.0f32; r * k * d];
+    let mut hit = vec![false; r];
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let cache_on = inner.config.cache;
+    for (i, session) in sessions.iter().enumerate() {
+        match session.cached.as_ref().filter(|_| cache_on) {
+            Some(z) => {
+                z_all[i * k * d..][..k * d].copy_from_slice(z);
+                hit[i] = true;
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                let len = session.history.len().min(engine.max_seq_len());
+                groups.entry(len).or_default().push(i);
+                stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    {
+        let mut fwd_sp = telemetry::span("serve.forward");
+        let mut lens: Vec<usize> = groups.keys().copied().collect();
+        lens.sort_unstable();
+        for len in lens {
+            let idxs = &groups[&len];
+            let histories: Vec<&Sequence> =
+                idxs.iter().map(|&i| &sessions[i].history).collect();
+            fwd_sp.add_bytes((histories.len() * len * d * std::mem::size_of::<f32>()) as u64);
+            let z = engine.encode_interests(&histories);
+            for (gi, &i) in idxs.iter().enumerate() {
+                let row = &z[gi * k * d..][..k * d];
+                z_all[i * k * d..][..k * d].copy_from_slice(row);
+                if cache_on {
+                    inner
+                        .store
+                        .store_interests(jobs[i].user, sessions[i].version, epoch, row);
+                }
+            }
+        }
+    }
+
+    // Phase 3: probe-width policy, then one ranking call for the batch.
+    let (nprobe_override, degraded) = effective_nprobe(inner, engine.attached_nprobe());
+    if degraded {
+        stats.ann_degraded.fetch_add(r as u64, Ordering::Relaxed);
+        telemetry::counter_add("serve.ann_degraded", r as u64);
+    }
+    static NO_EXCLUDE: std::sync::OnceLock<HashSet<ItemId>> = std::sync::OnceLock::new();
+    let no_exclude = NO_EXCLUDE.get_or_init(HashSet::new);
+    let overscan = inner.chain.overscan();
+    let num_items = engine.num_items();
+    let queries: Vec<CatalogQuery<'_>> = jobs
+        .iter()
+        .zip(sessions.iter())
+        .map(|(job, session)| CatalogQuery {
+            n: (job.n * overscan).min(num_items),
+            exclude: if inner.exclude_seen {
+                &session.seen
+            } else {
+                no_exclude
+            },
+        })
+        .collect();
+    let rank_started = Instant::now();
+    let ranked = engine.rank_from_interests(&z_all, &queries, num_items, nprobe_override);
+    if engine.attached_nprobe().is_some() && ranked.iter().any(|q| q.used_ann) {
+        observe_ann_us(inner, rank_started.elapsed().as_micros() as u64 / r as u64);
+    }
+
+    // Phase 4: re-rank chain + responses.
+    let mut rr_sp = telemetry::span("serve.rerank");
+    rr_sp.add_bytes(r as u64);
+    let popularity = |item: ItemId| inner.store.popularity(item);
+    for (i, ((job, session), outcome)) in
+        jobs.iter().zip(sessions.iter()).zip(ranked).enumerate()
+    {
+        let mut recs = outcome.recs;
+        if !inner.chain.is_empty() {
+            let ctx = RerankContext {
+                seen: &session.seen,
+                popularity: &popularity,
+            };
+            inner.chain.apply(&ctx, &mut recs);
+            recs.truncate(job.n);
+        }
+        // A dropped receiver (submitter gone) is not an error here.
+        let _ = job.tx.send(ServeReply {
+            recs,
+            batch_size: r,
+            cache_hit: hit[i],
+            degraded,
+            epoch,
+        });
+    }
+}
+
+/// The `MBSSL_ANN_BUDGET_US` policy: shrink the probe width
+/// proportionally when the ANN EWMA exceeds the budget, and halve it
+/// when the queue backs up past one full batch. Returns `(override,
+/// degraded)` — `None` means "use the attached width".
+fn effective_nprobe(inner: &ServerInner, base: Option<usize>) -> (Option<usize>, bool) {
+    let (Some(base), Some(budget)) = (base, inner.config.ann_budget_us) else {
+        return (None, false);
+    };
+    let mut eff = base;
+    let ewma = inner.ann_ewma_us.load(Ordering::Relaxed);
+    if ewma > budget {
+        eff = ((base as u64 * budget / ewma) as usize).max(1);
+    }
+    if inner.queue.len() > inner.config.max_batch {
+        eff = (eff / 2).max(1);
+    }
+    if eff < base {
+        (Some(eff), true)
+    } else {
+        (None, false)
+    }
+}
+
+fn observe_ann_us(inner: &ServerInner, sample_us: u64) {
+    let old = inner.ann_ewma_us.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        sample_us.max(1)
+    } else {
+        (old * 7 + sample_us) / 8
+    };
+    inner.ann_ewma_us.store(new.max(1), Ordering::Relaxed);
+}

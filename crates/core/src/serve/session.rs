@@ -1,0 +1,261 @@
+//! Per-user session state: histories, seen-sets, popularity counts, and
+//! the epoch-keyed interest cache (DESIGN.md §15).
+//!
+//! The store is sharded (`SHARDS` mutexes over hash-split user maps) so
+//! concurrent requests for different users rarely contend. Each session
+//! carries a monotone `version`; [`SessionStore::ingest`] appends the
+//! event, bumps the version, and thereby invalidates **only that user's**
+//! cached encoding — no other session is touched. Cached interests are
+//! additionally keyed by the serving-engine epoch, so a checkpoint
+//! hot-swap ([`super::Server::swap_engine`]) lazily invalidates every
+//! cache entry without walking the store: a stale epoch simply fails the
+//! match on next read and the user is re-encoded through the new engine.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mbssl_data::{Behavior, Dataset, ItemId, Sequence, UserId};
+
+/// Shard count; power of two so the shard pick is a mask.
+const SHARDS: usize = 16;
+
+/// A cached interest encoding, valid only while both the engine epoch
+/// and the session version still match.
+struct CachedInterests {
+    epoch: u64,
+    version: u64,
+    z: Vec<f32>,
+}
+
+struct UserSession {
+    history: Sequence,
+    seen: HashSet<ItemId>,
+    version: u64,
+    cached: Option<CachedInterests>,
+}
+
+impl UserSession {
+    fn new() -> UserSession {
+        UserSession {
+            history: Sequence::new(),
+            seen: HashSet::new(),
+            version: 0,
+            cached: None,
+        }
+    }
+}
+
+/// Everything one request needs from a session, copied out under the
+/// shard lock so encoding and ranking run lock-free.
+pub struct UserSnapshot {
+    /// The user's full event history (the engine truncates).
+    pub history: Sequence,
+    /// Session version at snapshot time; hand it back to
+    /// [`SessionStore::store_interests`] so a concurrent ingest can't be
+    /// overwritten by a stale encoding.
+    pub version: u64,
+    /// Items the user has interacted with.
+    pub seen: HashSet<ItemId>,
+    /// Cached interests (`[k, d]`) if still valid for `epoch`.
+    pub cached: Option<Vec<f32>>,
+}
+
+/// Sharded per-user session state shared by the server workers.
+pub struct SessionStore {
+    shards: Box<[Mutex<HashMap<UserId, UserSession>>]>,
+    /// Interaction count per item id (index `0` unused), maintained on
+    /// ingest and consulted by the popularity-debias rerank stage.
+    popularity: Box<[AtomicU64]>,
+    num_items: usize,
+}
+
+impl SessionStore {
+    /// An empty store over a catalog of `num_items` items.
+    pub fn new(num_items: usize) -> SessionStore {
+        let shards = (0..SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let popularity = (0..num_items + 1)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SessionStore {
+            shards,
+            popularity,
+            num_items,
+        }
+    }
+
+    /// Seeds sessions and popularity counts from a dataset (user `u` ↔
+    /// `dataset.sequences[u]`, the same mapping the `recommend` CLI uses).
+    pub fn from_dataset(dataset: &Dataset) -> SessionStore {
+        let store = SessionStore::new(dataset.num_items);
+        for (user, seq) in dataset.sequences.iter().enumerate() {
+            let mut session = UserSession::new();
+            session.history = seq.clone();
+            session.seen = seq.items.iter().copied().collect();
+            for &item in &seq.items {
+                store.popularity[item as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            store.shards[user % SHARDS]
+                .lock()
+                .unwrap()
+                .insert(user as UserId, session);
+        }
+        store
+    }
+
+    fn shard(&self, user: UserId) -> &Mutex<HashMap<UserId, UserSession>> {
+        &self.shards[user as usize % SHARDS]
+    }
+
+    /// Catalog size this store was built for.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of known sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no session exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global interaction count for `item`.
+    pub fn popularity(&self, item: ItemId) -> u64 {
+        self.popularity
+            .get(item as usize)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Appends one event to `user`'s history (creating the session if
+    /// new), bumps the session version — invalidating only this user's
+    /// cached encoding — and counts the item's popularity.
+    pub fn ingest(&self, user: UserId, item: ItemId, behavior: Behavior) -> Result<(), String> {
+        if item == 0 || item as usize > self.num_items {
+            return Err(format!(
+                "item {item} outside catalog 1..={}",
+                self.num_items
+            ));
+        }
+        let mut shard = self.shard(user).lock().unwrap();
+        let session = shard.entry(user).or_insert_with(UserSession::new);
+        session.history.push(item, behavior);
+        session.seen.insert(item);
+        session.version += 1;
+        session.cached = None;
+        drop(shard);
+        self.popularity[item as usize].fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Copies out everything a request needs; `epoch` filters the cache
+    /// (a stale engine's encoding never leaks across a hot-swap). Unknown
+    /// users get an empty session (cold-start: the encoder handles empty
+    /// histories).
+    pub fn snapshot(&self, user: UserId, epoch: u64) -> UserSnapshot {
+        let mut shard = self.shard(user).lock().unwrap();
+        let session = shard.entry(user).or_insert_with(UserSession::new);
+        let cached = session
+            .cached
+            .as_ref()
+            .filter(|c| c.epoch == epoch && c.version == session.version)
+            .map(|c| c.z.clone());
+        UserSnapshot {
+            history: session.history.clone(),
+            version: session.version,
+            seen: session.seen.clone(),
+            cached,
+        }
+    }
+
+    /// Writes a freshly computed encoding back, unless the session moved
+    /// on (version mismatch) while the batch was being served — a stale
+    /// write must lose to a concurrent ingest.
+    pub fn store_interests(&self, user: UserId, version: u64, epoch: u64, z: &[f32]) {
+        let mut shard = self.shard(user).lock().unwrap();
+        if let Some(session) = shard.get_mut(&user) {
+            if session.version == version {
+                session.cached = Some(CachedInterests {
+                    epoch,
+                    version,
+                    z: z.to_vec(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_appends_and_invalidates_only_that_user() {
+        let store = SessionStore::new(100);
+        store.store_interests(1, 0, 7, &[1.0]);
+        // Unknown user: store_interests is a no-op, snapshot creates.
+        assert!(store.snapshot(1, 7).cached.is_none());
+
+        // Cache both users at epoch 7.
+        store.snapshot(1, 7);
+        store.snapshot(2, 7);
+        store.store_interests(1, 0, 7, &[1.0]);
+        store.store_interests(2, 0, 7, &[2.0]);
+        assert_eq!(store.snapshot(1, 7).cached.as_deref(), Some(&[1.0][..]));
+        assert_eq!(store.snapshot(2, 7).cached.as_deref(), Some(&[2.0][..]));
+
+        store.ingest(1, 42, Behavior::Click).unwrap();
+        let snap1 = store.snapshot(1, 7);
+        assert!(snap1.cached.is_none(), "ingest must invalidate user 1");
+        assert_eq!(snap1.history.items, vec![42]);
+        assert_eq!(snap1.version, 1);
+        assert!(snap1.seen.contains(&42));
+        assert_eq!(
+            store.snapshot(2, 7).cached.as_deref(),
+            Some(&[2.0][..]),
+            "user 2's cache must survive"
+        );
+        assert_eq!(store.popularity(42), 1);
+    }
+
+    #[test]
+    fn epoch_mismatch_misses_without_clearing() {
+        let store = SessionStore::new(10);
+        store.snapshot(5, 1);
+        store.store_interests(5, 0, 1, &[3.0]);
+        assert!(store.snapshot(5, 2).cached.is_none(), "new epoch: miss");
+        assert_eq!(
+            store.snapshot(5, 1).cached.as_deref(),
+            Some(&[3.0][..]),
+            "old epoch entry still matches its own epoch"
+        );
+    }
+
+    #[test]
+    fn stale_write_back_loses_to_concurrent_ingest() {
+        let store = SessionStore::new(10);
+        store.snapshot(3, 1);
+        let version_at_encode = store.snapshot(3, 1).version;
+        store.ingest(3, 4, Behavior::Purchase).unwrap();
+        store.store_interests(3, version_at_encode, 1, &[9.0]);
+        assert!(
+            store.snapshot(3, 1).cached.is_none(),
+            "encoding of the pre-ingest history must not be cached"
+        );
+    }
+
+    #[test]
+    fn ingest_rejects_out_of_catalog_items() {
+        let store = SessionStore::new(10);
+        assert!(store.ingest(1, 0, Behavior::Click).is_err());
+        assert!(store.ingest(1, 11, Behavior::Click).is_err());
+        assert!(store.ingest(1, 10, Behavior::Click).is_ok());
+    }
+}

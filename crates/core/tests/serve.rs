@@ -1,0 +1,305 @@
+//! Serving-engine gates (DESIGN.md §15).
+//!
+//! The contract under test:
+//! - micro-batched serving is **bit-identical** to sequential
+//!   `recommend_top_n`, across both backbones, both extractors, batch
+//!   sizes 1/4/16, and genuinely concurrent submitters (which also pins
+//!   arena free-list isolation: a cross-request scratch leak would show
+//!   up as score drift);
+//! - the per-user interest cache serves identical results and is
+//!   invalidated by exactly one ingest;
+//! - a checkpoint hot-swap redirects new requests to the new engine
+//!   (epoch-tagged) without disturbing the session store;
+//! - the `MBSSL_ANN_BUDGET_US` policy degrades the probe width (counted)
+//!   while responses stay well-formed;
+//! - a non-empty re-rank chain composes with retrieval overscan.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use mbssl_core::serve::{RerankChain, ServeConfig, Server, SessionStore};
+use mbssl_core::{
+    recommend_top_n, BehaviorSchema, EncoderKind, ExtractorKind, InferenceModel, Mbmissl,
+    ModelConfig, Recommendation,
+};
+use mbssl_data::synthetic::SyntheticConfig;
+use mbssl_data::{Behavior, Dataset, ItemId, UserId};
+use mbssl_tensor::quant::QuantMode;
+
+fn tiny_model(encoder: EncoderKind, extractor: ExtractorKind) -> (Mbmissl, Dataset) {
+    tiny_model_seeded(encoder, extractor, None)
+}
+
+fn tiny_model_seeded(
+    encoder: EncoderKind,
+    extractor: ExtractorKind,
+    seed: Option<u64>,
+) -> (Mbmissl, Dataset) {
+    let g = SyntheticConfig::taobao_like(31).scaled(0.05).generate();
+    let schema = BehaviorSchema::new(g.dataset.behaviors.clone(), g.dataset.target_behavior);
+    let mut config = ModelConfig {
+        dim: 16,
+        heads: 2,
+        num_layers: 2,
+        ffn_hidden: 32,
+        num_interests: 2,
+        extractor_hidden: 16,
+        max_seq_len: 20,
+        dropout: 0.1,
+        encoder,
+        extractor,
+        ..ModelConfig::default()
+    };
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    (Mbmissl::new(g.dataset.num_items, schema, config), g.dataset)
+}
+
+const VARIANTS: [(EncoderKind, ExtractorKind); 4] = [
+    (EncoderKind::Hypergraph, ExtractorKind::SelfAttentive),
+    (EncoderKind::Hypergraph, ExtractorKind::DynamicRouting),
+    (EncoderKind::Transformer, ExtractorKind::SelfAttentive),
+    (EncoderKind::Transformer, ExtractorKind::DynamicRouting),
+];
+
+/// The engine `recommend_top_n` itself serves through (same env gates),
+/// falling back to a plain f32 compile when `MBSSL_INFER=off` — the
+/// engine/reference parity suite pins those two paths bit-identical.
+fn serving_engine(model: &Mbmissl) -> InferenceModel {
+    if mbssl_core::infer::enabled() {
+        InferenceModel::compile(model) // same env-driven quant mode
+    } else {
+        InferenceModel::compile_with_mode(model, QuantMode::Off)
+    }
+}
+
+/// Offline baseline: what `mbssl recommend` prints for this user.
+fn offline(model: &Mbmissl, dataset: &Dataset, user: UserId, n: usize) -> Vec<Recommendation> {
+    let history = &dataset.sequences[user as usize];
+    let exclude: HashSet<ItemId> = history.items.iter().copied().collect();
+    recommend_top_n(model, history, dataset.num_items, n, &exclude, 64)
+}
+
+#[test]
+fn batched_serving_is_bit_identical_to_sequential_top_n() {
+    let n = 5;
+    for (encoder, extractor) in VARIANTS {
+        let (model, dataset) = tiny_model(encoder, extractor);
+        let users: Vec<UserId> = (0..dataset.sequences.len().min(16) as UserId).collect();
+        let expected: Vec<Vec<Recommendation>> =
+            users.iter().map(|&u| offline(&model, &dataset, u, n)).collect();
+        for max_batch in [1usize, 4, 16] {
+            let server = Server::start(
+                serving_engine(&model),
+                Arc::new(SessionStore::from_dataset(&dataset)),
+                RerankChain::empty(),
+                ServeConfig {
+                    max_batch,
+                    wait: std::time::Duration::from_millis(2),
+                    workers: 2,
+                    cache: false, // every request takes the full forward path
+                    ..ServeConfig::default()
+                },
+            );
+            // Concurrent submitters: one thread per user, all in flight at
+            // once, so drains genuinely mix users into shared batches.
+            let server_ref = &server;
+            let replies: Vec<_> = std::thread::scope(|scope| {
+                let handles: Vec<_> = users
+                    .iter()
+                    .map(|&u| scope.spawn(move || server_ref.submit(u, n).unwrap()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for ((reply, want), &u) in replies.iter().zip(&expected).zip(&users) {
+                assert!(reply.batch_size >= 1 && reply.batch_size <= max_batch);
+                assert_eq!(
+                    &reply.recs, want,
+                    "served drift for {encoder:?}/{extractor:?} user {u} max_batch {max_batch}"
+                );
+            }
+            let stats = server.shutdown();
+            assert_eq!(stats.requests, users.len() as u64);
+            assert_eq!(
+                stats.batch_hist.iter().sum::<u64>(),
+                stats.batches,
+                "histogram must cover every batch"
+            );
+            assert_eq!(
+                stats
+                    .batch_hist
+                    .iter()
+                    .enumerate()
+                    .map(|(s, c)| s as u64 * c)
+                    .sum::<u64>(),
+                stats.requests,
+                "histogram weights must cover every request"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_serves_identical_results_and_ingest_invalidates() {
+    let (model, dataset) = tiny_model(EncoderKind::Hypergraph, ExtractorKind::SelfAttentive);
+    let n = 5;
+    let server = Server::start(
+        serving_engine(&model),
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        RerankChain::empty(),
+        ServeConfig {
+            max_batch: 4,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    let user: UserId = 0;
+    let cold = server.submit(user, n).unwrap();
+    assert!(!cold.cache_hit, "first request must encode");
+    assert_eq!(cold.recs, offline(&model, &dataset, user, n));
+
+    let warm = server.submit(user, n).unwrap();
+    assert!(warm.cache_hit, "second request must reuse the cached encoding");
+    assert_eq!(warm.recs, cold.recs, "cache hit must not change results");
+
+    // One ingest invalidates exactly this user's cache, and the next
+    // response reflects the grown history bit-for-bit.
+    let new_item: ItemId = (dataset.num_items as ItemId).min(3);
+    server.ingest(user, new_item, Behavior::Click).unwrap();
+    let after = server.submit(user, n).unwrap();
+    assert!(!after.cache_hit, "ingest must invalidate the cache");
+    let mut history = dataset.sequences[user as usize].clone();
+    history.push(new_item, Behavior::Click);
+    let exclude: HashSet<ItemId> = history.items.iter().copied().collect();
+    assert_eq!(
+        after.recs,
+        recommend_top_n(&model, &history, dataset.num_items, n, &exclude, 64)
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+}
+
+#[test]
+fn hot_swap_redirects_new_requests_to_the_new_engine() {
+    let (model_a, dataset) =
+        tiny_model_seeded(EncoderKind::Transformer, ExtractorKind::SelfAttentive, Some(42));
+    let (model_b, _) =
+        tiny_model_seeded(EncoderKind::Transformer, ExtractorKind::SelfAttentive, Some(1234));
+    let n = 5;
+    let server = Server::start(
+        serving_engine(&model_a),
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        RerankChain::empty(),
+        ServeConfig {
+            max_batch: 4,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+
+    let user: UserId = 1;
+    let before = server.submit(user, n).unwrap();
+    assert_eq!(before.epoch, 0);
+    assert_eq!(before.recs, offline(&model_a, &dataset, user, n));
+
+    let epoch = server.swap_engine(serving_engine(&model_b));
+    assert_eq!(epoch, 1);
+    let after = server.submit(user, n).unwrap();
+    assert_eq!(after.epoch, 1, "post-swap requests must serve on the new epoch");
+    assert!(
+        !after.cache_hit,
+        "old epoch's cached encoding must not survive the swap"
+    );
+    assert_eq!(after.recs, offline(&model_b, &dataset, user, n));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.swaps, 1);
+}
+
+#[test]
+fn ann_budget_degrades_probe_width_but_responses_stay_well_formed() {
+    if !mbssl_core::ann::enabled() {
+        return; // MBSSL_ANN=off: the policy has nothing to degrade
+    }
+    let (model, dataset) = tiny_model(EncoderKind::Transformer, ExtractorKind::DynamicRouting);
+    let mut engine = InferenceModel::compile_with_mode(&model, QuantMode::Off);
+    let index = engine.build_index_with(8, 7);
+    engine.attach_index_with(index, 4).unwrap();
+    let n = 5;
+    let server = Server::start(
+        engine,
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        RerankChain::empty(),
+        ServeConfig {
+            max_batch: 2,
+            workers: 1,
+            cache: false,          // force the ANN path on every request
+            ann_budget_us: Some(0), // any observed latency busts the budget
+            ..ServeConfig::default()
+        },
+    );
+    // First request seeds the EWMA; later ones must degrade to nprobe 1.
+    let mut saw_degraded = false;
+    for round in 0..4 {
+        let reply = server.submit(round % 3, n).unwrap();
+        assert_eq!(reply.recs.len(), n, "degraded responses still rank n items");
+        for pair in reply.recs.windows(2) {
+            assert!(
+                pair[0].score >= pair[1].score,
+                "degraded responses stay sorted"
+            );
+        }
+        saw_degraded |= reply.degraded;
+    }
+    assert!(saw_degraded, "a zero budget must degrade after the first sample");
+    let stats = server.shutdown();
+    assert!(stats.ann_degraded > 0, "degradation must be counted");
+}
+
+#[test]
+fn rerank_chain_composes_with_retrieval_overscan() {
+    let (model, dataset) = tiny_model(EncoderKind::Hypergraph, ExtractorKind::DynamicRouting);
+    let n = 3;
+    // topk:3 after a 4× overscan must reproduce the plain top-3 exactly.
+    let server = Server::start(
+        serving_engine(&model),
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        RerankChain::parse("topk:3").unwrap(),
+        ServeConfig {
+            max_batch: 4,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let reply = server.submit(2, n).unwrap();
+    assert_eq!(reply.recs, offline(&model, &dataset, 2, n));
+    server.shutdown();
+
+    // A `seen` stage switches the server from hard-excluding seen items
+    // to soft-penalizing them: with an overwhelming penalty every seen
+    // item still drops out of the top n.
+    let server = Server::start(
+        serving_engine(&model),
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        RerankChain::parse("seen:1000000").unwrap(),
+        ServeConfig {
+            max_batch: 4,
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let reply = server.submit(2, n).unwrap();
+    assert_eq!(reply.recs.len(), n);
+    let seen: HashSet<ItemId> = dataset.sequences[2].items.iter().copied().collect();
+    for rec in &reply.recs {
+        assert!(
+            !seen.contains(&rec.item),
+            "a crushing seen penalty must push seen items out of the top {n}"
+        );
+    }
+    server.shutdown();
+}

@@ -19,9 +19,15 @@
 # MBSSL_BENCH_TOL_PCT (default 2%) fails the script, enforcing the
 # "disabled-mode tracing is free" contract.
 #
+# A fourth pass runs `exp_serve` (16 closed-loop clients against the
+# micro-batched serving engine); its per-phase QPS / p50 / p99 / batch
+# histogram and the engine-vs-single-request speedup are embedded as the
+# report's `serve` section.
+#
 # On success, one summary line {git_rev, date, fused/unfused/traced train_step
-# items/s} is appended to the committed BENCH_history.jsonl, so throughput
-# history accumulates across commits and stays greppable/plottable.
+# items/s, serve QPS + latency figures} is appended to the committed
+# BENCH_history.jsonl, so throughput history accumulates across commits and
+# stays greppable/plottable.
 #
 # Usage: scripts/bench_smoke.sh [extra cargo-bench args]
 # Env:   MBSSL_THREADS       — forwarded to the worker pool (see DESIGN.md §Threading).
@@ -70,7 +76,16 @@ CRITERION_QUICK=1 CRITERION_JSON="$raw_traced" \
     MBSSL_TRACE=summary MBSSL_BENCH_ONLY=train_step \
     cargo bench -p mbssl-bench --bench throughput "$@"
 
-python3 - "$raw" "$raw_unfused" "$raw_traced" "$prev_report" > BENCH_throughput.json <<'PY'
+# Serving load test (DESIGN.md §15): 16 closed-loop clients against the
+# micro-batched request engine; QPS, p50/p99, batch histogram, and the
+# engine-vs-single-request speedup land in the report's `serve` section.
+serve_dir=$(mktemp -d)
+trap 'rm -rf "$raw" "$raw_unfused" "$raw_traced" "$prev_report" "$serve_dir"' EXIT
+echo "serve load test (exp_serve, 16 clients)" >&2
+MBSSL_TRACE=off cargo run --release -q -p mbssl-bench --bin exp_serve -- \
+    --quick --reqs 64 --out "$serve_dir" >&2
+
+python3 - "$raw" "$raw_unfused" "$raw_traced" "$prev_report" "$serve_dir/serve.json" > BENCH_throughput.json <<'PY'
 import datetime, json, os, re, subprocess, sys
 
 def load(path):
@@ -203,6 +218,17 @@ if telemetry:
 if allocator:
     report["allocator"] = allocator
 
+# Serving load test: per-phase QPS / p50 / p99 / batch histogram, plus the
+# engine-vs-single-request speedups (exp_serve, 16 closed-loop clients).
+serve = None
+try:
+    with open(sys.argv[5]) as fh:
+        serve = json.load(fh)
+except (OSError, json.JSONDecodeError):
+    serve = None
+if serve:
+    report["serve"] = serve
+
 # Disabled-mode overhead gate: pass-1 train_step (MBSSL_TRACE=off) must stay
 # within MBSSL_BENCH_TOL_PCT of the committed report's figure.
 tol_pct = float(os.environ.get("MBSSL_BENCH_TOL_PCT", "2"))
@@ -258,6 +284,20 @@ history = {
     "ann_speedup_xl": round(rec_ann_xl / rec_xl, 2) if rec_ann_xl and rec_xl else None,
     "index_build_ms_catalog24000": round(build_24000 / 1e6, 2) if build_24000 else None,
 }
+if serve:
+    by_phase = {p["phase"]: p for p in serve.get("phases", [])}
+    history.update({
+        "serve_sequential_qps": round(by_phase["sequential"]["qps"], 1)
+            if "sequential" in by_phase else None,
+        "serve_batched_qps": round(by_phase["batched"]["qps"], 1)
+            if "batched" in by_phase else None,
+        "serve_cached_qps": round(by_phase["cached"]["qps"], 1)
+            if "cached" in by_phase else None,
+        "serve_p50_us": by_phase.get("cached", {}).get("p50_us"),
+        "serve_p99_us": by_phase.get("cached", {}).get("p99_us"),
+        "serve_speedup": serve.get("cached_speedup"),
+        "serve_batched_speedup": serve.get("batched_speedup"),
+    })
 with open("BENCH_history.jsonl", "a") as fh:
     fh.write(json.dumps(history) + "\n")
 

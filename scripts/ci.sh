@@ -8,7 +8,10 @@
 #                             roadmap promises stays green).
 #   2. packed-GEMM proptests — bit-for-bit packed==naive, run under worker
 #                             pool sizes 1, 2, and the machine default so the
-#                             parallel row-split paths are all exercised.
+#                             parallel row-split paths are all exercised. The
+#                             serving-engine suite (micro-batched == sequential
+#                             recommend_top_n, cache/hot-swap/budget gates)
+#                             runs inside the same pool-size loop.
 #   3. fused-op parity      — bit-for-bit fused==unfused forward + gradients
 #                             (also per pool size; sdpa dispatches per slice).
 #   4. allocation regression — counting-allocator budget test (also per pool
@@ -43,7 +46,13 @@
 #                             the index workflow: `mbssl index build` /
 #                             `index stats` / two-stage `recommend`, with an
 #                             MBSSL_ANN=off bit-parity diff against the
-#                             pre-index exhaustive output.
+#                             pre-index exhaustive output. Then the serve
+#                             smoke: a fixed replay served micro-batched
+#                             (batch 16, cache on) must be byte-identical to
+#                             the single-request run (batch 1, cache off) and
+#                             to offline `recommend`, report zero allocator
+#                             misses after the steady-state mark, and shut
+#                             down cleanly.
 #   9. rustdoc              — `cargo doc --no-deps` for the workspace crates
 #                             with warnings promoted to errors (missing-docs
 #                             regressions fail here).
@@ -94,6 +103,13 @@ for threads in 1 2 ""; do
         MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test simd_parity -q
     else
         env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test simd_parity -q
+    fi
+
+    echo "==> serving-engine parity (batched == sequential, MBSSL_THREADS=$label)"
+    if [[ -n "$threads" ]]; then
+        MBSSL_THREADS="$threads" cargo test --release -p mbssl-core --test serve -q
+    else
+        env -u MBSSL_THREADS cargo test --release -p mbssl-core --test serve -q
     fi
 done
 
@@ -172,6 +188,46 @@ MBSSL_ANN=off "$mbssl" recommend --data "$trace_dir/log.tsv" --target purchase \
     --model "$trace_dir/model.ckpt" --dim 16 --interests 2 --user 3 --top 5 \
     > "$trace_dir/recs_ann_off.txt"
 diff "$trace_dir/recs_exhaustive.txt" "$trace_dir/recs_ann_off.txt"
+
+echo "==> serve smoke (replay parity, offline cross-check, zero steady-state allocs, clean shutdown)"
+# Fixed replay: a warmup wave, then `mark` opens the steady-state window
+# and the identical wave repeats — by then every buffer the batch shapes
+# need has been high-watered, so the size-class allocator must not miss.
+cat > "$trace_dir/replay.txt" <<'REPLAY'
+rec 3 5
+rec 7 5
+rec 11 5
+mark
+rec 3 5
+rec 7 5
+rec 11 5
+quit
+REPLAY
+# Micro-batched run (cache on, the serving default; the sibling .ivf is
+# picked up, so this also smokes two-stage retrieval under batching).
+MBSSL_SERVE_BATCH=16 MBSSL_SERVE_WORKERS=1 "$mbssl" serve \
+    --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2 \
+    --replay "$trace_dir/replay.txt" \
+    > "$trace_dir/serve_b16.txt" 2> "$trace_dir/serve_b16.err"
+# Single-request run (no batching, no cache): stdout must be bit-identical.
+MBSSL_SERVE_BATCH=1 MBSSL_SERVE_WORKERS=1 MBSSL_SERVE_CACHE=off "$mbssl" serve \
+    --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2 \
+    --replay "$trace_dir/replay.txt" \
+    > "$trace_dir/serve_b1.txt" 2> /dev/null
+diff "$trace_dir/serve_b16.txt" "$trace_dir/serve_b1.txt"
+# Offline cross-check: the served item lines for user 3 must match what
+# `mbssl recommend` prints for the same user, model, and index.
+"$mbssl" recommend --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model.ckpt" --dim 16 --interests 2 --user 3 --top 5 \
+    | tail -5 > "$trace_dir/offline_user3.txt"
+head -6 "$trace_dir/serve_b16.txt" | tail -5 > "$trace_dir/served_user3.txt"
+diff "$trace_dir/offline_user3.txt" "$trace_dir/served_user3.txt"
+# Steady-state serving must not allocate (arena + size-class recycling),
+# and the drain must be clean.
+grep -q "steady-state alloc misses: 0" "$trace_dir/serve_b16.err"
+grep -q "clean shutdown" "$trace_dir/serve_b16.err"
 
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

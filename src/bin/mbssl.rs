@@ -6,6 +6,7 @@
 //! mbssl train     --data log.tsv --target favorite --model out.ckpt [--epochs N] [--dim D] [--interests K] [--run-dir DIR]
 //! mbssl evaluate  --data log.tsv --target favorite --model out.ckpt
 //! mbssl recommend --data log.tsv --target favorite --model out.ckpt --user 42 --top 10
+//! mbssl serve     --data log.tsv --target favorite --model out.ckpt [--replay FILE] [--rerank SPEC] [--top N]
 //! mbssl stats     --data log.tsv --target favorite
 //! mbssl synth     --out log.tsv [--preset taobao|yelp] [--scale F] [--seed S]
 //! mbssl index build --data log.tsv --target favorite --model out.ckpt [--out out.ckpt.ivf] [--nlist N]
@@ -17,6 +18,27 @@
 //!
 //! TSV format: `user \t item \t behavior \t timestamp` with behaviors in
 //! {click, cart, favorite, purchase}; a header line is allowed.
+//!
+//! `mbssl serve` runs the micro-batched request engine (DESIGN.md §15)
+//! over a line protocol read from `--replay FILE` or stdin:
+//!
+//! ```text
+//! rec USER [N]              top-N request; consecutive `rec` lines form one
+//!                           concurrent wave (replies print in input order)
+//! event USER ITEM BEHAVIOR  append one event to USER's session
+//! swap CKPT                 hot-swap the serving engine from a checkpoint
+//! mark                      start of the steady-state window (resets the
+//!                           size-class allocator counters)
+//! stats                     print server counters to stderr
+//! quit                      drain and shut down (EOF does the same)
+//! ```
+//!
+//! Recommendation lines on stdout match `mbssl recommend` exactly; all
+//! serving diagnostics (batch sizes, cache hits, counters, the
+//! steady-state allocation report) go to stderr, so replay output is
+//! byte-diffable across batching configurations. Tuning comes from the
+//! `MBSSL_SERVE_BATCH` / `MBSSL_SERVE_WAIT_US` / `MBSSL_SERVE_WORKERS` /
+//! `MBSSL_SERVE_CACHE` / `MBSSL_ANN_BUDGET_US` environment.
 //!
 //! Every command accepts `--trace MODE` (`off`, `summary`, or
 //! `jsonl:<path>`), equivalent to setting `MBSSL_TRACE`: `summary` prints a
@@ -101,6 +123,7 @@ fn usage() {
 [--epochs N] [--dim D] [--interests K] [--seed S] [--run-dir DIR]\n  \
          mbssl evaluate  --data LOG.tsv --target BEHAVIOR --model IN.ckpt\n  \
          mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N] [--index PATH.ivf]\n  \
+         mbssl serve     --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--replay FILE] [--rerank SPEC] [--top N] [--index PATH.ivf]\n  \
          mbssl stats     --data LOG.tsv --target BEHAVIOR\n  \
          mbssl synth     --out LOG.tsv [--preset taobao|yelp] [--scale F] [--seed S]\n  \
          mbssl index build --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--out PATH.ivf] [--nlist N] [--seed S]\n  \
@@ -154,6 +177,190 @@ fn model_config(args: &Args, seed: u64) -> ModelConfig {
         seed,
         ..ModelConfig::default()
     }
+}
+
+/// `mbssl serve`: the micro-batched request engine over a line protocol
+/// (see the module docs for the command set). Consecutive `rec` lines are
+/// submitted as one concurrent wave — that concurrency is what the
+/// batcher converts into shared encoder forwards — and replies print in
+/// input order so replay output is deterministic.
+fn serve_command(args: &Args, seed: u64) -> Result<(), String> {
+    use std::io::BufRead;
+    use std::sync::Arc;
+
+    use mbssl::core::serve::{RerankChain, ServeConfig, ServeStats, Server, SessionStore};
+
+    let (dataset, target) = load_dataset(args)?;
+    let ckpt = args.require("model")?.to_string();
+    if !mbssl::core::infer::enabled() {
+        return Err("serve needs the compiled engine; unset MBSSL_INFER=off".into());
+    }
+    let top_default: usize = args.get_or("top", "10").parse().map_err(|_| "bad --top")?;
+    let chain = RerankChain::parse(args.get_or("rerank", ""))
+        .map_err(|e| format!("bad --rerank: {e}"))?;
+    let config = ServeConfig::from_env();
+
+    // Compiles a checkpoint into a serving engine, attaching `--index`
+    // (or the `<ckpt>.ivf` sibling) with recommend's warn-and-degrade
+    // semantics.
+    let build_engine = |ckpt: &str| -> Result<InferenceModel, String> {
+        let schema = BehaviorSchema::new(dataset.behaviors.clone(), target);
+        let model = Mbmissl::new(dataset.num_items, schema, model_config(args, seed));
+        model.load(ckpt).map_err(|e| format!("loading {ckpt}: {e}"))?;
+        let mut engine = InferenceModel::compile(&model);
+        let index_path = args.get("index").map(String::from).or_else(|| {
+            let implied = format!("{ckpt}.ivf");
+            std::path::Path::new(&implied).exists().then_some(implied)
+        });
+        if let (Some(path), true) = (index_path, mbssl::core::ann::enabled()) {
+            match IvfIndex::load_from_file(&path).and_then(|ix| engine.attach_index(ix)) {
+                Ok(()) => eprintln!("serve: two-stage retrieval via {path}"),
+                Err(e) => eprintln!("serve: warning: ignoring index {path}: {e}"),
+            }
+        }
+        Ok(engine)
+    };
+
+    let server = Server::start(
+        build_engine(&ckpt)?,
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        chain,
+        config.clone(),
+    );
+    eprintln!("{}", engine_banner());
+    eprintln!(
+        "serve: up — {} sessions, batch≤{}, wait {}µs, {} workers, cache {}",
+        dataset.num_users,
+        config.max_batch,
+        config.wait.as_micros(),
+        config.workers,
+        if config.cache { "on" } else { "off" },
+    );
+
+    let input: Box<dyn BufRead> = match args.get("replay") {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+
+    let print_stats = |s: &ServeStats| {
+        eprintln!(
+            "serve: {} requests in {} batches (mean {:.2}/batch), cache hit rate {:.0}%, \
+             {} swaps, {} degraded",
+            s.requests,
+            s.batches,
+            s.mean_batch(),
+            100.0 * s.cache_hit_rate(),
+            s.swaps,
+            s.ann_degraded,
+        );
+        let hist: Vec<String> = s
+            .batch_hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(size, &c)| format!("{size}:{c}"))
+            .collect();
+        eprintln!("serve: batch histogram: {}", hist.join(" "));
+    };
+
+    // Flushes one wave of consecutive `rec` lines: submit concurrently,
+    // print replies in input order.
+    let flush_wave = |wave: &mut Vec<(u32, usize)>| -> Result<(), String> {
+        if wave.is_empty() {
+            return Ok(());
+        }
+        let server = &server;
+        let replies: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|&(user, n)| scope.spawn(move || server.submit(user, n)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (&(user, n), reply) in wave.iter().zip(replies) {
+            let reply = reply.map_err(|e| format!("rec {user}: {e}"))?;
+            println!("top-{n} recommendations for user {user}:");
+            for (rank, rec) in reply.recs.iter().enumerate() {
+                println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, rec.item, rec.score);
+            }
+            eprintln!(
+                "serve: rec user={user} batch={} cache={} epoch={}{}",
+                reply.batch_size,
+                if reply.cache_hit { "hit" } else { "miss" },
+                reply.epoch,
+                if reply.degraded { " degraded" } else { "" },
+            );
+        }
+        wave.clear();
+        Ok(())
+    };
+
+    let mut wave: Vec<(u32, usize)> = Vec::new();
+    let mut marked = false;
+    for (line_no, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("reading input: {e}"))?;
+        let line = line.trim();
+        let mut err = |msg: String| format!("line {}: {msg}", line_no + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens[0] != "rec" {
+            flush_wave(&mut wave)?;
+        }
+        match tokens[0] {
+            "rec" => {
+                let user: u32 = tokens
+                    .get(1)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("rec needs a user id".into()))?;
+                let n: usize = match tokens.get(2) {
+                    Some(t) => t.parse().map_err(|_| err(format!("bad top count {t:?}")))?,
+                    None => top_default,
+                };
+                wave.push((user, n.max(1)));
+            }
+            "event" => {
+                let (user, item, behavior) = match tokens[1..] {
+                    [u, i, b] => (
+                        u.parse::<u32>().map_err(|_| err(format!("bad user {u:?}")))?,
+                        i.parse::<u32>().map_err(|_| err(format!("bad item {i:?}")))?,
+                        Behavior::from_token(b)
+                            .ok_or_else(|| err(format!("unknown behavior {b:?}")))?,
+                    ),
+                    _ => return Err(err("event needs USER ITEM BEHAVIOR".into())),
+                };
+                server.ingest(user, item, behavior).map_err(&mut err)?;
+            }
+            "swap" => {
+                let path = tokens.get(1).ok_or_else(|| err("swap needs a checkpoint".into()))?;
+                let epoch = server.swap_engine(build_engine(path)?);
+                eprintln!("serve: swapped to {path} (epoch {epoch})");
+            }
+            "mark" => {
+                mbssl::tensor::alloc::reset_stats();
+                marked = true;
+                eprintln!("serve: mark — steady-state window opened");
+            }
+            "stats" => print_stats(&server.stats()),
+            "quit" => break,
+            other => return Err(err(format!("unknown serve command {other:?}"))),
+        }
+    }
+    flush_wave(&mut wave)?;
+
+    let stats = server.shutdown();
+    print_stats(&stats);
+    if marked {
+        eprintln!(
+            "serve: steady-state alloc misses: {}",
+            mbssl::tensor::alloc::stats().misses
+        );
+    }
+    eprintln!("serve: clean shutdown");
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -291,6 +498,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => serve_command(&args, seed),
         "synth" => {
             use mbssl::data::synthetic::SyntheticConfig;
             let out = args.require("out")?;
