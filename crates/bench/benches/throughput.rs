@@ -287,6 +287,67 @@ fn bench_throughput(c: &mut Criterion) {
     }
 }
 
+/// Dataset-load throughput (DESIGN.md §16): the TSV parse + 5/3-core path
+/// vs the mmap'd `.mbds` open + materialize path, on the same preprocessed
+/// data. `itemsN` is the event count, so items/sec reads as events/sec.
+/// `dataset_open_mbds` carries the open+validate cost alone (no `itemsN`:
+/// ns_per_iter is the figure), which is the zero-copy path's latency when
+/// training iterates the columns without materializing a heap Dataset.
+fn bench_dataset_load(c: &mut Criterion) {
+    use mbssl_data::format::{write_mbds, MbdsFile};
+    use mbssl_data::io::{load_tsv, save_tsv};
+    use mbssl_data::preprocess::k_core;
+    use mbssl_data::synthetic::SyntheticConfig;
+
+    if !bench_enabled("dataset_load") && !bench_enabled("dataset_open_mbds") {
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mbssl-bench-data-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let tsv = dir.join("bench.tsv");
+    let mbds = dir.join("bench.tsv.mbds");
+    let raw = SyntheticConfig::taobao_like(11).scaled(0.5).generate().dataset;
+    save_tsv(&raw, &tsv).expect("save bench tsv");
+    // .mbds files hold preprocessed data by convention, so the TSV leg
+    // (parse + k-core) and the .mbds leg (open + materialize) produce the
+    // same Dataset — events/sec compares equal work.
+    let cored = k_core(&load_tsv(&tsv, raw.target_behavior).expect("load"), 5, 3);
+    write_mbds(&cored, &mbds).expect("write bench mbds");
+    let events = cored.num_interactions();
+
+    let name = format!("dataset_load_tsv_items{events}");
+    if bench_enabled(&name) {
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                let d = k_core(
+                    &load_tsv(black_box(&tsv), raw.target_behavior).expect("load"),
+                    5,
+                    3,
+                );
+                black_box(d.num_interactions())
+            });
+        });
+    }
+    let name = format!("dataset_load_mbds_items{events}");
+    if bench_enabled(&name) {
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                let d = MbdsFile::open(black_box(&mbds)).expect("open").to_dataset();
+                black_box(d.num_interactions())
+            });
+        });
+    }
+    if bench_enabled("dataset_open_mbds") {
+        c.bench_function("dataset_open_mbds", |b| {
+            b.iter(|| {
+                let f = MbdsFile::open(black_box(&mbds)).expect("open");
+                black_box(f.num_events())
+            });
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The GEMM shapes one encoder/backward pass is made of, with the bench
 /// model config (dim 32, ffn 64, batch 64 × seq 50 ⇒ 3200 flattened rows):
 /// encoder projections (`nn`), the FFN expansion (`nn`), the weight-gradient
@@ -369,6 +430,6 @@ fn bench_gemm_shapes(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_throughput, bench_gemm_shapes
+    targets = bench_throughput, bench_dataset_load, bench_gemm_shapes
 }
 criterion_main!(benches);

@@ -110,8 +110,11 @@ pub fn mean_pairwise_cosine(interests: &[f32], k: usize, d: usize) -> f64 {
 /// Embedding export row for external visualization (t-SNE/UMAP offline).
 #[derive(Clone, Debug, Serialize)]
 pub struct EmbeddingExport {
+    /// User id the vector belongs to.
     pub user: u32,
+    /// Interest head index within the user.
     pub head: usize,
+    /// The interest embedding.
     pub vector: Vec<f32>,
 }
 
@@ -142,8 +145,11 @@ pub fn export_interest_embeddings(
 /// Summary over a population of users.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct RecoverySummary {
+    /// Mean interest purity across users.
     pub mean_purity: f64,
+    /// Mean ground-truth topic coverage across users.
     pub mean_coverage: f64,
+    /// Number of users aggregated.
     pub users: usize,
 }
 

@@ -39,7 +39,9 @@ pub struct ModelConfig {
     pub extractor_hidden: usize,
     /// Routing iterations (dynamic-routing extractor only).
     pub routing_iters: usize,
+    /// Which multi-interest extractor to build.
     pub extractor: ExtractorKind,
+    /// Which encoder backbone to build.
     pub encoder: EncoderKind,
     /// Temporal hyperedge window.
     pub hg_window: usize,
@@ -47,6 +49,7 @@ pub struct ModelConfig {
     pub hg_max_item_edges: usize,
     /// Maximum history length the model accepts.
     pub max_seq_len: usize,
+    /// Dropout probability applied in the input layer and backbone.
     pub dropout: f32,
     /// Weight of the cross-behavior interest-alignment InfoNCE loss.
     pub lambda_align: f32,
@@ -132,8 +135,11 @@ impl ModelConfig {
 /// Training-loop configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainConfig {
+    /// Maximum training epochs.
     pub epochs: usize,
+    /// Instances per mini-batch.
     pub batch_size: usize,
+    /// Adam learning rate.
     pub lr: f32,
     /// Training negatives per positive (sampled-softmax candidates).
     pub num_negatives: usize,
@@ -146,6 +152,7 @@ pub struct TrainConfig {
     /// Candidates per positive at evaluation time (99 = the 1-vs-99
     /// protocol).
     pub eval_negatives: usize,
+    /// RNG seed for shuffling and sampling.
     pub seed: u64,
     /// Print progress lines.
     pub verbose: bool,
@@ -197,11 +204,14 @@ impl TrainConfig {
 /// The behavior set a model was built for, with the target singled out.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BehaviorSchema {
+    /// Behaviors the model consumes, in funnel order.
     pub behaviors: Vec<Behavior>,
+    /// The behavior whose next item is predicted.
     pub target: Behavior,
 }
 
 impl BehaviorSchema {
+    /// A schema over `behaviors` predicting `target` (must be a member).
     pub fn new(behaviors: Vec<Behavior>, target: Behavior) -> Self {
         assert!(behaviors.contains(&target), "target must be in behavior set");
         BehaviorSchema { behaviors, target }

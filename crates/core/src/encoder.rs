@@ -15,6 +15,7 @@ use crate::config::{EncoderKind, ModelConfig};
 
 /// Token embedding stack: item + behavior + position, LayerNorm + dropout.
 pub struct InputLayer {
+    /// Item embedding table `[num_items+1, D]` (row 0 = padding).
     pub item_emb: Embedding,
     behavior_emb: Embedding,
     pos_emb: Embedding,
@@ -24,6 +25,7 @@ pub struct InputLayer {
 }
 
 impl InputLayer {
+    /// Builds the embedding stack for a catalog of `num_items`.
     pub fn new(num_items: usize, config: &ModelConfig, rng: &mut StdRng) -> Self {
         InputLayer {
             item_emb: Embedding::new(num_items + 1, config.dim, rng).with_padding_idx(0),
@@ -74,18 +76,26 @@ impl Module for InputLayer {
 
 /// The encoder backbone: hypergraph transformer or plain transformer.
 pub enum Backbone {
+    /// Hypergraph-transformer encoder (the paper's default).
     Hypergraph {
+        /// The hypergraph encoder stack.
         encoder: HypergraphEncoder,
+        /// Hyperedge-construction options.
         hg_config: HypergraphConfig,
+        /// Attention heads per layer.
         heads: usize,
     },
+    /// Plain transformer encoder (SASRec-style ablation).
     Transformer {
+        /// The transformer blocks, in order.
         blocks: Vec<TransformerBlock>,
+        /// Attention heads per layer.
         heads: usize,
     },
 }
 
 impl Backbone {
+    /// Builds the backbone selected by `config.encoder`.
     pub fn new(config: &ModelConfig, behavior_tags: &[usize], rng: &mut StdRng) -> Self {
         match config.encoder {
             EncoderKind::Hypergraph => Backbone::Hypergraph {

@@ -14,21 +14,29 @@ use crate::config::{ExtractorKind, ModelConfig};
 pub enum InterestExtractor {
     /// ComiRec-SA: `A = softmax(W2ᵀ tanh(W1 Hᵀ))`, interests `Z = A·H`.
     SelfAttentive {
-        w1: Tensor, // [D, Da]
-        w2: Tensor, // [Da, K]
+        /// First projection `[D, Da]`.
+        w1: Tensor,
+        /// Second projection `[Da, K]`.
+        w2: Tensor,
+        /// Number of interest heads.
         k: usize,
     },
     /// MIND dynamic routing with squash; routing logits start from a fixed
     /// seeded noise table (symmetry breaking, deterministic at eval).
     DynamicRouting {
-        transform: Tensor, // [D, D] shared capsule transform
-        routing_init: Tensor, // [K, max_len] fixed (non-trainable) noise
+        /// Shared capsule transform `[D, D]`.
+        transform: Tensor,
+        /// Fixed (non-trainable) routing-logit noise `[K, max_len]`.
+        routing_init: Tensor,
+        /// Number of interest heads.
         k: usize,
+        /// Routing iterations.
         iters: usize,
     },
 }
 
 impl InterestExtractor {
+    /// Builds the extractor selected by `config.extractor`.
     pub fn new(config: &ModelConfig, rng: &mut StdRng) -> Self {
         match config.extractor {
             ExtractorKind::SelfAttentive => InterestExtractor::SelfAttentive {
@@ -51,6 +59,7 @@ impl InterestExtractor {
         }
     }
 
+    /// Number of interest heads `K`.
     pub fn num_interests(&self) -> usize {
         match self {
             InterestExtractor::SelfAttentive { k, .. } => *k,

@@ -46,8 +46,9 @@ pub struct RunManifest {
     pub cores: usize,
     /// Total trainable parameter count.
     pub num_params: usize,
-    /// Training / validation instance counts.
+    /// Training instance count.
     pub train_instances: usize,
+    /// Validation instance count.
     pub val_instances: usize,
     /// The full training configuration.
     pub config: TrainConfig,
@@ -91,11 +92,17 @@ impl RunManifest {
 /// skipped (`eval_every > 1`) or no validation split exists.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EpochRecord {
+    /// Zero-based epoch index.
     pub epoch: usize,
+    /// Mean training loss over the epoch.
     pub train_loss: f64,
+    /// Validation HR@5, when evaluated.
     pub val_hr5: Option<f64>,
+    /// Validation HR@10, when evaluated.
     pub val_hr10: Option<f64>,
+    /// Validation NDCG@5, when evaluated.
     pub val_ndcg5: Option<f64>,
+    /// Validation NDCG@10, when evaluated.
     pub val_ndcg10: Option<f64>,
     /// Training throughput: instances consumed / epoch wall seconds.
     pub items_per_sec: f64,
@@ -163,7 +170,9 @@ pub fn resolve_run_dir(config: &TrainConfig) -> Option<PathBuf> {
 pub struct RunRecord {
     /// Directory basename, used as the run's display name.
     pub name: String,
+    /// The run's manifest (config, dataset, git revision).
     pub manifest: RunManifest,
+    /// Per-epoch metric records, in epoch order.
     pub epochs: Vec<EpochRecord>,
 }
 

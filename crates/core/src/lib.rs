@@ -23,6 +23,8 @@
 //! - [`ledger`]: the per-run directory (`MBSSL_RUN_DIR`) with a manifest
 //!   and per-epoch metrics, read back by `mbssl report`.
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod ann;
 pub mod config;

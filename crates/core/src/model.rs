@@ -30,6 +30,8 @@ pub struct Mbmissl {
 }
 
 impl Mbmissl {
+    /// Builds the model for a catalog of `num_items`, seeded from
+    /// `config.seed` (equal inputs give bit-identical parameters).
     pub fn new(num_items: usize, schema: BehaviorSchema, config: ModelConfig) -> Self {
         config.validate().expect("invalid model config");
         let mut rng = init_rng(config.seed);
@@ -47,14 +49,17 @@ impl Mbmissl {
         }
     }
 
+    /// The model configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.config
     }
 
+    /// The behavior schema the model was built for.
     pub fn schema(&self) -> &BehaviorSchema {
         &self.schema
     }
 
+    /// Catalog size.
     pub fn num_items(&self) -> usize {
         self.num_items
     }

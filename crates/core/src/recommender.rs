@@ -187,7 +187,9 @@ fn evaluate_with<R: SequentialRecommender + ?Sized>(
 /// A ranked recommendation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Recommendation {
+    /// Recommended item id.
     pub item: ItemId,
+    /// Model score (higher = better).
     pub score: f32,
 }
 

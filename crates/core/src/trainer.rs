@@ -84,32 +84,47 @@ pub trait TrainableRecommender: SequentialRecommender {
 /// Per-epoch training statistics.
 #[derive(Clone, Debug, Serialize)]
 pub struct EpochStats {
+    /// Zero-based epoch index.
     pub epoch: usize,
+    /// Mean training loss over the epoch.
     pub train_loss: f32,
+    /// Validation NDCG@10, when evaluated this epoch.
     pub val_ndcg10: Option<f64>,
+    /// Validation HR@10, when evaluated this epoch.
     pub val_hr10: Option<f64>,
+    /// Validation NDCG@5, when evaluated this epoch.
     pub val_ndcg5: Option<f64>,
+    /// Validation HR@5, when evaluated this epoch.
     pub val_hr5: Option<f64>,
     /// Training throughput: instances consumed / training-phase seconds
     /// (excludes validation evaluation time).
     pub items_per_sec: f64,
+    /// Wall-clock seconds for the epoch (training + evaluation).
     pub seconds: f64,
 }
 
 /// Result of a training run.
 #[derive(Clone, Debug, Serialize)]
 pub struct TrainReport {
+    /// Model description string.
     pub model: String,
+    /// Epochs actually executed (early stopping may cut this short).
     pub epochs_run: usize,
+    /// Epoch index of the best validation NDCG@10.
     pub best_epoch: usize,
+    /// Best validation NDCG@10 reached.
     pub best_val_ndcg10: f64,
+    /// Per-epoch loss/metric/timing records.
     pub history: Vec<EpochStats>,
+    /// Wall-clock seconds for the whole run.
     pub total_seconds: f64,
+    /// Trainable parameter count.
     pub num_params: usize,
 }
 
 /// Training-loop driver.
 pub struct Trainer {
+    /// Loop options (epochs, patience, seed, verbosity, …).
     pub config: TrainConfig,
 }
 

@@ -11,16 +11,30 @@ use crate::types::{Behavior, Sequence};
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum AugmentOp {
     /// Keep a random contiguous window covering `ratio` of the sequence.
-    Crop { ratio: f64 },
+    Crop {
+        /// Fraction of the sequence the kept window covers.
+        ratio: f64,
+    },
     /// Drop each event independently with probability `ratio` (item
     /// masking realized as deletion, which avoids a dedicated mask token).
-    Mask { ratio: f64 },
+    Mask {
+        /// Per-event drop probability.
+        ratio: f64,
+    },
     /// Shuffle a random contiguous window covering `ratio` of the sequence.
-    Reorder { ratio: f64 },
+    Reorder {
+        /// Fraction of the sequence the shuffled window covers.
+        ratio: f64,
+    },
     /// Re-label each *shallow* (Click) event's behavior as a random deeper
     /// behavior with probability `ratio` — a behavior-level augmentation
     /// unique to the multi-behavior setting.
-    BehaviorSubstitute { ratio: f64, deeper: Behavior },
+    BehaviorSubstitute {
+        /// Per-click substitution probability.
+        ratio: f64,
+        /// The deeper behavior substituted in.
+        deeper: Behavior,
+    },
 }
 
 impl AugmentOp {

@@ -17,8 +17,16 @@ use crate::types::{Behavior, Dataset, Interaction, ItemId, Sequence, UserId};
 /// Errors from TSV parsing.
 #[derive(Debug)]
 pub enum IoError {
+    /// Underlying filesystem error.
     Io(std::io::Error),
-    Parse { line: usize, message: String },
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The file parsed but contained no interactions.
     Empty,
 }
 
@@ -40,50 +48,60 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+/// Parses one TSV line (0-based `lineno`). Returns `Ok(None)` for blank
+/// lines, `#` comments, and the optional first-line header. Shared by the
+/// in-memory reader and the streaming converter in [`crate::preprocess`] so
+/// both accept byte-identical inputs.
+pub fn parse_interaction_line(lineno: usize, line: &str) -> Result<Option<Interaction>, IoError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    if lineno == 0 && trimmed.to_ascii_lowercase().starts_with("user") {
+        return Ok(None); // header
+    }
+    let fields: Vec<&str> = trimmed.split('\t').collect();
+    if fields.len() != 4 {
+        return Err(IoError::Parse {
+            line: lineno + 1,
+            message: format!("expected 4 tab-separated fields, got {}", fields.len()),
+        });
+    }
+    let parse_num = |s: &str, what: &str| {
+        s.parse::<i64>().map_err(|_| IoError::Parse {
+            line: lineno + 1,
+            message: format!("bad {what}: {s:?}"),
+        })
+    };
+    let user = parse_num(fields[0], "user id")?;
+    let item = parse_num(fields[1], "item id")?;
+    let behavior = Behavior::from_token(fields[2]).ok_or_else(|| IoError::Parse {
+        line: lineno + 1,
+        message: format!("unknown behavior {:?}", fields[2]),
+    })?;
+    let timestamp = parse_num(fields[3], "timestamp")?;
+    if user < 0 || item < 0 {
+        return Err(IoError::Parse {
+            line: lineno + 1,
+            message: "negative ids not allowed".into(),
+        });
+    }
+    Ok(Some(Interaction {
+        user: user as UserId,
+        item: item as ItemId,
+        behavior,
+        timestamp,
+    }))
+}
+
 /// Parses interactions from a TSV reader.
 pub fn read_interactions<R: BufRead>(reader: R) -> Result<Vec<Interaction>, IoError> {
     let mut out = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+        if let Some(inter) = parse_interaction_line(lineno, &line)? {
+            out.push(inter);
         }
-        if lineno == 0 && trimmed.to_ascii_lowercase().starts_with("user") {
-            continue; // header
-        }
-        let fields: Vec<&str> = trimmed.split('\t').collect();
-        if fields.len() != 4 {
-            return Err(IoError::Parse {
-                line: lineno + 1,
-                message: format!("expected 4 tab-separated fields, got {}", fields.len()),
-            });
-        }
-        let parse_num = |s: &str, what: &str| {
-            s.parse::<i64>().map_err(|_| IoError::Parse {
-                line: lineno + 1,
-                message: format!("bad {what}: {s:?}"),
-            })
-        };
-        let user = parse_num(fields[0], "user id")?;
-        let item = parse_num(fields[1], "item id")?;
-        let behavior = Behavior::from_token(fields[2]).ok_or_else(|| IoError::Parse {
-            line: lineno + 1,
-            message: format!("unknown behavior {:?}", fields[2]),
-        })?;
-        let timestamp = parse_num(fields[3], "timestamp")?;
-        if user < 0 || item < 0 {
-            return Err(IoError::Parse {
-                line: lineno + 1,
-                message: "negative ids not allowed".into(),
-            });
-        }
-        out.push(Interaction {
-            user: user as UserId,
-            item: item as ItemId,
-            behavior,
-            timestamp,
-        });
     }
     Ok(out)
 }

@@ -4,7 +4,8 @@
 //! multi-behavior log generator standing in for license-gated Taobao /
 //! Tmall / Yelp dumps ([`synthetic`]), preprocessing ([`preprocess`]),
 //! negative sampling + batching ([`sampler`]), contrastive augmentations
-//! ([`augment`]), and TSV IO ([`io`]).
+//! ([`augment`]), TSV IO ([`io`]), and the mmap'd binary columnar `.mbds`
+//! format for million-user logs ([`mod@format`]).
 //!
 //! # Quick example
 //! ```
@@ -17,7 +18,10 @@
 //! assert_eq!(split.val.len(), split.test.len());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod augment;
+pub mod format;
 pub mod io;
 pub mod preprocess;
 pub mod sampler;

@@ -1,12 +1,17 @@
-//! Preprocessing: k-core filtering and chronological leave-one-out splits.
+//! Preprocessing: k-core filtering, chronological leave-one-out splits, and
+//! streaming TSV→`.mbds` conversion in bounded memory.
 
 #![allow(clippy::needless_range_loop)] // multi-array index loops are clearer here
 
 use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
-use crate::types::{Behavior, Dataset, ItemId, Sequence, UserId};
+use crate::format::{FormatError, MbdsStreamWriter};
+use crate::io::{parse_interaction_line, IoError};
+use crate::types::{Behavior, Dataset, Interaction, ItemId, Sequence, UserId};
 
 /// Iteratively removes users with fewer than `k_user` events and items with
 /// fewer than `k_item` events until stable, then densely remaps ids.
@@ -83,33 +88,375 @@ pub fn k_core(dataset: &Dataset, k_user: usize, k_item: usize) -> Dataset {
     }
 }
 
+/// Why a streaming TSV→`.mbds` conversion failed.
+#[derive(Debug)]
+pub enum ConvertError {
+    /// TSV-level failure (parse error, filesystem error, empty log, target
+    /// behavior absent) — same errors the in-memory loader produces.
+    Io(IoError),
+    /// `.mbds` writer failure.
+    Format(FormatError),
+    /// The TSV is not grouped by ascending user id with nondecreasing
+    /// timestamps per user — the precondition for single-pass streaming.
+    /// Callers should warn and fall back to [`convert_tsv_in_memory`].
+    NotSorted {
+        /// 1-based line number of the first out-of-order event.
+        line: usize,
+        /// What was out of order.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::Io(e) => write!(f, "{e}"),
+            ConvertError::Format(e) => write!(f, "{e}"),
+            ConvertError::NotSorted { line, message } => {
+                write!(f, "line {line}: not sorted for streaming ({message})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+impl From<IoError> for ConvertError {
+    fn from(e: IoError) -> Self {
+        ConvertError::Io(e)
+    }
+}
+
+impl From<FormatError> for ConvertError {
+    fn from(e: FormatError) -> Self {
+        ConvertError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for ConvertError {
+    fn from(e: std::io::Error) -> Self {
+        ConvertError::Io(IoError::Io(e))
+    }
+}
+
+/// What a TSV→`.mbds` conversion did: raw log size, surviving size after
+/// k-core, number of full passes over the TSV, and output bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvertReport {
+    /// Distinct users in the raw log.
+    pub users_in: usize,
+    /// Distinct items in the raw log.
+    pub items_in: usize,
+    /// Events in the raw log.
+    pub events_in: usize,
+    /// Users surviving k-core.
+    pub users_out: usize,
+    /// Items surviving k-core.
+    pub items_out: usize,
+    /// Events surviving k-core.
+    pub events_out: usize,
+    /// Full scans over the TSV (1 census + one per k-core re-count + 1 write).
+    pub passes: usize,
+    /// Size of the written `.mbds` file in bytes.
+    pub bytes_written: u64,
+}
+
+/// Scans a TSV file once, invoking `f` for every event row.
+fn scan_tsv(
+    path: &Path,
+    mut f: impl FnMut(usize, Interaction) -> Result<(), ConvertError>,
+) -> Result<(), ConvertError> {
+    let file = std::fs::File::open(path).map_err(IoError::Io)?;
+    let reader = std::io::BufReader::new(file);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(IoError::Io)?;
+        if let Some(inter) = parse_interaction_line(lineno, &line)? {
+            f(lineno, inter)?;
+        }
+    }
+    Ok(())
+}
+
+/// Converts a sorted TSV log to `.mbds` with k-core filtering in bounded
+/// memory: O(users + items) state, never materializing the event log.
+///
+/// Requires the TSV to be grouped by ascending raw user id with
+/// nondecreasing timestamps within each user (what [`crate::io::save_tsv`]
+/// and `mbssl synth` emit); otherwise fails with [`ConvertError::NotSorted`]
+/// and the caller should fall back to [`convert_tsv_in_memory`]. For inputs
+/// in that order, the output dataset is **identical** to
+/// `k_core(load_tsv(path, target), k_user, k_item)` — same dense ids, same
+/// event order — because a stable sort by `(user, timestamp)` of an
+/// already-grouped log is the log itself.
+///
+/// The algorithm makes `2 + r` sequential passes over the TSV, where `r` is
+/// the number of k-core refinement rounds that changed something: one
+/// census pass (count per user/item, verify ordering), `r` re-count passes
+/// restricted to surviving users/items, and one write pass streaming the
+/// surviving events through [`MbdsStreamWriter`].
+pub fn convert_tsv_streaming(
+    tsv: &Path,
+    out: &Path,
+    target: Behavior,
+    k_user: usize,
+    k_item: usize,
+) -> Result<ConvertReport, ConvertError> {
+    // Pass 1 (census): verify streaming order, assign dense ids by first
+    // appearance, count events per user/item, collect the behavior set.
+    let mut user_raw: Vec<UserId> = Vec::new();
+    let mut user_counts: Vec<usize> = Vec::new();
+    let mut item_index: HashMap<ItemId, u32> = HashMap::new();
+    let mut item_counts: Vec<usize> = Vec::new();
+    let mut behaviors_present: Vec<Behavior> = Vec::new();
+    let mut events_in = 0usize;
+    let mut prev: Option<(UserId, i64)> = None;
+    scan_tsv(tsv, |lineno, inter| {
+        match prev {
+            Some((pu, _)) if inter.user < pu => {
+                return Err(ConvertError::NotSorted {
+                    line: lineno + 1,
+                    message: format!("user {} after user {pu}", inter.user),
+                });
+            }
+            Some((pu, pt)) if inter.user == pu && inter.timestamp < pt => {
+                return Err(ConvertError::NotSorted {
+                    line: lineno + 1,
+                    message: format!(
+                        "timestamp {} after {pt} for user {pu}",
+                        inter.timestamp
+                    ),
+                });
+            }
+            _ => {}
+        }
+        if prev.map(|(pu, _)| pu) != Some(inter.user) {
+            user_raw.push(inter.user);
+            user_counts.push(0);
+        }
+        prev = Some((inter.user, inter.timestamp));
+        *user_counts.last_mut().unwrap() += 1;
+        let next = item_index.len() as u32;
+        let idx = *item_index.entry(inter.item).or_insert(next);
+        if idx as usize == item_counts.len() {
+            item_counts.push(0);
+        }
+        item_counts[idx as usize] += 1;
+        if !behaviors_present.contains(&inter.behavior) {
+            behaviors_present.push(inter.behavior);
+        }
+        events_in += 1;
+        Ok(())
+    })?;
+    if events_in == 0 {
+        return Err(ConvertError::Io(IoError::Empty));
+    }
+    behaviors_present.sort_by_key(|b| b.depth());
+    if !behaviors_present.contains(&target) {
+        return Err(ConvertError::Io(IoError::Parse {
+            line: 0,
+            message: format!("target behavior {target:?} absent from log"),
+        }));
+    }
+    let num_users_in = user_raw.len();
+    let num_items_in = item_index.len();
+
+    // k-core fixpoint, mirroring `k_core` exactly: update keeps from the
+    // current counts (users first, then items); when an update changes
+    // nothing the counts are consistent with the final keep sets. Each
+    // changed round re-counts with one sequential pass over the TSV.
+    let mut keep_user = vec![true; num_users_in];
+    let mut keep_item = vec![true; num_items_in];
+    let mut passes = 1usize;
+    loop {
+        let mut changed = false;
+        for u in 0..num_users_in {
+            if keep_user[u] && user_counts[u] < k_user {
+                keep_user[u] = false;
+                changed = true;
+            }
+        }
+        for i in 0..num_items_in {
+            if keep_item[i] && item_counts[i] < k_item {
+                keep_item[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        user_counts.iter_mut().for_each(|c| *c = 0);
+        item_counts.iter_mut().for_each(|c| *c = 0);
+        let mut cursor = usize::MAX; // advances through user runs in order
+        let mut cur_raw: Option<UserId> = None;
+        scan_tsv(tsv, |lineno, inter| {
+            if cur_raw != Some(inter.user) {
+                cursor = cursor.wrapping_add(1);
+                cur_raw = Some(inter.user);
+                if user_raw.get(cursor) != Some(&inter.user) {
+                    return Err(ConvertError::NotSorted {
+                        line: lineno + 1,
+                        message: "file changed between passes".to_string(),
+                    });
+                }
+            }
+            let idx = item_index[&inter.item] as usize;
+            if keep_user[cursor] && keep_item[idx] {
+                user_counts[cursor] += 1;
+                item_counts[idx] += 1;
+            }
+            Ok(())
+        })?;
+        passes += 1;
+    }
+
+    // Dense remap of survivors: items in first-appearance order (their old
+    // dense order), users in file order — matching `k_core`'s remap of
+    // `load_tsv`'s id assignment.
+    let mut item_remap: Vec<ItemId> = vec![0; num_items_in];
+    let mut next_item: ItemId = 1;
+    for i in 0..num_items_in {
+        if keep_item[i] {
+            item_remap[i] = next_item;
+            next_item += 1;
+        }
+    }
+    let items_out = (next_item - 1) as usize;
+    let users_out = (0..num_users_in)
+        .filter(|&u| keep_user[u] && user_counts[u] > 0)
+        .count();
+    let events_out: usize = (0..num_users_in)
+        .filter(|&u| keep_user[u])
+        .map(|u| user_counts[u])
+        .sum();
+
+    // Write pass: stream surviving events through the columnar writer,
+    // buffering only one user's events at a time.
+    let name = tsv
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "dataset".to_string());
+    let mut writer = MbdsStreamWriter::create(out, &name, &behaviors_present, target)?;
+    let mut buf_items: Vec<ItemId> = Vec::new();
+    let mut buf_behaviors: Vec<Behavior> = Vec::new();
+    let mut buf_ts: Vec<i64> = Vec::new();
+    let mut cursor = usize::MAX;
+    let mut cur_raw: Option<UserId> = None;
+    {
+        let flush = |bi: &mut Vec<ItemId>,
+                         bb: &mut Vec<Behavior>,
+                         bt: &mut Vec<i64>,
+                         w: &mut MbdsStreamWriter|
+         -> Result<(), ConvertError> {
+            if !bi.is_empty() {
+                w.append_user(bi, bb, bt)?;
+                bi.clear();
+                bb.clear();
+                bt.clear();
+            }
+            Ok(())
+        };
+        scan_tsv(tsv, |lineno, inter| {
+            if cur_raw != Some(inter.user) {
+                flush(&mut buf_items, &mut buf_behaviors, &mut buf_ts, &mut writer)?;
+                cursor = cursor.wrapping_add(1);
+                cur_raw = Some(inter.user);
+                if user_raw.get(cursor) != Some(&inter.user) {
+                    return Err(ConvertError::NotSorted {
+                        line: lineno + 1,
+                        message: "file changed between passes".to_string(),
+                    });
+                }
+            }
+            let idx = item_index[&inter.item] as usize;
+            if keep_user[cursor] && keep_item[idx] {
+                buf_items.push(item_remap[idx]);
+                buf_behaviors.push(inter.behavior);
+                buf_ts.push(inter.timestamp);
+            }
+            Ok(())
+        })?;
+        flush(&mut buf_items, &mut buf_behaviors, &mut buf_ts, &mut writer)?;
+    }
+    passes += 1;
+    let bytes_written = writer.finish(items_out)?;
+
+    Ok(ConvertReport {
+        users_in: num_users_in,
+        items_in: num_items_in,
+        events_in,
+        users_out,
+        items_out,
+        events_out,
+        passes,
+        bytes_written,
+    })
+}
+
+/// Fallback conversion for TSVs that are not stream-sorted: materializes
+/// the log via [`crate::io::load_tsv`], applies [`k_core`], and writes the
+/// result with [`crate::format::write_mbds`]. O(events) memory. Note the
+/// original timestamps are replaced by the per-user event index (the sort
+/// has already been applied), exactly as [`crate::io::save_tsv`] does.
+pub fn convert_tsv_in_memory(
+    tsv: &Path,
+    out: &Path,
+    target: Behavior,
+    k_user: usize,
+    k_item: usize,
+) -> Result<ConvertReport, ConvertError> {
+    let raw = crate::io::load_tsv(tsv, target)?;
+    let filtered = k_core(&raw, k_user, k_item);
+    let bytes_written = crate::format::write_mbds(&filtered, out)?;
+    Ok(ConvertReport {
+        users_in: raw.num_users,
+        items_in: raw.num_items,
+        events_in: raw.num_interactions(),
+        users_out: filtered.num_users,
+        items_out: filtered.num_items,
+        events_out: filtered.num_interactions(),
+        passes: 1,
+        bytes_written,
+    })
+}
+
 /// One training example: predict `target` (a target-behavior item) from the
 /// multi-behavior `history` strictly before it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainInstance {
+    /// Owning user.
     pub user: UserId,
+    /// Multi-behavior history strictly before the target.
     pub history: Sequence,
+    /// The target-behavior item to predict.
     pub target: ItemId,
 }
 
 /// One ranking-evaluation example (validation or test).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EvalInstance {
+    /// Owning user.
     pub user: UserId,
+    /// Multi-behavior history strictly before the target.
     pub history: Sequence,
+    /// The held-out target-behavior item.
     pub target: ItemId,
 }
 
 /// Output of the leave-one-out protocol.
 #[derive(Clone, Debug)]
 pub struct Split {
+    /// Training examples (second-to-last target and earlier).
     pub train: Vec<TrainInstance>,
+    /// Validation examples (second-to-last target per user).
     pub val: Vec<EvalInstance>,
+    /// Test examples (last target per user).
     pub test: Vec<EvalInstance>,
     /// Per-user full training history (events before the validation
     /// target), used by non-parametric baselines (POP, ItemKNN).
     pub train_histories: Vec<(UserId, Sequence)>,
+    /// Catalog size carried over from the source dataset.
     pub num_items: usize,
+    /// The behavior whose next item is predicted.
     pub target_behavior: Behavior,
 }
 
@@ -478,6 +825,48 @@ mod tests {
     fn temporal_split_rejects_bad_fractions() {
         let g = SyntheticConfig::yelp_like(16).scaled(0.05).generate();
         temporal_split(&g.dataset, &SplitConfig::default(), 0.6, 0.6);
+    }
+
+    #[test]
+    fn streaming_convert_matches_in_memory_pipeline() {
+        let g = SyntheticConfig::taobao_like(21).scaled(0.1).generate();
+        let dir = std::env::temp_dir().join(format!("mbssl_conv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("log.tsv");
+        crate::io::save_tsv(&g.dataset, &tsv).unwrap();
+        let out = dir.join("log.mbds");
+        let report =
+            convert_tsv_streaming(&tsv, &out, g.dataset.target_behavior, 5, 3).unwrap();
+        let expected = k_core(
+            &crate::io::load_tsv(&tsv, g.dataset.target_behavior).unwrap(),
+            5,
+            3,
+        );
+        let loaded = crate::format::MbdsFile::open(&out).unwrap().to_dataset();
+        assert_eq!(loaded.num_users, expected.num_users);
+        assert_eq!(loaded.num_items, expected.num_items);
+        assert_eq!(loaded.behaviors, expected.behaviors);
+        assert_eq!(loaded.sequences, expected.sequences);
+        assert_eq!(report.users_out, expected.num_users);
+        assert_eq!(report.events_out, expected.num_interactions());
+        assert!(report.passes >= 2);
+        std::fs::remove_file(&tsv).ok();
+        std::fs::remove_file(&out).ok();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn streaming_convert_rejects_unsorted() {
+        let dir = std::env::temp_dir().join(format!("mbssl_unsort_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("log.tsv");
+        std::fs::write(&tsv, "1\t1\tclick\t0\n0\t1\tpurchase\t1\n").unwrap();
+        let out = dir.join("log.mbds");
+        let err = convert_tsv_streaming(&tsv, &out, Behavior::Purchase, 0, 0).unwrap_err();
+        assert!(matches!(err, ConvertError::NotSorted { line: 2, .. }));
+        assert!(!out.exists());
+        std::fs::remove_file(&tsv).ok();
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

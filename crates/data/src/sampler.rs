@@ -20,6 +20,7 @@ pub struct NegativeSampler {
 /// How negatives are drawn.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum NegativeStrategy {
+    /// Uniform over the unseen catalog.
     Uniform,
     /// Proportional to empirical item frequency (harder negatives).
     Popularity,
@@ -50,6 +51,7 @@ impl NegativeSampler {
         }
     }
 
+    /// Catalog size the sampler draws from.
     pub fn num_items(&self) -> usize {
         self.num_items
     }
@@ -163,6 +165,7 @@ impl NegativeSampler {
 /// Evaluation candidate lists under the 1-vs-99 protocol: index 0 is the
 /// positive target, followed by `num_negatives` sampled negatives.
 pub struct EvalCandidates {
+    /// One candidate list per eval instance; `lists[i][0]` is the target.
     pub lists: Vec<Vec<ItemId>>,
 }
 
@@ -204,14 +207,23 @@ impl EvalCandidates {
 /// [`Behavior::index`] with [`Behavior::PAD_INDEX`] for pads.
 #[derive(Clone, Debug)]
 pub struct Batch {
+    /// Number of instances `B`.
     pub size: usize,
+    /// Padded sequence length `L`.
     pub max_len: usize,
+    /// `[B, L]` item ids (0 = pad).
     pub items: Vec<usize>,
+    /// `[B, L]` dense behavior indices ([`Behavior::PAD_INDEX`] = pad).
     pub behaviors: Vec<usize>,
+    /// `[B, L]` validity mask: 1.0 for real events, 0.0 for pads.
     pub valid: Vec<f32>,
+    /// `[B]` positive target item per instance.
     pub targets: Vec<usize>,
+    /// `[B, num_negatives]` sampled negative items.
     pub negatives: Vec<usize>,
+    /// Negatives per instance.
     pub num_negatives: usize,
+    /// `[B]` owning user of each instance.
     pub users: Vec<UserId>,
 }
 
@@ -365,6 +377,8 @@ pub struct BatchIterator<'a> {
 }
 
 impl<'a> BatchIterator<'a> {
+    /// Shuffles `instances` with `rng` and iterates them in chunks of
+    /// `batch_size`.
     pub fn new(instances: &'a [TrainInstance], batch_size: usize, rng: &mut StdRng) -> Self {
         assert!(batch_size > 0);
         let mut order: Vec<usize> = (0..instances.len()).collect();
@@ -391,6 +405,7 @@ impl<'a> BatchIterator<'a> {
         Some(chunk)
     }
 
+    /// Total number of chunks the iterator will yield.
     pub fn num_batches(&self) -> usize {
         self.order.len().div_ceil(self.batch_size)
     }

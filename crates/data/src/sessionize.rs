@@ -9,21 +9,28 @@ use crate::types::{Interaction, Sequence, UserId};
 /// A single session: a contiguous burst of one user's activity.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Session {
+    /// Owner of the session.
     pub user: UserId,
+    /// Events inside the session, in time order.
     pub events: Sequence,
+    /// Timestamp of the first event.
     pub start_ts: i64,
+    /// Timestamp of the last event.
     pub end_ts: i64,
 }
 
 impl Session {
+    /// Wall-clock span from first to last event.
     pub fn duration(&self) -> i64 {
         self.end_ts - self.start_ts
     }
 
+    /// Number of events in the session.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// True when the session holds no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -73,12 +80,17 @@ pub fn sessionize(interactions: &[Interaction], max_gap: i64, min_len: usize) ->
 /// Summary statistics over a session set.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct SessionStats {
+    /// Total number of sessions.
     pub sessions: usize,
+    /// Mean events per session.
     pub mean_len: f64,
+    /// Mean session duration (timestamp units).
     pub mean_duration: f64,
+    /// Sessions divided by distinct users.
     pub sessions_per_user: f64,
 }
 
+/// Computes [`SessionStats`] over a session set (zeroed when empty).
 pub fn session_stats(sessions: &[Session]) -> SessionStats {
     if sessions.is_empty() {
         return SessionStats::default();

@@ -32,8 +32,11 @@ use crate::types::{Behavior, Dataset, ItemId, Sequence};
 /// Configuration of the generative simulator.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SyntheticConfig {
+    /// Dataset name recorded in the output.
     pub name: String,
+    /// Number of simulated users.
     pub num_users: usize,
+    /// Catalog size (item ids `1..=num_items`).
     pub num_items: usize,
     /// Number of latent topics items are grouped into.
     pub num_topics: usize,
@@ -56,6 +59,7 @@ pub struct SyntheticConfig {
     pub interest_drift: f64,
     /// Which behavior the task predicts.
     pub target_behavior: Behavior,
+    /// RNG seed; equal configs generate byte-identical logs.
     pub seed: u64,
 }
 
@@ -75,7 +79,9 @@ pub struct GroundTruth {
 
 /// Generator output: the dataset plus its latent ground truth.
 pub struct Generated {
+    /// The materialized event log.
     pub dataset: Dataset,
+    /// The latent structure that produced it.
     pub truth: GroundTruth,
 }
 
@@ -156,6 +162,36 @@ impl SyntheticConfig {
         self
     }
 
+    /// The substrate-scale regime: presets calibrated for the million-user
+    /// `.mbds` experiments (DESIGN.md §16), with the Taobao-style funnel and
+    /// a popularity Gini in the realistic 0.5–0.8 band at every size.
+    ///
+    /// Event volume is ~11 events/user (so 1M users ≈ 10M+ events); the
+    /// catalog grows at `users / 25` (clamped) so per-item counts stay in
+    /// the sparse real-log regime rather than densifying with scale.
+    pub fn scale_regime(users: usize, seed: u64) -> Self {
+        assert!(users >= 1000, "scale regime starts at 1k users");
+        let num_items = (users / 25).clamp(200, 40_000);
+        SyntheticConfig {
+            name: format!("scale-{users}"),
+            num_users: users,
+            num_items,
+            num_topics: ((users as f64).sqrt() as usize / 4).clamp(16, 128),
+            interests_per_user: 4,
+            zipf_exponent: 1.1,
+            mean_events_per_user: 8,
+            funnel: vec![
+                (Behavior::Cart, 0.30),
+                (Behavior::Favorite, 0.45),
+                (Behavior::Purchase, 0.50),
+            ],
+            click_noise: 0.20,
+            interest_drift: 0.12,
+            target_behavior: Behavior::Purchase,
+            seed,
+        }
+    }
+
     /// Full behavior set: Click plus the funnel behaviors.
     pub fn behavior_set(&self) -> Vec<Behavior> {
         let mut set = vec![Behavior::Click];
@@ -163,8 +199,39 @@ impl SyntheticConfig {
         set
     }
 
-    /// Runs the simulator.
+    /// Runs the simulator, materializing every sequence. Equivalent to
+    /// collecting [`SyntheticConfig::for_each_user`]; use the streaming
+    /// form at substrate scale to avoid holding 10M+ events in memory.
     pub fn generate(&self) -> Generated {
+        let mut sequences = Vec::with_capacity(self.num_users);
+        let mut noise_flags = Vec::with_capacity(self.num_users);
+        let mut truth = self.for_each_user(|_, seq, flags| {
+            sequences.push(seq);
+            noise_flags.push(flags);
+        });
+        truth.noise_flags = noise_flags;
+        let dataset = Dataset {
+            name: self.name.clone(),
+            num_users: self.num_users,
+            num_items: self.num_items,
+            behaviors: self.behavior_set(),
+            target_behavior: self.target_behavior,
+            sequences,
+        };
+        debug_assert!(dataset.validate().is_ok());
+        Generated { dataset, truth }
+    }
+
+    /// Streams the simulator: invokes `f(user, sequence, noise_flags)` for
+    /// each user in order, holding only O(users + items) latent state (the
+    /// topic/interest world) — never the event log. The event stream is
+    /// **identical** to [`SyntheticConfig::generate`] (same single-RNG draw
+    /// order), so converting a streamed TSV/`.mbds` and a materialized
+    /// dataset yields byte-identical files.
+    ///
+    /// Returns the latent [`GroundTruth`] with `noise_flags` left empty
+    /// (the per-event flags were handed to the callback).
+    pub fn for_each_user(&self, mut f: impl FnMut(usize, Sequence, Vec<bool>)) -> GroundTruth {
         assert!(self.num_topics >= 1 && self.num_topics <= self.num_items);
         assert!(self.interests_per_user >= 1 && self.interests_per_user <= self.num_topics);
         assert!((0.0..=1.0).contains(&self.click_noise));
@@ -224,9 +291,7 @@ impl SyntheticConfig {
             user_interests.push(topics);
         }
 
-        // --- Event simulation. ---
-        let mut sequences = Vec::with_capacity(self.num_users);
-        let mut noise_flags = Vec::with_capacity(self.num_users);
+        // --- Event simulation, one user at a time. ---
         for u in 0..self.num_users {
             let lo = (self.mean_events_per_user / 2).max(4);
             let hi = (self.mean_events_per_user * 3 / 2).max(lo + 1);
@@ -260,27 +325,14 @@ impl SyntheticConfig {
                     }
                 }
             }
-            sequences.push(seq);
-            noise_flags.push(flags);
+            f(u, seq, flags);
         }
 
-        let dataset = Dataset {
-            name: self.name.clone(),
-            num_users: self.num_users,
-            num_items: self.num_items,
-            behaviors,
-            target_behavior: self.target_behavior,
-            sequences,
-        };
-        debug_assert!(dataset.validate().is_ok());
-        Generated {
-            dataset,
-            truth: GroundTruth {
-                item_topic,
-                user_interests,
-                user_weights,
-                noise_flags,
-            },
+        GroundTruth {
+            item_topic,
+            user_interests,
+            user_weights,
+            noise_flags: Vec::new(),
         }
     }
 }
@@ -450,6 +502,43 @@ mod tests {
         assert!(cfg.num_items < base.num_items);
         assert!(cfg.num_items > base.num_items / 10);
         assert!(cfg.num_topics >= 2);
+    }
+
+    #[test]
+    fn for_each_user_streams_the_same_events_as_generate() {
+        let cfg = small_config();
+        let full = cfg.generate();
+        let mut streamed = Vec::new();
+        let mut streamed_flags = Vec::new();
+        let truth = cfg.for_each_user(|u, seq, flags| {
+            assert_eq!(u, streamed.len());
+            streamed.push(seq);
+            streamed_flags.push(flags);
+        });
+        assert_eq!(streamed, full.dataset.sequences);
+        assert_eq!(streamed_flags, full.truth.noise_flags);
+        assert_eq!(truth.user_interests, full.truth.user_interests);
+        assert_eq!(truth.item_topic, full.truth.item_topic);
+    }
+
+    #[test]
+    fn scale_regime_is_calibrated() {
+        // The 10k preset is the smallest rung of the substrate ladder; it
+        // must show realistic popularity concentration and the advertised
+        // ~11 events/user volume.
+        let cfg = SyntheticConfig::scale_regime(10_000, 42);
+        let g = cfg.generate();
+        let gini = g.dataset.popularity_gini();
+        assert!(
+            (0.45..=0.85).contains(&gini),
+            "popularity gini {gini:.3} outside the calibrated band"
+        );
+        let events_per_user = g.dataset.avg_seq_len();
+        assert!(
+            (8.0..=14.0).contains(&events_per_user),
+            "events/user {events_per_user:.1} off target"
+        );
+        assert_eq!(g.dataset.num_items, 400);
     }
 
     #[test]

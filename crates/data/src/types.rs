@@ -43,6 +43,19 @@ impl Behavior {
         }
     }
 
+    /// Inverse of [`Behavior::index`]: decodes the dense behavior code used
+    /// by embeddings and by the `.mbds` on-disk column ([`crate::format`]).
+    /// Returns `None` for [`Behavior::PAD_INDEX`] and out-of-range codes.
+    pub fn from_index(index: usize) -> Option<Behavior> {
+        match index {
+            1 => Some(Behavior::Click),
+            2 => Some(Behavior::Cart),
+            3 => Some(Behavior::Favorite),
+            4 => Some(Behavior::Purchase),
+            _ => None,
+        }
+    }
+
     /// Embedding index reserved for padded positions.
     pub const PAD_INDEX: usize = 0;
 
@@ -84,33 +97,43 @@ impl Behavior {
 /// One logged user–item event.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Interaction {
+    /// Dense user id.
     pub user: UserId,
+    /// Dense item id (`1..=num_items`; 0 is reserved for padding).
     pub item: ItemId,
+    /// Behavior type of the event.
     pub behavior: Behavior,
+    /// Event time (unix seconds or any monotone per-user ordering key).
     pub timestamp: i64,
 }
 
 /// A time-ordered multi-behavior event sequence (parallel arrays).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Sequence {
+    /// Item of each event, in time order.
     pub items: Vec<ItemId>,
+    /// Behavior of each event, parallel to `items`.
     pub behaviors: Vec<Behavior>,
 }
 
 impl Sequence {
+    /// Empty sequence.
     pub fn new() -> Self {
         Sequence::default()
     }
 
+    /// Appends one event.
     pub fn push(&mut self, item: ItemId, behavior: Behavior) {
         self.items.push(item);
         self.behaviors.push(behavior);
     }
 
+    /// Number of events.
     pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// True when the sequence holds no events.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
@@ -148,6 +171,7 @@ impl Sequence {
 /// A full multi-behavior dataset: one sequence per user.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Dataset {
+    /// Human-readable dataset name (typically the source file stem).
     pub name: String,
     /// Number of users; user ids are `0..num_users`.
     pub num_users: usize,
@@ -229,12 +253,19 @@ impl Dataset {
 /// Summary statistics for Table 1 of the experiment suite.
 #[derive(Clone, Debug, Serialize)]
 pub struct DatasetStats {
+    /// Dataset name.
     pub name: String,
+    /// Number of users.
     pub users: usize,
+    /// Number of distinct items.
     pub items: usize,
+    /// Total event count across all behaviors.
     pub interactions: usize,
+    /// `(behavior token, event count)` pairs in funnel order.
     pub per_behavior: Vec<(String, usize)>,
+    /// Mean events per user.
     pub avg_seq_len: f64,
+    /// Interactions / (users × items).
     pub density: f64,
 }
 
@@ -288,6 +319,7 @@ impl Dataset {
         buckets
     }
 
+    /// Summary statistics (the Table-1 row for this dataset).
     pub fn stats(&self) -> DatasetStats {
         DatasetStats {
             name: self.name.clone(),

@@ -43,6 +43,7 @@ pub mod pool;
 pub mod quant;
 pub mod serialize;
 pub mod shape;
+pub mod sharded;
 pub mod simd;
 pub mod tensor;
 

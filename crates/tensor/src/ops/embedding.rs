@@ -3,6 +3,7 @@
 
 use crate::alloc;
 use crate::shape::Shape;
+use crate::sharded;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -34,13 +35,9 @@ impl Tensor {
                 let g_ref = out_t.grad_ref();
                 let g = g_ref.as_ref().unwrap();
                 let mut gw = alloc::zeroed(weight.numel());
-                for (k, &id) in ids_owned.iter().enumerate() {
-                    let dst = &mut gw[id * d..(id + 1) * d];
-                    let src = &g[k * d..(k + 1) * d];
-                    for (dv, &sv) in dst.iter_mut().zip(src.iter()) {
-                        *dv += sv;
-                    }
-                }
+                // Sharded across the worker pool behind MBSSL_SHARD_EMB;
+                // bit-identical to the sequential scatter for any pool size.
+                sharded::scatter_add(&mut gw, d, &ids_owned, g);
                 weight.accumulate_grad_owned(gw);
             },
         )

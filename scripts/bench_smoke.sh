@@ -7,7 +7,10 @@
 #      (the numbers of record) — this includes the serving pair
 #      `throughput_recommend_top_n` (inference engine, one-pass catalog
 #      ranking) vs `throughput_recommend_graph` (pre-engine chunked path);
-#      their ratio is distilled into the report's `recommend.speedup`;
+#      their ratio is distilled into the report's `recommend.speedup`, and
+#      the dataset-load pair `dataset_load_tsv` / `dataset_load_mbds`
+#      (events/sec over identical preprocessed data) plus the bare
+#      `dataset_open_mbds` latency, distilled into the `data` section;
 #   2. a `train_step`-only pass with MBSSL_FUSED=off so the report shows the
 #      fused and unfused training step side by side;
 #   3. a `train_step`-only pass with MBSSL_TRACE=summary so the report's
@@ -196,6 +199,24 @@ if builds:
 if two_stage:
     report["two_stage"] = two_stage
 
+# Data substrate (DESIGN.md §16): TSV parse+k-core vs mmap'd .mbds
+# open+materialize, in events/sec over identical preprocessed data, plus
+# the bare .mbds open+validate latency (the zero-copy path of record).
+load_tsv = items_per_sec(rows, "dataset_load_tsv")
+load_mbds = items_per_sec(rows, "dataset_load_mbds")
+open_mbds = ns_per_iter(rows, "dataset_open_mbds")
+data = {}
+if load_tsv and load_mbds:
+    data = {
+        "tsv_events_per_sec": load_tsv,
+        "mbds_events_per_sec": load_mbds,
+        "speedup": round(load_mbds / load_tsv, 2),
+    }
+if open_mbds:
+    data["mbds_open_us"] = round(open_mbds / 1e3, 1)
+if data:
+    report["data"] = data
+
 # Top spans by total time per traced section, alongside the traced
 # throughput so the tracing cost is visible next to the numbers of record.
 telemetry = {}
@@ -283,6 +304,9 @@ history = {
     "recommend_top_n_xl_items_per_sec": rec_xl,
     "ann_speedup_xl": round(rec_ann_xl / rec_xl, 2) if rec_ann_xl and rec_xl else None,
     "index_build_ms_catalog24000": round(build_24000 / 1e6, 2) if build_24000 else None,
+    "dataset_load_tsv_events_per_sec": load_tsv,
+    "dataset_load_mbds_events_per_sec": load_mbds,
+    "dataset_load_speedup": round(load_mbds / load_tsv, 2) if load_tsv and load_mbds else None,
 }
 if serve:
     by_phase = {p["phase"]: p for p in serve.get("phases", [])}

@@ -53,10 +53,21 @@
 #                             to offline `recommend`, report zero allocator
 #                             misses after the steady-state mark, and shut
 #                             down cleanly.
-#   9. rustdoc              — `cargo doc --no-deps` for the workspace crates
+#   9. data substrate       — `mbssl convert` on the trace-workflow TSV,
+#                             `dataset stats` agreement between the .mbds
+#                             and TSV paths, then the bit-parity gate:
+#                             training from the mmap'd .mbds sibling must
+#                             produce a checkpoint byte-identical to the
+#                             MBSSL_DATA_MMAP=off TSV-parsed run. Also a
+#                             direct-to-.mbds `synth --preset scale` smoke.
+#                             The shard_parity suite runs in the stage-2
+#                             pool-size loop, and MBSSL_SHARD_EMB=off /
+#                             MBSSL_DATA_MMAP=off escape hatches alongside
+#                             stage 5.
+#  10. rustdoc              — `cargo doc --no-deps` for the workspace crates
 #                             with warnings promoted to errors (missing-docs
 #                             regressions fail here).
-#  10. bench smoke          — refreshes BENCH_throughput.json, appends one
+#  11. bench smoke          — refreshes BENCH_throughput.json, appends one
 #                             line to BENCH_history.jsonl, and fails if the
 #                             bench harness itself breaks (numbers are
 #                             machine-dependent; only the telemetry-off
@@ -111,6 +122,13 @@ for threads in 1 2 ""; do
     else
         env -u MBSSL_THREADS cargo test --release -p mbssl-core --test serve -q
     fi
+
+    echo "==> sharded embedding-gradient parity (MBSSL_THREADS=$label)"
+    if [[ -n "$threads" ]]; then
+        MBSSL_THREADS="$threads" cargo test --release -p mbssl-tensor --test shard_parity -q
+    else
+        env -u MBSSL_THREADS cargo test --release -p mbssl-tensor --test shard_parity -q
+    fi
 done
 
 echo "==> fusion escape hatch (MBSSL_FUSED=off, full workspace)"
@@ -118,6 +136,12 @@ MBSSL_FUSED=off cargo test --workspace -q
 
 echo "==> allocator escape hatch (MBSSL_ALLOC=off)"
 MBSSL_ALLOC=off cargo test --release -p mbssl-tensor --test packed_gemm -q
+
+echo "==> sharded-embedding escape hatch (MBSSL_SHARD_EMB=off pins the sequential scatter)"
+MBSSL_SHARD_EMB=off cargo test --release -p mbssl-tensor --test shard_parity -q
+
+echo "==> mmap escape hatch (MBSSL_DATA_MMAP=off, buffered .mbds reads)"
+MBSSL_DATA_MMAP=off cargo test --release -p mbssl-data --test format -q
 
 echo "==> inference-engine parity (engine on, ambient SIMD)"
 cargo test --release -p mbssl-core --test infer_parity -q
@@ -228,6 +252,35 @@ diff "$trace_dir/offline_user3.txt" "$trace_dir/served_user3.txt"
 # and the drain must be clean.
 grep -q "steady-state alloc misses: 0" "$trace_dir/serve_b16.err"
 grep -q "clean shutdown" "$trace_dir/serve_b16.err"
+
+echo "==> data substrate (convert → stats → TSV-vs-.mbds bit-identical training)"
+# Convert the trace-workflow TSV and check the .mbds reports the same
+# dataset shape the TSV pipeline computes.
+"$mbssl" convert --data "$trace_dir/log.tsv" --target purchase
+"$mbssl" dataset stats "$trace_dir/log.tsv.mbds" > "$trace_dir/stats_mbds.txt"
+"$mbssl" dataset stats "$trace_dir/log.tsv" --target purchase > "$trace_dir/stats_tsv.txt"
+# Identical counts from both paths (strip the format/backing/target/timing
+# lines — only the .mbds header records a target).
+grep -E "users|items|interactions|click|cart|favorite|avg|density|gini|purchase:" \
+    "$trace_dir/stats_mbds.txt" | grep -vE "backing|target" > "$trace_dir/stats_mbds_core.txt"
+grep -E "users|items|interactions|click|cart|favorite|avg|density|gini|purchase:" \
+    "$trace_dir/stats_tsv.txt" > "$trace_dir/stats_tsv_core.txt"
+diff "$trace_dir/stats_mbds_core.txt" "$trace_dir/stats_tsv_core.txt"
+# Training from the mmap'd .mbds (sibling auto-discovery) must be
+# bit-for-bit the TSV-parsed run: compare checkpoints, not logs (metrics
+# files carry wall-clock timings).
+MBSSL_DATA_MMAP=off "$mbssl" train --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model_tsv.ckpt" --epochs 1 --dim 16 --interests 2
+"$mbssl" train --data "$trace_dir/log.tsv" --target purchase \
+    --model "$trace_dir/model_mbds.ckpt" --epochs 1 --dim 16 --interests 2 \
+    2> "$trace_dir/train_mbds.err"
+grep -q "data: using $trace_dir/log.tsv.mbds" "$trace_dir/train_mbds.err"
+cmp "$trace_dir/model_tsv.ckpt" "$trace_dir/model_mbds.ckpt"
+# Direct-to-.mbds synthesis at the scale regime's smallest preset.
+"$mbssl" synth --out "$trace_dir/scale.mbds" --preset scale --users 1000 --seed 5
+"$mbssl" dataset stats "$trace_dir/scale.mbds" > /dev/null
+"$mbssl" train --data "$trace_dir/scale.mbds" \
+    --model "$trace_dir/model_scale.ckpt" --epochs 1 --dim 16 --interests 2
 
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

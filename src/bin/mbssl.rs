@@ -54,8 +54,12 @@ use mbssl::core::{
     evaluate, recommend_top_n, BehaviorSchema, InferenceModel, IvfIndex, Mbmissl, ModelConfig,
     TrainConfig, Trainer,
 };
+use mbssl::data::format::MbdsFile;
 use mbssl::data::io::load_tsv;
-use mbssl::data::preprocess::{k_core, leave_one_out, SplitConfig};
+use mbssl::data::preprocess::{
+    convert_tsv_in_memory, convert_tsv_streaming, k_core, leave_one_out, ConvertError,
+    SplitConfig,
+};
 use mbssl::data::sampler::{EvalCandidates, NegativeSampler};
 use mbssl::data::{Behavior, Dataset};
 use mbssl::trace::{collapsed_stacks, diff, render_diff, render_summary, DiffMetric, DiffOptions, Trace};
@@ -125,28 +129,132 @@ fn usage() {
          mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N] [--index PATH.ivf]\n  \
          mbssl serve     --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--replay FILE] [--rerank SPEC] [--top N] [--index PATH.ivf]\n  \
          mbssl stats     --data LOG.tsv --target BEHAVIOR\n  \
-         mbssl synth     --out LOG.tsv [--preset taobao|yelp] [--scale F] [--seed S]\n  \
+         mbssl synth     --out LOG.tsv|OUT.mbds [--preset taobao|yelp|tmall|scale-10k|scale-100k|scale-1m] [--users N] [--scale F] [--seed S]\n  \
+         mbssl convert   --data LOG.tsv --target BEHAVIOR [--out PATH.mbds] [--k-user N] [--k-item N]\n  \
+         mbssl dataset stats PATH.mbds|LOG.tsv [--target BEHAVIOR]\n  \
          mbssl index build --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--out PATH.ivf] [--nlist N] [--seed S]\n  \
          mbssl index stats INDEX.ivf\n  \
          mbssl trace summary TRACE.jsonl [--section S] [--collapsed OUT.folded]\n  \
          mbssl trace diff BASE.jsonl NEW.jsonl [--tol PCT] [--metric mean|total|share] [--min-share PCT] [--section S]\n  \
          mbssl report RUN_DIR [RUN_DIR...]\n\n\
          BEHAVIOR ∈ {{click, cart, favorite, purchase}}\n\
+         --data also accepts a .mbds file (mmap'd columnar, from `mbssl convert`); a `LOG.tsv.mbds`\n\
+         sibling is auto-discovered next to a TSV unless MBSSL_DATA_MMAP=off\n\
          all commands accept --trace off|summary|jsonl:PATH (telemetry; see also MBSSL_TRACE);\n\
          train writes a run ledger when --run-dir or MBSSL_RUN_DIR is set (read back by `mbssl report`)"
     );
 }
 
+/// Opens a `.mbds` file the user named explicitly (hard error on any
+/// rejection — there is no TSV to degrade to). `.mbds` files store the
+/// target behavior, so `--target` is optional and cross-checked when given.
+fn load_mbds(path: &str, requested: Option<Behavior>) -> Result<(Dataset, Behavior), String> {
+    let file =
+        MbdsFile::open(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    let target = file.target_behavior();
+    if let Some(req) = requested {
+        if req != target {
+            return Err(format!(
+                "--target {} but {path} was converted for target {}",
+                req.token(),
+                target.token()
+            ));
+        }
+    }
+    let dataset = file.to_dataset();
+    if dataset.num_users == 0 {
+        return Err(format!("{path} contains no users"));
+    }
+    Ok((dataset, target))
+}
+
+/// Loads `--data`: a `.mbds` file directly, a TSV with an auto-discovered
+/// `<data>.mbds` sibling (produced by `mbssl convert`; skipped under
+/// `MBSSL_DATA_MMAP=off`, warn-and-degrade on any mismatch), or a plain TSV
+/// parsed and 5/3-core filtered. `.mbds` data is already preprocessed, so
+/// no k-core is re-applied — identical to the TSV path because k-core is
+/// idempotent and `convert` defaults to the same 5/3 thresholds.
 fn load_dataset(args: &Args) -> Result<(Dataset, Behavior), String> {
     let path = args.require("data")?;
-    let target = Behavior::from_token(args.require("target")?)
-        .ok_or_else(|| "unknown --target behavior".to_string())?;
+    let requested = match args.get("target") {
+        Some(tok) => Some(
+            Behavior::from_token(tok).ok_or_else(|| "unknown --target behavior".to_string())?,
+        ),
+        None => None,
+    };
+    if path.ends_with(".mbds") {
+        return load_mbds(path, requested);
+    }
+    let target = requested.ok_or_else(|| "missing --target".to_string())?;
+    let sibling = format!("{path}.mbds");
+    if mbssl::data::format::mmap_enabled() && std::path::Path::new(&sibling).exists() {
+        match MbdsFile::open(std::path::Path::new(&sibling)) {
+            Ok(file) if file.target_behavior() == target => {
+                eprintln!(
+                    "data: using {sibling} ({} events, {}; delete it or set MBSSL_DATA_MMAP=off to parse the TSV)",
+                    file.num_events(),
+                    if file.is_mmap() { "mmap" } else { "buffered" },
+                );
+                let dataset = file.to_dataset();
+                if dataset.num_users == 0 {
+                    return Err(format!("{sibling} contains no users"));
+                }
+                return Ok((dataset, target));
+            }
+            Ok(file) => eprintln!(
+                "warning: ignoring {sibling}: converted for target {}, requested {}; parsing {path}",
+                file.target_behavior().token(),
+                target.token()
+            ),
+            Err(e) => eprintln!("warning: ignoring {sibling}: {e}; parsing {path}"),
+        }
+    }
     let raw = load_tsv(path, target).map_err(|e| format!("loading {path}: {e}"))?;
     let dataset = k_core(&raw, 5, 3);
     if dataset.num_users == 0 {
         return Err("no users survive 5/3-core filtering".into());
     }
     Ok((dataset, target))
+}
+
+/// Streams a synthetic log to `path` as TSV, one user at a time, without
+/// materializing the full dataset. The byte format is identical to the old
+/// in-memory writer: a header line then `user\titem\tbehavior\tindex` rows
+/// with the per-user event index as the timestamp — already user-sorted, so
+/// the streaming converter's single-census path accepts it. Returns
+/// `(users, events)` written.
+fn write_synth_tsv(
+    config: &mbssl::data::synthetic::SyntheticConfig,
+    path: &str,
+) -> Result<(usize, usize), String> {
+    use std::io::Write;
+    let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    let mut events = 0usize;
+    let mut users = 0usize;
+    let mut io_err: Option<std::io::Error> = None;
+    out.write_all(b"user\titem\tbehavior\ttimestamp\n")
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    config.for_each_user(|user, seq, _noise| {
+        if io_err.is_some() {
+            return;
+        }
+        users += 1;
+        for (t, (&item, &behavior)) in seq.items.iter().zip(seq.behaviors.iter()).enumerate() {
+            if let Err(e) =
+                writeln!(out, "{user}\t{item}\t{}\t{t}", behavior.token())
+            {
+                io_err = Some(e);
+                return;
+            }
+            events += 1;
+        }
+    });
+    if let Some(e) = io_err {
+        return Err(format!("writing {path}: {e}"));
+    }
+    out.flush().map_err(|e| format!("writing {path}: {e}"))?;
+    Ok((users, events))
 }
 
 /// One-line stderr note for scoring commands: whether they run on the
@@ -505,29 +613,182 @@ fn run() -> Result<(), String> {
             let scale: f64 = args.get_or("scale", "0.05").parse().map_err(|_| "bad --scale")?;
             let preset = args.get_or("preset", "taobao");
             let config = match preset {
-                "taobao" => SyntheticConfig::taobao_like(seed),
-                "yelp" => SyntheticConfig::yelp_like(seed),
-                other => return Err(format!("unknown --preset {other:?} (expected taobao | yelp)")),
-            };
-            let dataset = config.scaled(scale).generate().dataset;
-            let mut tsv = String::from("user\titem\tbehavior\ttimestamp\n");
-            for (user, seq) in dataset.sequences.iter().enumerate() {
-                for (t, (&item, &behavior)) in
-                    seq.items.iter().zip(seq.behaviors.iter()).enumerate()
-                {
-                    tsv.push_str(&format!("{user}\t{item}\t{}\t{t}\n", behavior.token()));
+                "taobao" => SyntheticConfig::taobao_like(seed).scaled(scale),
+                "yelp" => SyntheticConfig::yelp_like(seed).scaled(scale),
+                "tmall" => SyntheticConfig::tmall_like(seed).scaled(scale),
+                "scale-10k" => SyntheticConfig::scale_regime(10_000, seed),
+                "scale-100k" => SyntheticConfig::scale_regime(100_000, seed),
+                "scale-1m" => SyntheticConfig::scale_regime(1_000_000, seed),
+                "scale" => {
+                    let users: usize =
+                        args.require("users")?.parse().map_err(|_| "bad --users")?;
+                    if users < 1000 {
+                        return Err(format!(
+                            "--users {users}: the scale regime starts at 1000 users \
+                             (use --preset taobao --scale <f> for small logs)"
+                        ));
+                    }
+                    SyntheticConfig::scale_regime(users, seed)
                 }
+                other => {
+                    return Err(format!(
+                        "unknown --preset {other:?} (expected taobao | yelp | tmall | \
+                         scale-10k | scale-100k | scale-1m | scale)"
+                    ))
+                }
+            };
+            let started = std::time::Instant::now();
+            if out.ends_with(".mbds") {
+                // .mbds files are preprocessed by convention, so route the
+                // streamed events through the streaming converter (the TSV
+                // is emitted user-sorted, so the single-pass path applies).
+                // The temp stem matches the output stem so the dataset name
+                // stored in the header is clean ("x" for x.mbds).
+                let tmp = format!("{}.part", out.strip_suffix(".mbds").unwrap_or(out));
+                let (users, events) = write_synth_tsv(&config, &tmp)?;
+                let k_user: usize =
+                    args.get_or("k-user", "5").parse().map_err(|_| "bad --k-user")?;
+                let k_item: usize =
+                    args.get_or("k-item", "3").parse().map_err(|_| "bad --k-item")?;
+                let report = convert_tsv_streaming(
+                    std::path::Path::new(&tmp),
+                    std::path::Path::new(out),
+                    config.target_behavior,
+                    k_user,
+                    k_item,
+                )
+                .map_err(|e| format!("converting {tmp}: {e}"))?;
+                std::fs::remove_file(&tmp).ok();
+                let secs = started.elapsed().as_secs_f64();
+                println!(
+                    "wrote {out}: {} users / {} items / {} events after {k_user}/{k_item}-core \
+                     (generated {users} users / {events} events, preset {preset}), \
+                     {} bytes in {secs:.1}s ({:.0} events/s)",
+                    report.users_out,
+                    report.items_out,
+                    report.events_out,
+                    report.bytes_written,
+                    events as f64 / secs,
+                );
+            } else {
+                let (users, events) = write_synth_tsv(&config, out)?;
+                let secs = started.elapsed().as_secs_f64();
+                println!(
+                    "wrote {out} ({users} users, {} items, {events} events, preset {preset}), \
+                     in {secs:.1}s ({:.0} events/s)",
+                    config.num_items,
+                    events as f64 / secs,
+                );
             }
-            std::fs::write(out, tsv).map_err(|e| format!("writing {out}: {e}"))?;
+            Ok(())
+        }
+        "convert" => {
+            let path = args.require("data")?.to_string();
+            let target = Behavior::from_token(args.require("target")?)
+                .ok_or_else(|| "unknown --target behavior".to_string())?;
+            let out = args
+                .get("out")
+                .map(String::from)
+                .unwrap_or_else(|| format!("{path}.mbds"));
+            let k_user: usize = args.get_or("k-user", "5").parse().map_err(|_| "bad --k-user")?;
+            let k_item: usize = args.get_or("k-item", "3").parse().map_err(|_| "bad --k-item")?;
+            let started = std::time::Instant::now();
+            let report = match convert_tsv_streaming(
+                std::path::Path::new(&path),
+                std::path::Path::new(&out),
+                target,
+                k_user,
+                k_item,
+            ) {
+                Ok(report) => report,
+                Err(ConvertError::NotSorted { line, message }) => {
+                    eprintln!(
+                        "warning: {path} is not user-sorted (line {line}: {message}); \
+                         falling back to in-memory conversion"
+                    );
+                    convert_tsv_in_memory(
+                        std::path::Path::new(&path),
+                        std::path::Path::new(&out),
+                        target,
+                        k_user,
+                        k_item,
+                    )
+                    .map_err(|e| format!("converting {path}: {e}"))?
+                }
+                Err(e) => return Err(format!("converting {path}: {e}")),
+            };
+            let secs = started.elapsed().as_secs_f64();
             println!(
-                "wrote {} ({} users, {} items, {} events, preset {preset}, scale {scale})",
-                out,
-                dataset.num_users,
-                dataset.num_items,
-                dataset.num_interactions()
+                "wrote {out}: {} users / {} items / {} events after {k_user}/{k_item}-core \
+                 (raw log: {} users / {} items / {} events)",
+                report.users_out,
+                report.items_out,
+                report.events_out,
+                report.users_in,
+                report.items_in,
+                report.events_in,
+            );
+            println!(
+                "  {} bytes, {} passes over the TSV, {secs:.1}s ({:.0} events/s ingest)",
+                report.bytes_written,
+                report.passes,
+                report.events_in as f64 / secs,
             );
             Ok(())
         }
+        "dataset" => match args.positional(0, "dataset subcommand")? {
+            "stats" => {
+                let path = args.positional(1, "dataset file")?;
+                let started = std::time::Instant::now();
+                if path.ends_with(".mbds") {
+                    let file = MbdsFile::open(std::path::Path::new(path))
+                        .map_err(|e| format!("loading {path}: {e}"))?;
+                    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+                    let stats = file.stats();
+                    println!("dataset {path} (.mbds v{}):", mbssl::data::format::VERSION);
+                    println!(
+                        "  backing      : {} ({} bytes)",
+                        if file.is_mmap() { "mmap" } else { "buffered read" },
+                        file.file_len()
+                    );
+                    println!("  name         : {}", stats.name);
+                    println!("  users        : {}", stats.users);
+                    println!("  items        : {}", stats.items);
+                    println!("  interactions : {}", stats.interactions);
+                    for (b, c) in &stats.per_behavior {
+                        println!("    {b:>9}: {c}");
+                    }
+                    println!("  target       : {}", file.target_behavior().token());
+                    println!("  avg seq len  : {:.2}", stats.avg_seq_len);
+                    println!("  density      : {:.5}", stats.density);
+                    println!("  pop. gini    : {:.3}", file.popularity_gini());
+                    println!("  open+validate: {load_ms:.1} ms");
+                } else {
+                    let target = Behavior::from_token(args.require("target")?)
+                        .ok_or_else(|| "unknown --target behavior".to_string())?;
+                    let raw = load_tsv(path, target).map_err(|e| format!("loading {path}: {e}"))?;
+                    let dataset = k_core(&raw, 5, 3);
+                    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+                    let stats = dataset.stats();
+                    println!("dataset {path} (TSV + 5/3-core):");
+                    println!("  users        : {}", stats.users);
+                    println!("  items        : {}", stats.items);
+                    println!("  interactions : {}", stats.interactions);
+                    for (b, c) in &stats.per_behavior {
+                        println!("    {b:>9}: {c}");
+                    }
+                    println!("  avg seq len  : {:.2}", stats.avg_seq_len);
+                    println!("  density      : {:.5}", stats.density);
+                    println!("  pop. gini    : {:.3}", dataset.popularity_gini());
+                    println!("  parse+core   : {load_ms:.1} ms");
+                }
+                Ok(())
+            }
+            other => {
+                usage();
+                Err(format!("unknown dataset subcommand {other:?}"))
+            }
+        },
         "index" => match args.positional(0, "index subcommand")? {
             "build" => {
                 let (dataset, target) = load_dataset(&args)?;
