@@ -294,7 +294,7 @@ fn bench_throughput(c: &mut Criterion) {
 /// ns_per_iter is the figure), which is the zero-copy path's latency when
 /// training iterates the columns without materializing a heap Dataset.
 fn bench_dataset_load(c: &mut Criterion) {
-    use mbssl_data::format::{write_mbds, MbdsFile};
+    use mbssl_data::format::MbdsFile;
     use mbssl_data::io::{load_tsv, save_tsv};
     use mbssl_data::preprocess::k_core;
     use mbssl_data::synthetic::SyntheticConfig;
@@ -312,7 +312,7 @@ fn bench_dataset_load(c: &mut Criterion) {
     // (parse + k-core) and the .mbds leg (open + materialize) produce the
     // same Dataset — events/sec compares equal work.
     let cored = k_core(&load_tsv(&tsv, raw.target_behavior).expect("load"), 5, 3);
-    write_mbds(&cored, &mbds).expect("write bench mbds");
+    mbssl_data::format::write_mbds_kcore(&cored, &mbds, 5, 3).expect("write bench mbds");
     let events = cored.num_interactions();
 
     let name = format!("dataset_load_tsv_items{events}");

@@ -283,6 +283,7 @@ pub struct MbdsFile {
     num_events: usize,
     behaviors: Vec<Behavior>,
     target_behavior: Behavior,
+    kcore: (u8, u8),
     offsets_at: usize,
     items_at: usize,
     behaviors_at: usize,
@@ -332,8 +333,9 @@ impl MbdsFile {
         let num_events = read_u64(b, 32);
         let target_code = b[40];
         let behavior_mask = b[41];
+        let kcore = (b[42], b[43]);
         let name_len = u64::from(read_u32(b, 44));
-        if b[42..44].iter().any(|&x| x != 0) || b[48..64].iter().any(|&x| x != 0) {
+        if b[48..64].iter().any(|&x| x != 0) {
             return Err(FormatError::Corrupt("reserved header bytes not zero".to_string()));
         }
         if num_items >= u64::from(u32::MAX) {
@@ -394,6 +396,7 @@ impl MbdsFile {
             num_events: num_events as usize,
             behaviors,
             target_behavior,
+            kcore,
             offsets_at: lay.offsets.0 as usize,
             items_at: lay.items.0 as usize,
             behaviors_at: lay.behaviors.0 as usize,
@@ -470,6 +473,18 @@ impl MbdsFile {
     /// The prediction-target behavior recorded at write time.
     pub fn target_behavior(&self) -> Behavior {
         self.target_behavior
+    }
+
+    /// The `(k_user, k_item)` k-core thresholds recorded at write time
+    /// (header bytes 42/43), or `None` when the writer left them
+    /// unspecified. Loaders that assume a particular preprocessing (the
+    /// CLI's sibling auto-discovery expects the default 5/3-core) use this
+    /// to detect a file converted with different thresholds.
+    pub fn kcore_thresholds(&self) -> Option<(usize, usize)> {
+        match self.kcore {
+            (0, _) | (_, 0) => None,
+            (ku, ki) => Some((ku as usize, ki as usize)),
+        }
     }
 
     /// True when backed by an `mmap` mapping rather than an owned buffer.
@@ -632,13 +647,17 @@ pub struct MbdsStreamWriter {
     name: String,
     behaviors: Vec<Behavior>,
     target: Behavior,
+    kcore: (u8, u8),
     max_item: ItemId,
     finished: bool,
 }
 
+/// Temporary-file path next to `out`. The process id is part of the name so
+/// two concurrent conversions targeting the same output path write disjoint
+/// temporaries instead of silently interleaving into each other's files.
 fn tmp_path(out: &Path, suffix: &str) -> PathBuf {
     let mut os = out.as_os_str().to_owned();
-    os.push(suffix);
+    os.push(format!(".{}{suffix}", std::process::id()));
     PathBuf::from(os)
 }
 
@@ -687,9 +706,21 @@ impl MbdsStreamWriter {
             name: name.to_string(),
             behaviors: behaviors.to_vec(),
             target,
+            kcore: (0, 0),
             max_item: 0,
             finished: false,
         })
+    }
+
+    /// Records the k-core thresholds the events were filtered with; they
+    /// are stored in header bytes 42/43 so loaders can detect a `.mbds`
+    /// file converted with different thresholds than they expect. `0`
+    /// means unspecified (the default); values above `u8::MAX` are also
+    /// stored as unspecified rather than saturated, so a reader never
+    /// sees a wrong threshold.
+    pub fn set_kcore(&mut self, k_user: usize, k_item: usize) {
+        let enc = |k: usize| u8::try_from(k).unwrap_or(0);
+        self.kcore = (enc(k_user), enc(k_item));
     }
 
     /// Appends the next user's time-ordered events. The three slices must
@@ -767,39 +798,71 @@ impl MbdsStreamWriter {
         let num_events = self.events_written();
         let lay = layout(num_users, num_events, self.name.len() as u64)?;
 
-        let mut out = BufWriter::new(File::create(&self.out_path)?);
-        let mut header = [0u8; HEADER_LEN as usize];
-        header[0..8].copy_from_slice(MAGIC);
-        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
-        header[12..16].copy_from_slice(&(HEADER_LEN as u32).to_le_bytes());
-        header[16..24].copy_from_slice(&num_users.to_le_bytes());
-        header[24..32].copy_from_slice(&(num_items as u64).to_le_bytes());
-        header[32..40].copy_from_slice(&num_events.to_le_bytes());
-        header[40] = self.target.index() as u8;
-        header[41] = behavior_mask_of(&self.behaviors);
-        header[44..48].copy_from_slice(&(self.name.len() as u32).to_le_bytes());
-        out.write_all(&header)?;
+        // Assemble into a pid-unique temporary and atomically rename it
+        // into place, so readers never observe a half-written file and
+        // concurrent conversions to the same path each produce a complete
+        // file (last rename wins).
+        let final_tmp = tmp_path(&self.out_path, ".part");
+        let assemble = || -> Result<(), FormatError> {
+            let mut out = BufWriter::new(File::create(&final_tmp)?);
+            let mut header = [0u8; HEADER_LEN as usize];
+            header[0..8].copy_from_slice(MAGIC);
+            header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+            header[12..16].copy_from_slice(&(HEADER_LEN as u32).to_le_bytes());
+            header[16..24].copy_from_slice(&num_users.to_le_bytes());
+            header[24..32].copy_from_slice(&(num_items as u64).to_le_bytes());
+            header[32..40].copy_from_slice(&num_events.to_le_bytes());
+            header[40] = self.target.index() as u8;
+            header[41] = behavior_mask_of(&self.behaviors);
+            header[42] = self.kcore.0;
+            header[43] = self.kcore.1;
+            header[44..48].copy_from_slice(&(self.name.len() as u32).to_le_bytes());
+            out.write_all(&header)?;
 
-        let pad = |w: &mut BufWriter<File>, end: u64, next: u64| -> io::Result<()> {
-            w.write_all(&vec![0u8; (next - end) as usize])
-        };
-        out.write_all(self.name.as_bytes())?;
-        pad(&mut out, lay.name.1, lay.offsets.0)?;
-        for &o in &self.offsets {
-            out.write_all(&o.to_le_bytes())?;
-        }
-        pad(&mut out, lay.offsets.1, lay.items.0)?;
-        for (i, tmp) in self.tmp_paths.iter().enumerate() {
-            let mut f = File::open(tmp)?;
-            io::copy(&mut f, &mut out)?;
-            match i {
-                0 => pad(&mut out, lay.items.1, lay.behaviors.0)?,
-                1 => pad(&mut out, lay.behaviors.1, lay.timestamps.0)?,
-                _ => {}
+            let pad = |w: &mut BufWriter<File>, end: u64, next: u64| -> io::Result<()> {
+                w.write_all(&vec![0u8; (next - end) as usize])
+            };
+            out.write_all(self.name.as_bytes())?;
+            pad(&mut out, lay.name.1, lay.offsets.0)?;
+            for &o in &self.offsets {
+                out.write_all(&o.to_le_bytes())?;
             }
+            pad(&mut out, lay.offsets.1, lay.items.0)?;
+            // Each column temp must splice in exactly the byte count the
+            // layout promises; a short or long copy means the temp was
+            // clobbered and the output would only fail later at open.
+            let expected = [
+                lay.items.1 - lay.items.0,
+                lay.behaviors.1 - lay.behaviors.0,
+                lay.timestamps.1 - lay.timestamps.0,
+            ];
+            for (i, tmp) in self.tmp_paths.iter().enumerate() {
+                let mut f = File::open(tmp)?;
+                let copied = io::copy(&mut f, &mut out)?;
+                if copied != expected[i] {
+                    return Err(FormatError::Corrupt(format!(
+                        "column temp {} holds {copied} bytes, layout expects {}",
+                        tmp.display(),
+                        expected[i]
+                    )));
+                }
+                match i {
+                    0 => pad(&mut out, lay.items.1, lay.behaviors.0)?,
+                    1 => pad(&mut out, lay.behaviors.1, lay.timestamps.0)?,
+                    _ => {}
+                }
+            }
+            out.flush()?;
+            Ok(())
+        };
+        if let Err(e) = assemble() {
+            let _ = std::fs::remove_file(&final_tmp);
+            return Err(e);
         }
-        out.flush()?;
-        drop(out);
+        if let Err(e) = std::fs::rename(&final_tmp, &self.out_path) {
+            let _ = std::fs::remove_file(&final_tmp);
+            return Err(e.into());
+        }
         for tmp in &self.tmp_paths {
             let _ = std::fs::remove_file(tmp);
         }
@@ -819,14 +882,28 @@ impl Drop for MbdsStreamWriter {
 }
 
 /// Writes an in-memory [`Dataset`] as a `.mbds` file (timestamps are the
-/// per-user event index, matching `save_tsv`). Returns total bytes written.
+/// per-user event index, matching `save_tsv`). The k-core thresholds are
+/// left unspecified in the header — use [`write_mbds_kcore`] when they are
+/// known. Returns total bytes written.
 pub fn write_mbds(dataset: &Dataset, path: &Path) -> Result<u64, FormatError> {
+    write_mbds_kcore(dataset, path, 0, 0)
+}
+
+/// [`write_mbds`] recording the `(k_user, k_item)` k-core thresholds the
+/// dataset was filtered with in header bytes 42/43 (`0` = unspecified).
+pub fn write_mbds_kcore(
+    dataset: &Dataset,
+    path: &Path,
+    k_user: usize,
+    k_item: usize,
+) -> Result<u64, FormatError> {
     let mut w = MbdsStreamWriter::create(
         path,
         &dataset.name,
         &dataset.behaviors,
         dataset.target_behavior,
     )?;
+    w.set_kcore(k_user, k_item);
     for seq in &dataset.sequences {
         w.append_user_seq(seq)?;
     }
@@ -878,6 +955,60 @@ mod tests {
         assert_eq!(back.num_items, ds.num_items);
         std::fs::remove_file(&path).unwrap();
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn kcore_thresholds_roundtrip_through_header() {
+        let dir = std::env::temp_dir().join(format!("mbds_kcore_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kcore.mbds");
+        let ds = sample();
+
+        write_mbds(&ds, &path).unwrap();
+        assert_eq!(MbdsFile::open(&path).unwrap().kcore_thresholds(), None);
+
+        write_mbds_kcore(&ds, &path, 5, 3).unwrap();
+        assert_eq!(MbdsFile::open(&path).unwrap().kcore_thresholds(), Some((5, 3)));
+
+        // Thresholds above the u8 range are stored as unspecified, never
+        // saturated to a wrong value.
+        write_mbds_kcore(&ds, &path, 300, 3).unwrap();
+        assert_eq!(MbdsFile::open(&path).unwrap().kcore_thresholds(), None);
+
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn clobbered_column_temp_is_corrupt_at_finish() {
+        let dir = std::env::temp_dir().join(format!("mbds_clobber_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clobber.mbds");
+        let ds = sample();
+        let mut w = MbdsStreamWriter::create(
+            &path,
+            &ds.name,
+            &ds.behaviors,
+            ds.target_behavior,
+        )
+        .unwrap();
+        for seq in &ds.sequences {
+            w.append_user_seq(seq).unwrap();
+        }
+        // Simulate another process truncating the items temp out from
+        // under the writer: flush first so the append is durable, then
+        // clobber the file on disk.
+        w.items_w.flush().unwrap();
+        std::fs::write(&w.tmp_paths[0], b"xx").unwrap();
+        match w.finish(ds.num_items) {
+            Err(FormatError::Corrupt(msg)) => {
+                assert!(msg.contains("layout expects"), "{msg}")
+            }
+            other => panic!("expected Corrupt(short column temp), got {other:?}"),
+        }
+        // The half-assembled output must not have been renamed into place.
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

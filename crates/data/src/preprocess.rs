@@ -336,6 +336,7 @@ pub fn convert_tsv_streaming(
         .map(|s| s.to_string_lossy().to_string())
         .unwrap_or_else(|| "dataset".to_string());
     let mut writer = MbdsStreamWriter::create(out, &name, &behaviors_present, target)?;
+    writer.set_kcore(k_user, k_item);
     let mut buf_items: Vec<ItemId> = Vec::new();
     let mut buf_behaviors: Vec<Behavior> = Vec::new();
     let mut buf_ts: Vec<i64> = Vec::new();
@@ -406,7 +407,7 @@ pub fn convert_tsv_in_memory(
 ) -> Result<ConvertReport, ConvertError> {
     let raw = crate::io::load_tsv(tsv, target)?;
     let filtered = k_core(&raw, k_user, k_item);
-    let bytes_written = crate::format::write_mbds(&filtered, out)?;
+    let bytes_written = crate::format::write_mbds_kcore(&filtered, out, k_user, k_item)?;
     Ok(ConvertReport {
         users_in: raw.num_users,
         items_in: raw.num_items,

@@ -67,24 +67,43 @@ pub fn scatter_add_reference(gw: &mut [f32], d: usize, ids: &[usize], grad: &[f3
 /// id order). Bit-for-bit identical to [`scatter_add_reference`] for any
 /// pool size — see the module docs for the ordering argument.
 pub fn scatter_add_sharded(gw: &mut [f32], d: usize, ids: &[usize], grad: &[f32]) {
+    let rows = if d == 0 { 0 } else { gw.len() / d };
+    let shards = pool::threads().min(rows).max(1);
+    scatter_add_sharded_with(gw, d, ids, grad, shards);
+}
+
+/// [`scatter_add_sharded`] with an explicit shard count (the public entry
+/// derives it from the pool size). With `rows_per_shard =
+/// rows.div_ceil(shards)`, the last shards can own an *empty* row range —
+/// e.g. `rows = 50, shards = 16` gives 4 rows per shard, which covers the
+/// row space by shard 13 — so both bounds are clamped to `rows`; trailing
+/// shards degenerate to empty slices and scan no ids. Exposed so parity
+/// tests can pin shard counts independent of `MBSSL_THREADS`.
+pub fn scatter_add_sharded_with(
+    gw: &mut [f32],
+    d: usize,
+    ids: &[usize],
+    grad: &[f32],
+    shards: usize,
+) {
     debug_assert_eq!(grad.len(), ids.len() * d);
+    debug_assert!(shards >= 1);
     if d == 0 || ids.is_empty() {
         return;
     }
     let rows = gw.len() / d;
-    let shards = pool::threads().min(rows).max(1);
     let rows_per_shard = rows.div_ceil(shards);
     let mut guarded: Vec<Mutex<&mut [f32]>> = Vec::with_capacity(shards);
     let mut rest: &mut [f32] = gw;
     for s in 0..shards {
-        let lo = s * rows_per_shard;
+        let lo = (s * rows_per_shard).min(rows);
         let hi = ((s + 1) * rows_per_shard).min(rows);
         let (head, tail) = rest.split_at_mut((hi - lo) * d);
         guarded.push(Mutex::new(head));
         rest = tail;
     }
     pool::parallel_for(shards, |s| {
-        let lo = s * rows_per_shard;
+        let lo = (s * rows_per_shard).min(rows);
         let hi = ((s + 1) * rows_per_shard).min(rows);
         let mut shard = guarded[s].lock().unwrap();
         for (k, &id) in ids.iter().enumerate() {
@@ -131,6 +150,30 @@ mod tests {
             a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn shard_count_exceeding_row_coverage_is_safe_and_bitwise() {
+        // REVIEW.md repro: rows = 50, shards = 16 → rows_per_shard = 4
+        // covers the row space by shard 13, so shards 13..16 own empty
+        // ranges; unclamped bounds underflowed in split_at_mut. Also pin
+        // shard counts above sqrt(rows) and the shards == rows edge.
+        for (rows, shards) in [(50usize, 16usize), (37, 16), (5, 4), (3, 3), (1, 1)] {
+            let d = 5;
+            let ids: Vec<usize> = (0..400).map(|k| (k * 7 + 3) % rows).collect();
+            let grad: Vec<f32> = (0..ids.len() * d)
+                .map(|i| ((i as f32) * 0.37).sin() * 1.7)
+                .collect();
+            let mut a = vec![0.0f32; rows * d];
+            let mut b = vec![0.0f32; rows * d];
+            scatter_add_reference(&mut a, d, &ids, &grad);
+            scatter_add_sharded_with(&mut b, d, &ids, &grad, shards);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "rows={rows} shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! raw kernels and the full embedding backward (which dispatches per
 //! MBSSL_SHARD_EMB) are pinned.
 
-use mbssl_tensor::sharded::{scatter_add, scatter_add_reference, scatter_add_sharded};
+use mbssl_tensor::sharded::{
+    scatter_add, scatter_add_reference, scatter_add_sharded, scatter_add_sharded_with,
+};
 use mbssl_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -39,6 +41,28 @@ proptest! {
         let mut dispatched = vec![0.0f32; rows * d];
         scatter_add(&mut dispatched, d, &ids, &grad);
         prop_assert_eq!(bits(&reference), bits(&dispatched));
+    }
+
+    // Explicit shard counts, decoupled from MBSSL_THREADS: counts that
+    // exceed sqrt(rows) leave trailing shards with empty row ranges
+    // (REVIEW.md: rows=50/shards=16 underflowed before clamping), and
+    // counts above rows itself pin the fully-empty-trailing-shard edge.
+    #[test]
+    fn explicit_shard_count_bitwise_parity(
+        rows in 1usize..80,
+        d in 1usize..9,
+        shards in 1usize..33,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 300;
+        let ids: Vec<usize> = (0..n).map(|_| rng.gen_range(0..rows)).collect();
+        let grad: Vec<f32> = (0..n * d).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let mut reference = vec![0.0f32; rows * d];
+        let mut shardwise = vec![0.0f32; rows * d];
+        scatter_add_reference(&mut reference, d, &ids, &grad);
+        scatter_add_sharded_with(&mut shardwise, d, &ids, &grad, shards);
+        prop_assert_eq!(bits(&reference), bits(&shardwise));
     }
 
     // Full embedding backward: batches big enough to cross MIN_IDS so the

@@ -171,9 +171,12 @@ fn load_mbds(path: &str, requested: Option<Behavior>) -> Result<(Dataset, Behavi
 /// Loads `--data`: a `.mbds` file directly, a TSV with an auto-discovered
 /// `<data>.mbds` sibling (produced by `mbssl convert`; skipped under
 /// `MBSSL_DATA_MMAP=off`, warn-and-degrade on any mismatch), or a plain TSV
-/// parsed and 5/3-core filtered. `.mbds` data is already preprocessed, so
-/// no k-core is re-applied — identical to the TSV path because k-core is
-/// idempotent and `convert` defaults to the same 5/3 thresholds.
+/// parsed and 5/3-core filtered. A sibling is only trusted when it is
+/// provably equivalent to parsing the named TSV: it must not be older than
+/// the TSV (staleness by mtime), must record the default 5/3 k-core
+/// thresholds in its header, and must match the requested target — anything
+/// else warns and parses the TSV. Under those checks the result is
+/// identical to the TSV path because k-core is idempotent.
 fn load_dataset(args: &Args) -> Result<(Dataset, Behavior), String> {
     let path = args.require("data")?;
     let requested = match args.get("target") {
@@ -188,7 +191,31 @@ fn load_dataset(args: &Args) -> Result<(Dataset, Behavior), String> {
     let target = requested.ok_or_else(|| "missing --target".to_string())?;
     let sibling = format!("{path}.mbds");
     if mbssl::data::format::mmap_enabled() && std::path::Path::new(&sibling).exists() {
+        let mtime = |p: &str| std::fs::metadata(p).and_then(|m| m.modified()).ok();
+        let stale = matches!(
+            (mtime(path), mtime(&sibling)),
+            (Some(tsv_t), Some(sib_t)) if tsv_t > sib_t
+        );
+        if stale {
+            eprintln!(
+                "warning: ignoring {sibling}: {path} was modified after it was converted \
+                 (re-run `mbssl convert` to refresh); parsing {path}"
+            );
+            return load_plain_tsv(path, target);
+        }
         match MbdsFile::open(std::path::Path::new(&sibling)) {
+            Ok(file) if file.target_behavior() == target
+                && file.kcore_thresholds() != Some((5, 3)) =>
+            {
+                eprintln!(
+                    "warning: ignoring {sibling}: converted with {} k-core thresholds, \
+                     auto-discovery requires the default 5/3; parsing {path}",
+                    match file.kcore_thresholds() {
+                        Some((ku, ki)) => format!("{ku}/{ki}"),
+                        None => "unspecified".to_string(),
+                    }
+                );
+            }
             Ok(file) if file.target_behavior() == target => {
                 eprintln!(
                     "data: using {sibling} ({} events, {}; delete it or set MBSSL_DATA_MMAP=off to parse the TSV)",
@@ -209,6 +236,12 @@ fn load_dataset(args: &Args) -> Result<(Dataset, Behavior), String> {
             Err(e) => eprintln!("warning: ignoring {sibling}: {e}; parsing {path}"),
         }
     }
+    load_plain_tsv(path, target)
+}
+
+/// Parses a TSV log and applies the default 5/3-core filtering (the
+/// fallback for every rejected or absent `.mbds` sibling).
+fn load_plain_tsv(path: &str, target: Behavior) -> Result<(Dataset, Behavior), String> {
     let raw = load_tsv(path, target).map_err(|e| format!("loading {path}: {e}"))?;
     let dataset = k_core(&raw, 5, 3);
     if dataset.num_users == 0 {
@@ -642,9 +675,16 @@ fn run() -> Result<(), String> {
                 // .mbds files are preprocessed by convention, so route the
                 // streamed events through the streaming converter (the TSV
                 // is emitted user-sorted, so the single-pass path applies).
-                // The temp stem matches the output stem so the dataset name
-                // stored in the header is clean ("x" for x.mbds).
-                let tmp = format!("{}.part", out.strip_suffix(".mbds").unwrap_or(out));
+                // The pid keeps concurrent synths to the same output from
+                // interleaving into one temp file; it lives in the
+                // extension (after the last dot) so `file_stem`, and hence
+                // the dataset name stored in the header, stays clean
+                // ("x" for x.mbds).
+                let tmp = format!(
+                    "{}.part-{}",
+                    out.strip_suffix(".mbds").unwrap_or(out),
+                    std::process::id()
+                );
                 let (users, events) = write_synth_tsv(&config, &tmp)?;
                 let k_user: usize =
                     args.get_or("k-user", "5").parse().map_err(|_| "bad --k-user")?;

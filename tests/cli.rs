@@ -175,6 +175,59 @@ fn cli_trace_and_report_workflow() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A `.mbds` sibling next to a TSV is only trusted when provably
+/// equivalent to parsing the TSV: non-default k-core thresholds in its
+/// header and a TSV modified after conversion must both warn-and-degrade
+/// to the TSV parse, while a fresh default-threshold sibling is used.
+#[test]
+fn cli_sibling_trust_checks() {
+    let dir = std::env::temp_dir().join("mbssl_cli_sibling_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = setup_log(&dir);
+    let log_s = log.to_str().unwrap();
+    let sibling = dir.join("log.tsv.mbds");
+    let sibling_s = sibling.to_str().unwrap();
+
+    // Converted with non-default thresholds: discovered but refused.
+    let (ok, text) = run(&[
+        "convert", "--data", log_s, "--target", "favorite", "--out", sibling_s,
+        "--k-user", "2", "--k-item", "2",
+    ]);
+    assert!(ok, "convert failed: {text}");
+    let (ok, text) = run(&["stats", "--data", log_s, "--target", "favorite"]);
+    assert!(ok, "stats failed: {text}");
+    assert!(
+        text.contains("2/2 k-core thresholds"),
+        "expected threshold warning: {text}"
+    );
+
+    // Re-converted with the defaults: used.
+    let (ok, text) = run(&[
+        "convert", "--data", log_s, "--target", "favorite", "--out", sibling_s,
+    ]);
+    assert!(ok, "convert failed: {text}");
+    let (ok, text) = run(&["stats", "--data", log_s, "--target", "favorite"]);
+    assert!(ok, "stats failed: {text}");
+    assert!(text.contains("data: using"), "expected sibling pickup: {text}");
+
+    // TSV touched after conversion: stale, parse the TSV again.
+    let newer = std::time::SystemTime::now() + std::time::Duration::from_secs(60);
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(&log)
+        .unwrap()
+        .set_modified(newer)
+        .unwrap();
+    let (ok, text) = run(&["stats", "--data", log_s, "--target", "favorite"]);
+    assert!(ok, "stats failed: {text}");
+    assert!(
+        text.contains("modified after it was converted"),
+        "expected staleness warning: {text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cli_rejects_bad_input() {
     let (ok, text) = run(&["train", "--target", "favorite"]);
