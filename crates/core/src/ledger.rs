@@ -229,7 +229,8 @@ pub fn read_run_dir(dir: &Path) -> Result<RunRecord, String> {
 const SPARK_TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
 /// Unicode sparkline over `values`; `None` entries render as `·`.
-fn sparkline(values: &[Option<f64>]) -> String {
+/// Public because `mbssl top` reuses it for its QPS strip.
+pub fn sparkline(values: &[Option<f64>]) -> String {
     let present: Vec<f64> = values.iter().filter_map(|v| *v).filter(|v| v.is_finite()).collect();
     let (lo, hi) = present
         .iter()

@@ -41,12 +41,16 @@ pub mod trainer;
 pub use ann::{AnnError, IndexStats, IvfIndex};
 pub use config::{BehaviorSchema, EncoderKind, ExtractorKind, ModelConfig, TrainConfig};
 pub use infer::InferenceModel;
-pub use ledger::{read_run_dir, render_report, EpochRecord, RunLedger, RunManifest, RunRecord};
+pub use ledger::{
+    read_run_dir, render_report, sparkline, EpochRecord, RunLedger, RunManifest, RunRecord,
+};
 pub use model::Mbmissl;
 pub use recommender::{
     evaluate, evaluate_reference, recommend_top_n, recommend_top_n_reference, Recommendation,
     SequentialRecommender,
 };
-pub use serve::{RerankChain, ServeConfig, ServeReply, ServeStats, Server, SessionStore};
+pub use serve::{
+    MetricsSnapshot, RerankChain, ServeConfig, ServeReply, ServeStats, Server, SessionStore, Stage,
+};
 pub use mbssl_data::sampler::PreparedBatch;
 pub use trainer::{TrainReport, TrainableRecommender, Trainer};

@@ -16,11 +16,13 @@
 //! [`InferenceModel::encode_interests`](crate::infer::InferenceModel::encode_interests).
 
 pub mod batcher;
+pub mod metrics;
 pub mod rerank;
 pub mod server;
 pub mod session;
 
 pub use batcher::BatchQueue;
+pub use metrics::{MetricsSnapshot, Stage, METRICS_SCHEMA, NUM_STAGES};
 pub use rerank::{RerankChain, RerankContext, RerankStage};
 pub use server::{ServeConfig, ServeError, ServeReply, ServeStats, Server};
 pub use session::{SessionStore, UserSnapshot};

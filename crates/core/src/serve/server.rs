@@ -31,18 +31,22 @@
 
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use mbssl_data::{Behavior, ItemId, Sequence, UserId};
 use mbssl_telemetry as telemetry;
+use telemetry::{Histogram, LatencyHistogram};
 
 use crate::infer::{CatalogQuery, InferenceModel};
 use crate::recommender::Recommendation;
 
 use super::batcher::BatchQueue;
+use super::metrics::{MetricsSnapshot, Stage, NUM_STAGES};
 use super::rerank::{RerankChain, RerankContext};
 use super::session::{SessionStore, UserSnapshot};
 
@@ -76,6 +80,18 @@ pub struct ServeConfig {
     /// automatically when the chain has a `seen` stage, which demotes
     /// instead of banning.
     pub exclude_seen: bool,
+    /// Tail-sampling threshold: requests with an end-to-end latency at
+    /// or above this many µs emit a structured JSONL record with their
+    /// stage timings (`MBSSL_SERVE_SLOW_US`, default unset = off).
+    pub slow_us: Option<u64>,
+    /// Unconditional 1-in-N tail sampling: every Nth request emits a
+    /// record regardless of latency (`MBSSL_SERVE_SAMPLE`, default
+    /// unset = off). Combines with `slow_us` (either trigger fires).
+    pub sample_every: Option<u64>,
+    /// Where tail samples go: a JSONL file (appended; from
+    /// `$MBSSL_RUN_DIR/serve_slow.jsonl` when the run ledger is
+    /// active), or stderr when `None`.
+    pub tail_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +104,9 @@ impl Default for ServeConfig {
             ann_budget_us: None,
             cache: true,
             exclude_seen: true,
+            slow_us: None,
+            sample_every: None,
+            tail_log: None,
         }
     }
 }
@@ -95,8 +114,12 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Reads the `MBSSL_SERVE_BATCH` / `MBSSL_SERVE_WAIT_US` /
     /// `MBSSL_SERVE_WORKERS` / `MBSSL_SERVE_QUEUE` /
-    /// `MBSSL_ANN_BUDGET_US` / `MBSSL_SERVE_CACHE` environment (reading
+    /// `MBSSL_ANN_BUDGET_US` / `MBSSL_SERVE_CACHE` /
+    /// `MBSSL_SERVE_SLOW_US` / `MBSSL_SERVE_SAMPLE` environment (reading
     /// live, not cached — the server is constructed once per process).
+    /// When `MBSSL_RUN_DIR` is set, tail samples append to
+    /// `<run_dir>/serve_slow.jsonl` next to the run ledger; otherwise
+    /// they go to stderr.
     pub fn from_env() -> ServeConfig {
         let parse = |name: &str| -> Option<u64> {
             std::env::var(name).ok().and_then(|v| v.parse().ok())
@@ -115,6 +138,12 @@ impl ServeConfig {
                 Ok("off") | Ok("0") | Ok("none")
             ),
             exclude_seen: true,
+            slow_us: parse("MBSSL_SERVE_SLOW_US"),
+            sample_every: parse("MBSSL_SERVE_SAMPLE").filter(|&n| n > 0),
+            tail_log: std::env::var("MBSSL_RUN_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .map(|d| PathBuf::from(d).join("serve_slow.jsonl")),
         }
     }
 }
@@ -155,6 +184,9 @@ struct ServeJob {
     user: UserId,
     n: usize,
     tx: mpsc::SyncSender<ServeReply>,
+    /// When `submit` pushed the job — the start of its queue stage and
+    /// of its end-to-end (`total`) latency.
+    enqueued: Instant,
 }
 
 /// A compiled engine pinned to a swap epoch.
@@ -163,7 +195,12 @@ struct EngineEpoch {
     epoch: u64,
 }
 
-/// Monotone counters + the batch-size histogram, shared by all workers.
+/// Monotone counters + the batch-size and per-stage latency
+/// histograms, shared by all workers. The histograms are **always on**
+/// (independent of `MBSSL_TRACE`): the `metrics` snapshot and
+/// `exp_serve` read them in untraced runs, and a record is a handful of
+/// relaxed atomics — the span registry routing stays behind
+/// `telemetry::enabled()` as before.
 struct ServeStatsInner {
     requests: AtomicU64,
     batches: AtomicU64,
@@ -171,12 +208,19 @@ struct ServeStatsInner {
     cache_misses: AtomicU64,
     ann_degraded: AtomicU64,
     swaps: AtomicU64,
-    /// `batch_hist[s]` = batches that served exactly `s` requests
-    /// (index 0 unused; sized `max_batch + 1`).
-    batch_hist: Box<[AtomicU64]>,
+    tail_sampled: AtomicU64,
+    /// Distribution of requests-per-batch (values ≤ 32 land in exact
+    /// single-integer buckets, which covers the default `max_batch`).
+    batch_hist: LatencyHistogram,
+    /// One latency histogram per [`Stage`], indexed by `Stage as usize`;
+    /// values are nanoseconds. Per-batch stages record once per request
+    /// in the batch, so every stage's `count` equals `requests`.
+    stages: [LatencyHistogram; NUM_STAGES],
+    /// Monotone request sequence for 1-in-N tail sampling.
+    sample_seq: AtomicU64,
 }
 
-/// A point-in-time copy of the server counters.
+/// A point-in-time copy of the server counters and histograms.
 #[derive(Clone, Debug)]
 pub struct ServeStats {
     /// Requests served.
@@ -191,8 +235,15 @@ pub struct ServeStats {
     pub ann_degraded: u64,
     /// Checkpoint hot-swaps performed.
     pub swaps: u64,
-    /// `batch_hist[s]` = batches of size `s` (index 0 unused).
-    pub batch_hist: Vec<u64>,
+    /// Slow/sampled requests written to the tail log.
+    pub tail_sampled: u64,
+    /// Distribution of requests-per-batch (exact for sizes ≤ 32).
+    pub batch: Histogram,
+    /// Per-[`Stage`] latency histograms in nanoseconds, indexed by
+    /// `Stage as usize` (see [`ServeStats::stage`]). Every stage's
+    /// count equals `requests`: per-batch stages (resolve, forward,
+    /// rank) attribute their duration once per request in the batch.
+    pub stages: Vec<Histogram>,
 }
 
 impl ServeStats {
@@ -213,6 +264,11 @@ impl ServeStats {
             self.cache_hits as f64 / self.requests as f64
         }
     }
+
+    /// The latency histogram for one pipeline stage (nanoseconds).
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
 }
 
 struct ServerInner {
@@ -227,6 +283,37 @@ struct ServerInner {
     /// Integer EWMA of per-request ANN ranking time in µs (0 = no sample
     /// yet); `new = (7·old + sample) / 8`.
     ann_ewma_us: AtomicU64,
+    /// When the server started (for snapshot uptime).
+    started: Instant,
+    /// Tail-sample sink, present iff `slow_us` or `sample_every` is set.
+    tail: Option<TailSink>,
+}
+
+/// Where tail samples are written: a lazily-opened append-mode JSONL
+/// file, or stderr when no path is configured.
+struct TailSink {
+    path: Option<PathBuf>,
+    file: Mutex<Option<std::fs::File>>,
+}
+
+impl TailSink {
+    fn write_line(&self, line: &str) {
+        match &self.path {
+            Some(path) => {
+                let mut guard = self.file.lock().unwrap();
+                if guard.is_none() {
+                    if let Some(dir) = path.parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    *guard = std::fs::OpenOptions::new().create(true).append(true).open(path).ok();
+                }
+                if let Some(f) = guard.as_mut() {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+            None => eprintln!("{line}"),
+        }
+    }
 }
 
 /// The long-lived serving engine. Construct with [`Server::start`];
@@ -269,12 +356,17 @@ impl Server {
                 cache_misses: AtomicU64::new(0),
                 ann_degraded: AtomicU64::new(0),
                 swaps: AtomicU64::new(0),
-                batch_hist: (0..max_batch + 1)
-                    .map(|_| AtomicU64::new(0))
-                    .collect::<Vec<_>>()
-                    .into_boxed_slice(),
+                tail_sampled: AtomicU64::new(0),
+                batch_hist: LatencyHistogram::new(),
+                stages: std::array::from_fn(|_| LatencyHistogram::new()),
+                sample_seq: AtomicU64::new(0),
             },
             ann_ewma_us: AtomicU64::new(0),
+            started: Instant::now(),
+            tail: (config.slow_us.is_some() || config.sample_every.is_some()).then(|| TailSink {
+                path: config.tail_log.clone(),
+                file: Mutex::new(None),
+            }),
             config,
         });
         let workers = (0..inner.config.workers.max(1))
@@ -300,7 +392,7 @@ impl Server {
         let (tx, rx) = mpsc::sync_channel(1);
         self.inner
             .queue
-            .push(ServeJob { user, n, tx })
+            .push(ServeJob { user, n, tx, enqueued: Instant::now() })
             .map_err(|_| ServeError::Closed)?;
         rx.recv().map_err(|_| ServeError::Closed)
     }
@@ -338,7 +430,7 @@ impl Server {
         self.inner.queue.len()
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters and histograms.
     pub fn stats(&self) -> ServeStats {
         let s = &self.inner.stats;
         ServeStats {
@@ -348,7 +440,45 @@ impl Server {
             cache_misses: s.cache_misses.load(Ordering::Relaxed),
             ann_degraded: s.ann_degraded.load(Ordering::Relaxed),
             swaps: s.swaps.load(Ordering::Relaxed),
-            batch_hist: s.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            tail_sampled: s.tail_sampled.load(Ordering::Relaxed),
+            batch: s.batch_hist.snapshot(),
+            stages: s.stages.iter().map(|h| h.snapshot()).collect(),
+        }
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] — counters, gauges, the
+    /// batch-size histogram, and one latency histogram per [`Stage`] —
+    /// for the `metrics` protocol command and `mbssl top`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // Per-request stage records land just after the reply send
+        // unblocks the submitter, so a snapshot taken immediately after
+        // a reply can catch a worker mid-record. Wait briefly for the
+        // stage counts to catch up with the request counter — on a
+        // quiesced server this makes "every stage covers every replied
+        // request" exact; under live load the bounded wait just expires.
+        for _ in 0..40 {
+            let s = &self.inner.stats;
+            let requests = s.requests.load(Ordering::Relaxed);
+            if s.stages.iter().all(|h| h.count() >= requests) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let ewma = self.inner.ann_ewma_us.load(Ordering::Relaxed);
+        let budget = self.inner.config.ann_budget_us;
+        MetricsSnapshot {
+            unix_time_ms: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            uptime_ms: self.inner.started.elapsed().as_millis() as u64,
+            epoch: self.inner.epoch.load(Ordering::SeqCst),
+            queue_depth: self.inner.queue.len() as u64,
+            sessions: self.inner.store.len() as u64,
+            ann_budget_us: budget,
+            ann_ewma_us: ewma,
+            ann_degraded_now: budget.is_some_and(|b| ewma > b),
+            stats: self.stats(),
         }
     }
 
@@ -383,17 +513,30 @@ fn worker_loop(inner: Arc<ServerInner>) {
 
 /// Serves one drained micro-batch end to end. See the module docs for
 /// the four phases; every span here is hierarchical under `serve.batch`.
+///
+/// Stage attribution (DESIGN.md §17): batch-level stages (resolve,
+/// forward, rank) are timed once per batch and recorded once **per
+/// request** (`record_n`), so every stage histogram's count equals the
+/// request count; queue, rerank, reply, and total are timed per
+/// request. The stage histograms are always on — the telemetry spans
+/// remain the only part gated by `MBSSL_TRACE`.
 fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
     let r = jobs.len();
     debug_assert!(r > 0);
+    let drained_at = Instant::now();
     let mut batch_sp = telemetry::span("serve.batch");
     batch_sp.add_bytes(r as u64);
     telemetry::gauge_set("serve.queue_depth", inner.queue.len() as u64);
     let stats = &inner.stats;
     stats.batches.fetch_add(1, Ordering::Relaxed);
     stats.requests.fetch_add(r as u64, Ordering::Relaxed);
-    stats.batch_hist[r.min(stats.batch_hist.len() - 1)].fetch_add(1, Ordering::Relaxed);
+    stats.batch_hist.record(r as u64);
+    let queue_ns: Vec<u64> = jobs
+        .iter()
+        .map(|job| drained_at.saturating_duration_since(job.enqueued).as_nanos() as u64)
+        .collect();
 
+    let resolve_sp = telemetry::span("serve.resolve");
     // Engine snapshot: in-flight batches pin their epoch's engine.
     let snap = inner.engine.read().unwrap().clone();
     let engine = &snap.engine;
@@ -428,6 +571,8 @@ fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
             }
         }
     }
+    drop(resolve_sp);
+    let resolved_at = Instant::now();
     {
         let mut fwd_sp = telemetry::span("serve.forward");
         let mut lens: Vec<usize> = groups.keys().copied().collect();
@@ -449,6 +594,7 @@ fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
             }
         }
     }
+    let forwarded_at = Instant::now();
 
     // Phase 3: probe-width policy, then one ranking call for the batch.
     let (nprobe_override, degraded) = effective_nprobe(inner, engine.attached_nprobe());
@@ -473,10 +619,24 @@ fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
         })
         .collect();
     let rank_started = Instant::now();
-    let ranked = engine.rank_from_interests(&z_all, &queries, num_items, nprobe_override);
+    let ranked = {
+        let _rank_sp = telemetry::span("serve.rank");
+        engine.rank_from_interests(&z_all, &queries, num_items, nprobe_override)
+    };
     if engine.attached_nprobe().is_some() && ranked.iter().any(|q| q.used_ann) {
         observe_ann_us(inner, rank_started.elapsed().as_micros() as u64 / r as u64);
     }
+    let ranked_at = Instant::now();
+
+    // Batch-level stages: attributed once per request so every stage
+    // histogram covers every replied request.
+    let n_req = r as u64;
+    stats.stages[Stage::Resolve as usize]
+        .record_n(resolved_at.duration_since(drained_at).as_nanos() as u64, n_req);
+    stats.stages[Stage::Forward as usize]
+        .record_n(forwarded_at.duration_since(resolved_at).as_nanos() as u64, n_req);
+    stats.stages[Stage::Rank as usize]
+        .record_n(ranked_at.duration_since(forwarded_at).as_nanos() as u64, n_req);
 
     // Phase 4: re-rank chain + responses.
     let mut rr_sp = telemetry::span("serve.rerank");
@@ -485,6 +645,7 @@ fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
     for (i, ((job, session), outcome)) in
         jobs.iter().zip(sessions.iter()).zip(ranked).enumerate()
     {
+        let apply_started = Instant::now();
         let mut recs = outcome.recs;
         if !inner.chain.is_empty() {
             let ctx = RerankContext {
@@ -494,6 +655,7 @@ fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
             inner.chain.apply(&ctx, &mut recs);
             recs.truncate(job.n);
         }
+        let send_started = Instant::now();
         // A dropped receiver (submitter gone) is not an error here.
         let _ = job.tx.send(ServeReply {
             recs,
@@ -502,7 +664,77 @@ fn serve_batch(inner: &ServerInner, jobs: &mut Vec<ServeJob>) {
             degraded,
             epoch,
         });
+        let done = Instant::now();
+        let rerank_ns = send_started.duration_since(apply_started).as_nanos() as u64;
+        let reply_ns = done.duration_since(send_started).as_nanos() as u64;
+        let total_ns = done.saturating_duration_since(job.enqueued).as_nanos() as u64;
+
+        // Tail sampling: slow requests (and an optional 1-in-N sample)
+        // emit a structured record with the full stage breakdown. This
+        // runs BEFORE the stage-histogram records so that once the stage
+        // counts cover a request, its tail record is durable too (the
+        // quiescence wait in `metrics_snapshot` relies on that order).
+        if let Some(tail) = &inner.tail {
+            let sampled = match inner.config.sample_every {
+                Some(every) => stats.sample_seq.fetch_add(1, Ordering::Relaxed) % every == 0,
+                None => false,
+            };
+            let slow = inner.config.slow_us.is_some_and(|t| total_ns / 1_000 >= t);
+            if slow || sampled {
+                stats.tail_sampled.fetch_add(1, Ordering::Relaxed);
+                tail.write_line(&tail_record(
+                    if slow { "slow" } else { "sample" },
+                    job,
+                    r,
+                    epoch,
+                    hit[i],
+                    degraded,
+                    &[
+                        queue_ns[i],
+                        resolved_at.duration_since(drained_at).as_nanos() as u64,
+                        forwarded_at.duration_since(resolved_at).as_nanos() as u64,
+                        ranked_at.duration_since(forwarded_at).as_nanos() as u64,
+                        rerank_ns,
+                        reply_ns,
+                        total_ns,
+                    ],
+                ));
+            }
+        }
+
+        stats.stages[Stage::Queue as usize].record(queue_ns[i]);
+        stats.stages[Stage::Rerank as usize].record(rerank_ns);
+        stats.stages[Stage::Reply as usize].record(reply_ns);
+        stats.stages[Stage::Total as usize].record(total_ns);
     }
+}
+
+/// The JSONL line for one tail sample (no trailing newline). Stage
+/// timings are µs, in [`Stage::ALL`] order; goes to the run ledger
+/// (`serve_slow.jsonl`), never into trace files, whose parser rejects
+/// unknown record kinds.
+fn tail_record(
+    reason: &str,
+    job: &ServeJob,
+    batch_size: usize,
+    epoch: u64,
+    cache_hit: bool,
+    degraded: bool,
+    stage_ns: &[u64; NUM_STAGES],
+) -> String {
+    let unix_time_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut s = format!(
+        "{{\"kind\":\"serve_slow\",\"reason\":\"{reason}\",\"unix_time_ms\":{unix_time_ms},\"user\":{},\"n\":{},\"batch_size\":{batch_size},\"epoch\":{epoch},\"cache_hit\":{cache_hit},\"degraded\":{degraded}",
+        job.user, job.n,
+    );
+    for (stage, ns) in Stage::ALL.iter().zip(stage_ns) {
+        s.push_str(&format!(",\"{}_us\":{}", stage.name(), ns / 1_000));
+    }
+    s.push('}');
+    s
 }
 
 /// The `MBSSL_ANN_BUDGET_US` policy: shrink the probe width

@@ -17,7 +17,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use mbssl_core::serve::{RerankChain, ServeConfig, Server, SessionStore};
+use mbssl_core::serve::{RerankChain, ServeConfig, Server, SessionStore, Stage};
 use mbssl_core::{
     recommend_top_n, BehaviorSchema, EncoderKind, ExtractorKind, InferenceModel, Mbmissl,
     ModelConfig, Recommendation,
@@ -121,21 +121,28 @@ fn batched_serving_is_bit_identical_to_sequential_top_n() {
             }
             let stats = server.shutdown();
             assert_eq!(stats.requests, users.len() as u64);
+            assert_eq!(stats.batch.count(), stats.batches, "histogram must cover every batch");
+            // Batch sizes ≤ 32 land in exact single-integer buckets, so
+            // the weighted bucket sum is exactly the request count.
             assert_eq!(
-                stats.batch_hist.iter().sum::<u64>(),
-                stats.batches,
-                "histogram must cover every batch"
-            );
-            assert_eq!(
-                stats
-                    .batch_hist
-                    .iter()
-                    .enumerate()
-                    .map(|(s, c)| s as u64 * c)
-                    .sum::<u64>(),
+                stats.batch.nonzero_buckets().map(|b| b.lower * b.count).sum::<u64>(),
                 stats.requests,
                 "histogram weights must cover every request"
             );
+            // Every stage histogram covers every replied request
+            // (per-batch stages record once per request by contract).
+            for stage in Stage::ALL {
+                assert_eq!(
+                    stats.stage(stage).count(),
+                    stats.requests,
+                    "stage {} must cover every request",
+                    stage.name()
+                );
+            }
+            let total = stats.stage(Stage::Total);
+            assert!(total.min() > 0, "end-to-end latency cannot be zero");
+            assert!(total.quantile(0.5) <= total.quantile(0.99));
+            assert!(total.quantile(0.99) <= total.max());
         }
     }
 }
@@ -302,4 +309,101 @@ fn rerank_chain_composes_with_retrieval_overscan() {
         );
     }
     server.shutdown();
+}
+
+/// The observability layer must never change what is served:
+/// `MBSSL_TRACE=off` and an instrumented run produce bit-identical
+/// recommendations for the same workload (the stage histograms are
+/// always on in both, so only the span path differs).
+#[test]
+fn trace_mode_does_not_change_served_results() {
+    let (model, dataset) = tiny_model(EncoderKind::Transformer, ExtractorKind::SelfAttentive);
+    let n = 5;
+    let users: Vec<UserId> = (0..8 as UserId).collect();
+    let run = |mode: mbssl_telemetry::TraceMode| -> Vec<Vec<Recommendation>> {
+        mbssl_telemetry::set_mode(mode);
+        let server = Server::start(
+            serving_engine(&model),
+            Arc::new(SessionStore::from_dataset(&dataset)),
+            RerankChain::empty(),
+            ServeConfig {
+                max_batch: 4,
+                wait: std::time::Duration::from_millis(2),
+                workers: 2,
+                cache: false,
+                ..ServeConfig::default()
+            },
+        );
+        let server_ref = &server;
+        let replies: Vec<Vec<Recommendation>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = users
+                .iter()
+                .map(|&u| scope.spawn(move || server_ref.submit(u, n).unwrap().recs))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        server.shutdown();
+        replies
+    };
+    let off = run(mbssl_telemetry::TraceMode::Off);
+    let on = run(mbssl_telemetry::TraceMode::Summary);
+    mbssl_telemetry::drain(); // don't leak this test's spans into others
+    mbssl_telemetry::set_mode(mbssl_telemetry::TraceMode::Off);
+    assert_eq!(off, on, "tracing changed served results");
+}
+
+/// `slow_us: Some(0)` marks every request slow: each must append one
+/// structured stage-timing record to the tail log, and the metrics
+/// snapshot must expose schema-complete JSON and parseable Prometheus
+/// text with stage histograms covering every replied request.
+#[test]
+fn tail_sampling_writes_stage_records_and_snapshot_is_complete() {
+    let (model, dataset) = tiny_model(EncoderKind::Hypergraph, ExtractorKind::SelfAttentive);
+    let dir = std::env::temp_dir().join(format!("mbssl_tail_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tail_path = dir.join("serve_slow.jsonl");
+    let _ = std::fs::remove_file(&tail_path);
+    let server = Server::start(
+        serving_engine(&model),
+        Arc::new(SessionStore::from_dataset(&dataset)),
+        RerankChain::empty(),
+        ServeConfig {
+            max_batch: 4,
+            workers: 1,
+            slow_us: Some(0), // every request is "slow"
+            tail_log: Some(tail_path.clone()),
+            ..ServeConfig::default()
+        },
+    );
+    let n = 5;
+    for user in 0..6 as UserId {
+        server.submit(user, n).unwrap();
+    }
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.stats.requests, 6);
+    let json = snap.to_json();
+    for key in ["\"schema\":\"mbssl.serve.metrics/1\"", "\"stages\":{", "\"tail_sampled\":6"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    for stage in Stage::ALL {
+        assert_eq!(snap.stats.stage(stage).count(), 6, "stage {} coverage", stage.name());
+    }
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("mbssl_serve_requests_total 6"));
+    assert!(prom.contains("mbssl_serve_stage_duration_seconds_count{stage=\"total\"} 6"));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.tail_sampled, 6);
+    let content = std::fs::read_to_string(&tail_path).expect("tail log written");
+    let lines: Vec<&str> = content.lines().collect();
+    assert_eq!(lines.len(), 6, "one tail record per slow request:\n{content}");
+    for line in &lines {
+        assert!(line.contains("\"kind\":\"serve_slow\""), "{line}");
+        assert!(line.contains("\"reason\":\"slow\""), "{line}");
+        for stage in Stage::ALL {
+            assert!(line.contains(&format!("\"{}_us\":", stage.name())), "{line}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,432 @@
+//! Lock-free, constant-memory log-bucketed latency histograms.
+//!
+//! Two types share one bucket layout: [`Histogram`] is the plain,
+//! mergeable representation used inside the registry (which already
+//! holds a lock) and as the snapshot/exposition format, while
+//! [`LatencyHistogram`] is the concurrent variant — a fixed array of
+//! relaxed `AtomicU64` buckets that many threads record into without
+//! coordination and that snapshots into a [`Histogram`].
+//!
+//! # Bucketing math (HDR-style log-linear)
+//!
+//! Values are `u64`s (nanoseconds on the latency paths, but the layout
+//! is unit-agnostic — the serve batch-size histogram reuses it). Each
+//! power-of-two octave is split into `2^`[`SUB_BITS`]` = 16` linear
+//! sub-buckets, so bucket width is always ≤ 1/16 of the bucket's lower
+//! bound. Values below `2 * 16 = 32` get exact single-integer buckets;
+//! values at or above [`MAX_VALUE`] (`2^40 − 1` ns ≈ 18.3 minutes)
+//! clamp into the top bucket. That yields [`NUM_BUCKETS`]` = 592`
+//! buckets ≈ 4.7 KB per histogram — constant memory regardless of how
+//! many samples are recorded.
+//!
+//! Quantiles are estimated as the arithmetic midpoint of the bucket
+//! containing the nearest-rank sample (clamped into the exactly-tracked
+//! `[min, max]`). Because `width ≤ lower/16`, the estimate is within
+//! `width/2 ≤ lower/32` of any sample in the bucket, giving a **relative
+//! error bound of 1/32 = 3.125%** ([`REL_ERROR`]) — and estimates are
+//! *exact* for values below 32, where buckets are single integers. The
+//! proptests in `crates/telemetry/tests/histogram.rs` pin this bound
+//! against exact nearest-rank quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per power-of-two octave.
+pub const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Largest exponent before clamping: values ≥ 2^(MAX_EXP+1) share the
+/// top bucket.
+const MAX_EXP: u32 = 39;
+/// Largest distinguishable value; anything above is clamped into the
+/// top bucket (≈ 18.3 minutes when values are nanoseconds).
+pub const MAX_VALUE: u64 = (1u64 << (MAX_EXP + 1)) - 1;
+/// Total bucket count: 16 exact unit buckets, then 16 sub-buckets per
+/// octave for exponents 4..=39.
+pub const NUM_BUCKETS: usize = (MAX_EXP - SUB_BITS + 2) as usize * SUB;
+/// Documented worst-case relative error of [`Histogram::quantile`]
+/// estimates: half of the maximum relative bucket width, `1/32`.
+/// (Estimates are exact for values below 32.)
+pub const REL_ERROR: f64 = 1.0 / 32.0;
+
+/// The bucket index for `value` (clamping at [`MAX_VALUE`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    let v = value.min(MAX_VALUE);
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let group = (exp - SUB_BITS + 1) as usize;
+    let sub = (v >> (exp - SUB_BITS)) as usize & (SUB - 1);
+    group * SUB + sub
+}
+
+/// The half-open value range `[lower, upper)` covered by bucket `index`.
+///
+/// Panics if `index >= `[`NUM_BUCKETS`].
+#[inline]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    if index < SUB {
+        return (index as u64, index as u64 + 1);
+    }
+    let group = index / SUB;
+    let sub = (index % SUB) as u64;
+    let shift = group as u32 - 1; // == exp - SUB_BITS
+    let lower = (SUB as u64 + sub) << shift;
+    (lower, lower + (1u64 << shift))
+}
+
+/// One non-empty bucket as reported by [`Histogram::nonzero_buckets`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Inclusive lower bound of the bucket's value range.
+    pub lower: u64,
+    /// Exclusive upper bound of the bucket's value range.
+    pub upper: u64,
+    /// Number of samples recorded into this bucket.
+    pub count: u64,
+}
+
+/// A plain (non-atomic) log-bucketed histogram: the snapshot and
+/// registry-internal representation. See the module docs for the bucket
+/// layout and error bound.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. Allocates the full bucket array
+    /// ([`NUM_BUCKETS`] `u64`s ≈ 4.7 KB) up front.
+    pub fn new() -> Histogram {
+        Histogram { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value (used when a per-batch
+    /// duration is attributed once per request in the batch).
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is exact
+    /// (bucket-wise addition): associative, commutative, and
+    /// count/sum/min/max-conserving, so per-thread histograms can be
+    /// combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (exact; `0` when empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.min }
+    }
+
+    /// Largest recorded value (exact; `0` when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.sum as f64 / self.count as f64 }
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) using
+    /// nearest-rank bucket selection and midpoint interpolation, clamped
+    /// into the exact `[min, max]`. Within [`REL_ERROR`] (3.125%)
+    /// relative error of the exact nearest-rank value; exact for values
+    /// below 32. Returns `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum > rank {
+                let (lower, upper) = bucket_bounds(idx);
+                let est = lower + (upper - lower) / 2;
+                return est.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates the non-empty buckets in value order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = HistBucket> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(idx, &c)| {
+            let (lower, upper) = bucket_bounds(idx);
+            HistBucket { lower, upper, count: c }
+        })
+    }
+}
+
+/// The concurrent log-bucketed histogram: a fixed array of relaxed
+/// `AtomicU64` buckets plus exact count/sum/min/max, recordable from any
+/// number of threads without locks and snapshottable into a plain
+/// [`Histogram`]. Memory is constant (≈ 4.7 KB) regardless of sample
+/// volume; a record is a handful of relaxed atomic RMW ops.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty concurrent histogram.
+    pub fn new() -> LatencyHistogram {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        LatencyHistogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (relaxed atomics only; safe from any thread).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        // Saturating (not wrapping) so a snapshot always agrees with the
+        // plain histogram of the same samples.
+        let add = value.saturating_mul(n);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(add)));
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into a plain [`Histogram`]. Concurrent
+    /// records may land between field loads, so a snapshot taken while
+    /// writers are active is approximate at the margin (each bucket is
+    /// individually consistent); snapshots after writers quiesce are
+    /// exact.
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotonic() {
+        // Every bucket's upper bound is the next bucket's lower bound.
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (_, upper) = bucket_bounds(idx);
+            let (next_lower, _) = bucket_bounds(idx + 1);
+            assert_eq!(upper, next_lower, "gap/overlap at bucket {idx}");
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, MAX_VALUE + 1);
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds() {
+        for v in (0..4096u64).chain([u64::MAX, MAX_VALUE, MAX_VALUE + 1, 1 << 39, (1 << 40) - 7]) {
+            let idx = bucket_index(v);
+            let (lower, upper) = bucket_bounds(idx);
+            let clamped = v.min(MAX_VALUE);
+            assert!(
+                lower <= clamped && clamped < upper,
+                "value {v} -> bucket {idx} [{lower},{upper})"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        for (i, b) in h.nonzero_buckets().enumerate() {
+            assert_eq!((b.lower, b.upper, b.count), (i as u64, i as u64 + 1, 1));
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn quantile_within_documented_bound() {
+        let mut h = Histogram::new();
+        let mut exact: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        for i in 0..5000u64 {
+            // Deterministic spread over ~6 decades.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 24) % 10u64.pow((i % 7) as u32);
+            h.record(v);
+            exact.push(v);
+        }
+        exact.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((exact.len() - 1) as f64 * q).round() as usize;
+            let want = exact[rank];
+            let got = h.quantile(q);
+            let tol = (want as f64 * REL_ERROR).max(1.0);
+            assert!(
+                (got as f64 - want as f64).abs() <= tol,
+                "q={q}: got {got}, exact {want}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_conserves_and_matches_single() {
+        let values = [3u64, 17, 17, 900, 1_000_000, 12, 88_000, 5];
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+        assert_eq!(ab.count(), values.len() as u64);
+        assert_eq!(ab.sum(), values.iter().sum::<u64>());
+        assert_eq!(ab.min(), 3);
+        assert_eq!(ab.max(), 1_000_000);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_across_threads() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i * 37);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        let mut plain = Histogram::new();
+        for t in 0..4u64 {
+            for i in 0..1000u64 {
+                plain.record(t * 1000 + i * 37);
+            }
+        }
+        assert_eq!(snap, plain);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        a.record_n(777, 5);
+        let mut b = Histogram::new();
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a, b);
+    }
+}

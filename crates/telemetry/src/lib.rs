@@ -78,6 +78,10 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Instant, SystemTime};
 
+pub mod hist;
+
+pub use hist::{HistBucket, Histogram, LatencyHistogram};
+
 // ---------------------------------------------------------------------------
 // Mode handling
 // ---------------------------------------------------------------------------
@@ -171,13 +175,17 @@ pub fn mode() -> TraceMode {
 // Registry
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Default)]
 struct SpanAgg {
     count: u64,
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
     bytes: u64,
+    /// Constant-memory latency distribution across completions; the
+    /// registry mutex already serializes updates, so the plain
+    /// (non-atomic) histogram suffices here.
+    hist: Histogram,
 }
 
 struct Registry {
@@ -273,6 +281,7 @@ impl Drop for Span {
         agg.min_ns = if agg.count == 1 { elapsed } else { agg.min_ns.min(elapsed) };
         agg.max_ns = agg.max_ns.max(elapsed);
         agg.bytes += self.bytes;
+        agg.hist.record(elapsed);
     }
 }
 
@@ -372,6 +381,14 @@ pub struct LabelStats {
     pub min_ns: u64,
     /// Slowest single completion (spans only).
     pub max_ns: u64,
+    /// Estimated median completion time (spans only; from the
+    /// constant-memory [`Histogram`], within [`hist::REL_ERROR`] of the
+    /// exact nearest-rank quantile).
+    pub p50_ns: u64,
+    /// Estimated 90th-percentile completion time (spans only).
+    pub p90_ns: u64,
+    /// Estimated 99th-percentile completion time (spans only).
+    pub p99_ns: u64,
     /// Cumulative bytes attributed via [`Span::add_bytes`] (spans only).
     pub bytes: u64,
     /// Counter/gauge value (counters and gauges only).
@@ -404,6 +421,9 @@ pub fn drain() -> Vec<LabelStats> {
             total_ns: agg.total_ns,
             min_ns: agg.min_ns,
             max_ns: agg.max_ns,
+            p50_ns: agg.hist.quantile(0.5),
+            p90_ns: agg.hist.quantile(0.9),
+            p99_ns: agg.hist.quantile(0.99),
             bytes: agg.bytes,
             value: 0,
         });
@@ -417,6 +437,9 @@ pub fn drain() -> Vec<LabelStats> {
             total_ns: 0,
             min_ns: 0,
             max_ns: 0,
+            p50_ns: 0,
+            p90_ns: 0,
+            p99_ns: 0,
             bytes: 0,
             value,
         });
@@ -430,6 +453,9 @@ pub fn drain() -> Vec<LabelStats> {
             total_ns: 0,
             min_ns: 0,
             max_ns: 0,
+            p50_ns: 0,
+            p90_ns: 0,
+            p99_ns: 0,
             bytes: 0,
             value,
         });
@@ -566,6 +592,9 @@ pub fn record_to_jsonl(rec: &LabelStats, section: &str) -> String {
             push_field_u64(&mut s, "total_ns", rec.total_ns);
             push_field_u64(&mut s, "min_ns", rec.min_ns);
             push_field_u64(&mut s, "max_ns", rec.max_ns);
+            push_field_u64(&mut s, "p50_ns", rec.p50_ns);
+            push_field_u64(&mut s, "p90_ns", rec.p90_ns);
+            push_field_u64(&mut s, "p99_ns", rec.p99_ns);
             push_field_u64(&mut s, "bytes", rec.bytes);
         }
         RecordKind::Counter | RecordKind::Gauge => {
@@ -603,17 +632,18 @@ pub fn render_table(stats: &[LabelStats]) -> String {
         .unwrap_or(0);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<width$} {:>10} {:>12} {:>12} {:>12} {:>12}\n",
-        "span", "count", "total_ms", "mean_us", "max_us", "bytes"
+        "{:<width$} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "span", "count", "total_ms", "p50_us", "p90_us", "p99_us", "max_us", "bytes"
     ));
     for (name, r) in names.iter().zip(&spans) {
-        let mean_us = if r.count > 0 { r.total_ns as f64 / r.count as f64 / 1e3 } else { 0.0 };
         out.push_str(&format!(
-            "{:<width$} {:>10} {:>12.3} {:>12.1} {:>12.1} {:>12}\n",
+            "{:<width$} {:>10} {:>12.3} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12}\n",
             name,
             r.count,
             r.total_ns as f64 / 1e6,
-            mean_us,
+            r.p50_ns as f64 / 1e3,
+            r.p90_ns as f64 / 1e3,
+            r.p99_ns as f64 / 1e3,
             r.max_ns as f64 / 1e3,
             r.bytes
         ));
@@ -842,6 +872,9 @@ mod tests {
             total_ns: 10,
             min_ns: 3,
             max_ns: 7,
+            p50_ns: 5,
+            p90_ns: 7,
+            p99_ns: 7,
             bytes: 0,
             value: 0,
         };
@@ -849,7 +882,7 @@ mod tests {
         assert!(line.contains("\\\"label\\\\with\\n"));
         assert!(line.contains("\"section\":\"sec\\t1\""));
         assert!(line.contains("\"parent\":\"outer span\""));
-        for field in ["\"kind\":\"span\"", "\"count\":2", "\"total_ns\":10", "\"min_ns\":3", "\"max_ns\":7", "\"bytes\":0"] {
+        for field in ["\"kind\":\"span\"", "\"count\":2", "\"total_ns\":10", "\"min_ns\":3", "\"max_ns\":7", "\"p50_ns\":5", "\"p90_ns\":7", "\"p99_ns\":7", "\"bytes\":0"] {
             assert!(line.contains(field), "missing {field} in {line}");
         }
         let counter = LabelStats { kind: RecordKind::Counter, value: 5, ..rec.clone() };
@@ -944,6 +977,9 @@ mod tests {
             total_ns: total,
             min_ns: total,
             max_ns: total,
+            p50_ns: total,
+            p90_ns: total,
+            p99_ns: total,
             bytes: 0,
             value: 0,
         }

@@ -1,0 +1,130 @@
+//! Property tests pinning the log-bucketed histogram invariants the
+//! serving observability layer depends on (DESIGN.md §17): merge is
+//! associative and order-independent, recorded counts/sums are
+//! conserved, every quantile estimate is within the documented bucket
+//! error bound of the exact nearest-rank value, and the concurrent
+//! [`LatencyHistogram`] agrees with the plain [`Histogram`].
+
+use proptest::prelude::*;
+
+use mbssl_telemetry::hist::{bucket_bounds, bucket_index, MAX_VALUE, NUM_BUCKETS, REL_ERROR};
+use mbssl_telemetry::{Histogram, LatencyHistogram};
+
+/// Values spanning the full dynamic range: exact small buckets,
+/// approximate log buckets, and the clamp region above `MAX_VALUE`
+/// (the in-repo proptest shim has no `prop_oneof!`, so variants are
+/// picked by mapping a `(selector, raw)` tuple).
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (0u64..6, 0u64..u64::MAX).prop_map(|(pick, raw)| match pick {
+        0 => raw % 64,                              // exact single-integer buckets
+        1 => 64 + raw % (100_000 - 64),             // µs-scale latencies
+        2 => 100_000 + raw % 9_999_900_000,         // ms..10s-scale latencies
+        3 => MAX_VALUE,
+        4 => MAX_VALUE + 1,
+        _ => u64::MAX,
+    })
+}
+
+/// Like [`value_strategy`] but only values below the clamp, so exact
+/// quantiles are comparable without the documented clamp caveat.
+fn in_range_value() -> impl Strategy<Value = u64> {
+    (0u64..3, 0u64..u64::MAX).prop_map(|(pick, raw)| match pick {
+        0 => raw % 64,
+        1 => 64 + raw % (100_000 - 64),
+        _ => 100_000 + raw % 9_999_900_000,
+    })
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    /// Every value lands in a bucket whose bounds contain it (after the
+    /// documented clamp at `MAX_VALUE`).
+    #[test]
+    fn bucket_index_consistent_with_bounds(v in 0u64..=u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        let (lower, upper) = bucket_bounds(idx);
+        let clamped = v.min(MAX_VALUE);
+        prop_assert!(lower <= clamped && clamped < upper,
+            "value {v} -> bucket {idx} [{lower},{upper})");
+    }
+
+    /// Count and sum are conserved across recording and merging, and
+    /// merging is associative and order-independent: any partition of
+    /// the samples into three histograms merges back to the histogram
+    /// of the whole, regardless of grouping or order.
+    #[test]
+    fn merge_is_associative_and_conserving(
+        values in prop::collection::vec(value_strategy(), 1..200),
+        split in prop::collection::vec(0u8..3, 1..200)
+    ) {
+        let mut whole = Histogram::new();
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            parts[split[i % split.len()] as usize % 3].record(v);
+        }
+        // (a ∪ b) ∪ c
+        let mut abc = parts[0].clone();
+        abc.merge(&parts[1]);
+        abc.merge(&parts[2]);
+        // c ∪ (b ∪ a)
+        let mut ba = parts[1].clone();
+        ba.merge(&parts[0]);
+        let mut cba = parts[2].clone();
+        cba.merge(&ba);
+        prop_assert_eq!(&abc, &whole);
+        prop_assert_eq!(&cba, &whole);
+        prop_assert_eq!(whole.count(), values.len() as u64);
+        let clamped_sum: u64 = values.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        prop_assert_eq!(whole.sum(), clamped_sum);
+        prop_assert_eq!(whole.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(whole.max(), *values.iter().max().unwrap());
+    }
+
+    /// Quantile estimates stay within the documented relative error
+    /// bound (`REL_ERROR` = 1/32, plus one integer of slack for the
+    /// nearest-rank rounding) of the exact nearest-rank quantile —
+    /// values above `MAX_VALUE` are excluded because the histogram
+    /// documents clamping there.
+    #[test]
+    fn quantiles_within_documented_bound(
+        values in prop::collection::vec(in_range_value(), 1..300),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8)
+    ) {
+        let mut h = Histogram::new();
+        let mut sorted = values.clone();
+        for &v in &values {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for &q in &qs {
+            let want = exact_quantile(&sorted, q);
+            let got = h.quantile(q);
+            let tol = (want as f64 * REL_ERROR).max(1.0);
+            prop_assert!(
+                (got as f64 - want as f64).abs() <= tol,
+                "q={q}: histogram {got} vs exact {want} (tol {tol})"
+            );
+        }
+    }
+
+    /// The lock-free histogram snapshots to exactly the plain histogram
+    /// of the same samples, including when recorded with multiplicity.
+    #[test]
+    fn atomic_matches_plain(
+        samples in prop::collection::vec((value_strategy(), 1u64..5), 0..100)
+    ) {
+        let atomic = LatencyHistogram::new();
+        let mut plain = Histogram::new();
+        for &(v, n) in &samples {
+            atomic.record_n(v, n);
+            plain.record_n(v, n);
+        }
+        prop_assert_eq!(atomic.snapshot(), plain);
+    }
+}

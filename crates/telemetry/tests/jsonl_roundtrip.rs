@@ -55,6 +55,9 @@ fn span_stats(label: String, parent: String, count: u64, total_ns: u64, bytes: u
         total_ns,
         min_ns: total_ns.min(1),
         max_ns: total_ns,
+        p50_ns: total_ns / 2,
+        p90_ns: total_ns,
+        p99_ns: total_ns,
         bytes,
         value: 0,
     }
@@ -86,6 +89,8 @@ proptest! {
         prop_assert_eq!(get_str(&v, "parent"), parent);
         prop_assert_eq!(get_num(&v, "count"), count as f64);
         prop_assert_eq!(get_num(&v, "total_ns"), total_ns as f64);
+        prop_assert_eq!(get_num(&v, "p50_ns"), (total_ns / 2) as f64);
+        prop_assert_eq!(get_num(&v, "p99_ns"), total_ns as f64);
         prop_assert_eq!(get_num(&v, "bytes"), bytes as f64);
     }
 
@@ -105,6 +110,9 @@ proptest! {
             total_ns: 0,
             min_ns: 0,
             max_ns: 0,
+            p50_ns: 0,
+            p90_ns: 0,
+            p99_ns: 0,
             bytes: 0,
             value,
         };

@@ -23,9 +23,17 @@
 # "disabled-mode tracing is free" contract.
 #
 # A fourth pass runs `exp_serve` (16 closed-loop clients against the
-# micro-batched serving engine); its per-phase QPS / p50 / p99 / batch
-# histogram and the engine-vs-single-request speedup are embedded as the
-# report's `serve` section.
+# micro-batched serving engine); its per-phase QPS / p50 / p90 / p99,
+# per-stage quantile breakdown, batch histogram, and the
+# engine-vs-single-request speedup are embedded as the report's `serve`
+# section. A fifth pass runs the observability overhead gate: interleaved
+# (telemetry-off, MBSSL_TRACE=summary) exp_serve pairs, compared within
+# each pair on the sequential phase; the best pair's instrumented QPS must
+# stay within MBSSL_BENCH_TOL_PCT (default 5 for this gate) of its
+# telemetry-off partner, enforcing that the serve stage histograms + span
+# instrumentation stay cheap (DESIGN.md §17). Pairing adjacent runs cancels
+# machine drift; gating the best pair means the gate only fails when every
+# pair shows the regression — the signature of real overhead, not noise.
 #
 # On success, one summary line {git_rev, date, fused/unfused/traced train_step
 # items/s, serve QPS + latency figures} is appended to the committed
@@ -41,6 +49,8 @@
 #        MBSSL_BENCH_WARMUP  — discarded warmup passes of the full suite run
 #                              before the measured passes, to stabilize CPU
 #                              frequency and caches (default 1; 0 disables).
+#        MBSSL_BENCH_SERVE_PAIRS — interleaved off/instrumented exp_serve
+#                              pairs for the serve overhead gate (default 3).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,9 +97,24 @@ trap 'rm -rf "$raw" "$raw_unfused" "$raw_traced" "$prev_report" "$serve_dir"' EX
 echo "serve load test (exp_serve, 16 clients)" >&2
 MBSSL_TRACE=off cargo run --release -q -p mbssl-bench --bin exp_serve -- \
     --quick --reqs 64 --out "$serve_dir" >&2
+# Observability overhead gate (DESIGN.md §17): closed-loop serve QPS on a
+# shared box drifts far more than instrumentation costs, so one
+# off-vs-instrumented comparison flakes. Run interleaved pairs — telemetry
+# off, then MBSSL_TRACE=summary, back to back so drift cancels within a
+# pair — at a request count high enough (256/client) to dampen the
+# batching/cache dynamics. The python below gates on the BEST pair: real
+# overhead depresses the instrumented side of every pair, noise does not.
+serve_pairs="${MBSSL_BENCH_SERVE_PAIRS:-3}"
+for ((p = 1; p <= serve_pairs; p++)); do
+    echo "serve overhead gate pair $p/$serve_pairs (off, then MBSSL_TRACE=summary)" >&2
+    MBSSL_TRACE=off cargo run --release -q -p mbssl-bench --bin exp_serve -- \
+        --quick --reqs 256 --out "$serve_dir/gate_off_$p" >&2
+    MBSSL_TRACE=summary cargo run --release -q -p mbssl-bench --bin exp_serve -- \
+        --quick --reqs 256 --out "$serve_dir/gate_on_$p" >&2
+done
 
-python3 - "$raw" "$raw_unfused" "$raw_traced" "$prev_report" "$serve_dir/serve.json" > BENCH_throughput.json <<'PY'
-import datetime, json, os, re, subprocess, sys
+python3 - "$raw" "$raw_unfused" "$raw_traced" "$prev_report" "$serve_dir/serve.json" "$serve_dir" > BENCH_throughput.json <<'PY'
+import datetime, glob, json, os, re, subprocess, sys
 
 def load(path):
     rows, allocator, telemetry = [], {}, {}
@@ -239,8 +264,9 @@ if telemetry:
 if allocator:
     report["allocator"] = allocator
 
-# Serving load test: per-phase QPS / p50 / p99 / batch histogram, plus the
-# engine-vs-single-request speedups (exp_serve, 16 closed-loop clients).
+# Serving load test: per-phase QPS / p50 / p90 / p99, per-stage quantile
+# breakdown, batch histogram, plus the engine-vs-single-request speedups
+# (exp_serve, 16 closed-loop clients).
 serve = None
 try:
     with open(sys.argv[5]) as fh:
@@ -249,6 +275,58 @@ except (OSError, json.JSONDecodeError):
     serve = None
 if serve:
     report["serve"] = serve
+
+# Serve observability overhead gate (DESIGN.md §17): interleaved
+# (off, MBSSL_TRACE=summary) exp_serve pairs, compared within each pair
+# on the sequential phase — there every request is its own batch, so the
+# per-request instrumentation exposure is maximal and there are no
+# cache/batching dynamics adding variance. Real overhead depresses the
+# instrumented side of EVERY pair; machine drift does not. The gate
+# therefore fails only when the best pair still shows a regression
+# beyond tolerance. Closed-loop serve QPS is noisier than the criterion
+# train_step, so this gate defaults to 5% (the trace-diff default)
+# rather than the train gate's 2%.
+def sequential_qps(path):
+    try:
+        with open(path) as fh:
+            run = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    phase = {p["phase"]: p for p in run.get("phases", [])}.get("sequential")
+    return phase["qps"] if phase else None
+
+pairs = []
+for off_path in sorted(glob.glob(os.path.join(sys.argv[6], "gate_off_*", "serve.json"))):
+    idx = os.path.basename(os.path.dirname(off_path)).rsplit("_", 1)[-1]
+    off_qps = sequential_qps(off_path)
+    on_qps = sequential_qps(os.path.join(sys.argv[6], f"gate_on_{idx}", "serve.json"))
+    if off_qps and on_qps:
+        pairs.append({
+            "off_qps": round(off_qps, 1),
+            "instrumented_qps": round(on_qps, 1),
+            "overhead_pct": round(100 * (1 - on_qps / off_qps), 2),
+        })
+if pairs:
+    serve_tol = float(os.environ.get("MBSSL_BENCH_TOL_PCT", "5"))
+    best = min(p["overhead_pct"] for p in pairs)
+    verdict = {
+        "phase": "sequential",
+        "pairs": pairs,
+        "best_overhead_pct": best,
+        "tolerance_pct": serve_tol,
+        "ok": best <= serve_tol,
+    }
+    report.setdefault("serve", {})["instrumentation_check"] = verdict
+    if not verdict["ok"]:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+        print(
+            f"FAIL: instrumented serve QPS regressed more than {serve_tol}% "
+            f"below the telemetry-off partner in all {len(pairs)} interleaved "
+            f"pairs (best overhead {best}%)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
 
 # Disabled-mode overhead gate: pass-1 train_step (MBSSL_TRACE=off) must stay
 # within MBSSL_BENCH_TOL_PCT of the committed report's figure.
@@ -318,10 +396,21 @@ if serve:
         "serve_cached_qps": round(by_phase["cached"]["qps"], 1)
             if "cached" in by_phase else None,
         "serve_p50_us": by_phase.get("cached", {}).get("p50_us"),
+        "serve_p90_us": by_phase.get("cached", {}).get("p90_us"),
         "serve_p99_us": by_phase.get("cached", {}).get("p99_us"),
         "serve_speedup": serve.get("cached_speedup"),
         "serve_batched_speedup": serve.get("batched_speedup"),
+        # Server-side stage p99s for the steady-state phase — the tail
+        # figures the observability layer exists to surface.
+        "serve_stage_p99_us": {
+            s["stage"]: s["p99_us"]
+            for s in by_phase.get("cached", {}).get("stages", [])
+        },
     })
+if pairs:
+    best_pair = min(pairs, key=lambda p: p["overhead_pct"])
+    history["serve_instrumented_qps"] = best_pair["instrumented_qps"]
+    history["serve_instrumentation_overhead_pct"] = best_pair["overhead_pct"]
 with open("BENCH_history.jsonl", "a") as fh:
     fh.write(json.dumps(history) + "\n")
 

@@ -52,7 +52,11 @@
 #                             the single-request run (batch 1, cache off) and
 #                             to offline `recommend`, report zero allocator
 #                             misses after the steady-state mark, and shut
-#                             down cleanly.
+#                             down cleanly; the replay's `metrics` snapshot
+#                             must be schema-complete with every stage
+#                             histogram covering every replied request and a
+#                             parseable Prometheus exposition, and `mbssl
+#                             top` must render a frame from it.
 #   9. data substrate       — `mbssl convert` on the trace-workflow TSV,
 #                             `dataset stats` agreement between the .mbds
 #                             and TSV paths, then the bit-parity gate:
@@ -213,11 +217,13 @@ MBSSL_ANN=off "$mbssl" recommend --data "$trace_dir/log.tsv" --target purchase \
     > "$trace_dir/recs_ann_off.txt"
 diff "$trace_dir/recs_exhaustive.txt" "$trace_dir/recs_ann_off.txt"
 
-echo "==> serve smoke (replay parity, offline cross-check, zero steady-state allocs, clean shutdown)"
+echo "==> serve smoke (replay parity, offline cross-check, metrics snapshot, zero steady-state allocs, clean shutdown)"
 # Fixed replay: a warmup wave, then `mark` opens the steady-state window
 # and the identical wave repeats — by then every buffer the batch shapes
 # need has been high-watered, so the size-class allocator must not miss.
-cat > "$trace_dir/replay.txt" <<'REPLAY'
+# The trailing `metrics` commands snapshot the server state to files
+# (stderr/files only, so stdout stays byte-diffable across configs).
+cat > "$trace_dir/replay.txt" <<REPLAY
 rec 3 5
 rec 7 5
 rec 11 5
@@ -225,6 +231,8 @@ mark
 rec 3 5
 rec 7 5
 rec 11 5
+metrics json $trace_dir/metrics.json
+metrics prom $trace_dir/metrics.prom
 quit
 REPLAY
 # Micro-batched run (cache on, the serving default; the sibling .ivf is
@@ -252,6 +260,46 @@ diff "$trace_dir/offline_user3.txt" "$trace_dir/served_user3.txt"
 # and the drain must be clean.
 grep -q "steady-state alloc misses: 0" "$trace_dir/serve_b16.err"
 grep -q "clean shutdown" "$trace_dir/serve_b16.err"
+# Metrics snapshot validation (DESIGN.md §17): the replay issued
+# `metrics json/prom`; the JSON snapshot must be schema-complete, every
+# stage histogram must cover every replied request, and the Prometheus
+# exposition must parse line-by-line.
+python3 - "$trace_dir/metrics.json" "$trace_dir/metrics.prom" <<'PY'
+import json, sys
+
+snap = json.load(open(sys.argv[1]))
+assert snap["schema"] == "mbssl.serve.metrics/1", snap.get("schema")
+for key in ["unix_time_ms", "uptime_ms", "epoch", "queue_depth", "sessions",
+            "counters", "cache_hit_rate", "mean_batch", "ann_budget_us",
+            "ann_ewma_us", "ann_degraded_now", "batch", "stages"]:
+    assert key in snap, "snapshot missing %s" % key
+for key in ["requests", "batches", "cache_hits", "cache_misses",
+            "ann_degraded", "swaps", "tail_sampled"]:
+    assert key in snap["counters"], "counters missing %s" % key
+requests = snap["counters"]["requests"]
+assert requests == 6, requests
+stages = snap["stages"]
+assert sorted(stages) == sorted(
+    ["queue", "resolve", "forward", "rank", "rerank", "reply", "total"]
+), sorted(stages)
+for name, h in stages.items():
+    for key in ["count", "sum", "min", "max", "p50", "p90", "p99", "buckets"]:
+        assert key in h, "stage %s missing %s" % (name, key)
+    assert h["count"] == requests, "stage %s covers %d/%d" % (name, h["count"], requests)
+    assert sum(c for _, _, c in h["buckets"]) == h["count"], name
+    assert h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"], name
+assert sum(c for _, _, c in snap["batch"]["buckets"]) == snap["counters"]["batches"]
+for line in open(sys.argv[2]):
+    line = line.rstrip("\n")
+    if not line or line.startswith("#"):
+        continue
+    metric, value = line.rsplit(" ", 1)
+    assert metric, line
+    float(value)
+print("metrics snapshot OK: %d requests, %d stages" % (requests, len(stages)))
+PY
+# Dashboard smoke: one frame rendered from the snapshot file.
+"$mbssl" top "$trace_dir/metrics.json" --frames 1 --no-clear | grep -q "^mbssl top"
 
 echo "==> data substrate (convert → stats → TSV-vs-.mbds bit-identical training)"
 # Convert the trace-workflow TSV and check the .mbds reports the same

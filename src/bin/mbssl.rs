@@ -6,7 +6,8 @@
 //! mbssl train     --data log.tsv --target favorite --model out.ckpt [--epochs N] [--dim D] [--interests K] [--run-dir DIR]
 //! mbssl evaluate  --data log.tsv --target favorite --model out.ckpt
 //! mbssl recommend --data log.tsv --target favorite --model out.ckpt --user 42 --top 10
-//! mbssl serve     --data log.tsv --target favorite --model out.ckpt [--replay FILE] [--rerank SPEC] [--top N]
+//! mbssl serve     --data log.tsv --target favorite --model out.ckpt [--replay FILE] [--rerank SPEC] [--top N] [--metrics-out FILE]
+//! mbssl top       snapshot.json [--interval MS] [--frames N] [--no-clear]
 //! mbssl stats     --data log.tsv --target favorite
 //! mbssl synth     --out log.tsv [--preset taobao|yelp] [--scale F] [--seed S]
 //! mbssl index build --data log.tsv --target favorite --model out.ckpt [--out out.ckpt.ivf] [--nlist N]
@@ -30,6 +31,8 @@
 //! mark                      start of the steady-state window (resets the
 //!                           size-class allocator counters)
 //! stats                     print server counters to stderr
+//! metrics [json|prom] [PATH] write a metrics snapshot (DESIGN.md §17) to
+//!                           PATH (atomic tmp+rename), or to stderr
 //! quit                      drain and shut down (EOF does the same)
 //! ```
 //!
@@ -38,7 +41,11 @@
 //! steady-state allocation report) go to stderr, so replay output is
 //! byte-diffable across batching configurations. Tuning comes from the
 //! `MBSSL_SERVE_BATCH` / `MBSSL_SERVE_WAIT_US` / `MBSSL_SERVE_WORKERS` /
-//! `MBSSL_SERVE_CACHE` / `MBSSL_ANN_BUDGET_US` environment.
+//! `MBSSL_SERVE_CACHE` / `MBSSL_ANN_BUDGET_US` environment; tail
+//! sampling of slow requests from `MBSSL_SERVE_SLOW_US` /
+//! `MBSSL_SERVE_SAMPLE` (records land in `MBSSL_RUN_DIR/serve_slow.jsonl`
+//! or on stderr). `--metrics-out FILE` rewrites FILE with a JSON snapshot
+//! every `--metrics-interval` ms (default 1000) for `mbssl top FILE`.
 //!
 //! Every command accepts `--trace MODE` (`off`, `summary`, or
 //! `jsonl:<path>`), equivalent to setting `MBSSL_TRACE`: `summary` prints a
@@ -127,7 +134,8 @@ fn usage() {
 [--epochs N] [--dim D] [--interests K] [--seed S] [--run-dir DIR]\n  \
          mbssl evaluate  --data LOG.tsv --target BEHAVIOR --model IN.ckpt\n  \
          mbssl recommend --data LOG.tsv --target BEHAVIOR --model IN.ckpt --user U [--top N] [--index PATH.ivf]\n  \
-         mbssl serve     --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--replay FILE] [--rerank SPEC] [--top N] [--index PATH.ivf]\n  \
+         mbssl serve     --data LOG.tsv --target BEHAVIOR --model IN.ckpt [--replay FILE] [--rerank SPEC] [--top N] [--index PATH.ivf] [--metrics-out FILE [--metrics-interval MS]]\n  \
+         mbssl top       SNAPSHOT.json [--interval MS] [--frames N] [--no-clear]\n  \
          mbssl stats     --data LOG.tsv --target BEHAVIOR\n  \
          mbssl synth     --out LOG.tsv|OUT.mbds [--preset taobao|yelp|tmall|scale-10k|scale-100k|scale-1m] [--users N] [--scale F] [--seed S]\n  \
          mbssl convert   --data LOG.tsv --target BEHAVIOR [--out PATH.mbds] [--k-user N] [--k-item N]\n  \
@@ -325,6 +333,17 @@ fn model_config(args: &Args, seed: u64) -> ModelConfig {
 /// submitted as one concurrent wave — that concurrency is what the
 /// batcher converts into shared encoder forwards — and replies print in
 /// input order so replay output is deterministic.
+/// Write-then-rename so `mbssl top` (or any scraper) polling the file
+/// never reads a torn snapshot.
+fn write_snapshot_atomic(path: &std::path::Path, body: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, format!("{body}\n")).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming {}: {e}", tmp.display()))
+}
+
 fn serve_command(args: &Args, seed: u64) -> Result<(), String> {
     use std::io::BufRead;
     use std::sync::Arc;
@@ -340,6 +359,11 @@ fn serve_command(args: &Args, seed: u64) -> Result<(), String> {
     let chain = RerankChain::parse(args.get_or("rerank", ""))
         .map_err(|e| format!("bad --rerank: {e}"))?;
     let config = ServeConfig::from_env();
+    let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
+    let metrics_interval_ms: u64 = args
+        .get_or("metrics-interval", "1000")
+        .parse()
+        .map_err(|_| "bad --metrics-interval")?;
 
     // Compiles a checkpoint into a serving engine, attaching `--index`
     // (or the `<ckpt>.ivf` sibling) with recommend's warn-and-degrade
@@ -396,12 +420,12 @@ fn serve_command(args: &Args, seed: u64) -> Result<(), String> {
             s.swaps,
             s.ann_degraded,
         );
+        // Batch sizes ≤ 32 land in exact unit-width histogram buckets,
+        // so `lower` IS the batch size at any realistic MBSSL_SERVE_BATCH.
         let hist: Vec<String> = s
-            .batch_hist
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(size, &c)| format!("{size}:{c}"))
+            .batch
+            .nonzero_buckets()
+            .map(|b| format!("{}:{}", b.lower, b.count))
             .collect();
         eprintln!("serve: batch histogram: {}", hist.join(" "));
     };
@@ -438,59 +462,118 @@ fn serve_command(args: &Args, seed: u64) -> Result<(), String> {
         Ok(())
     };
 
-    let mut wave: Vec<(u32, usize)> = Vec::new();
-    let mut marked = false;
-    for (line_no, line) in input.lines().enumerate() {
-        let line = line.map_err(|e| format!("reading input: {e}"))?;
-        let line = line.trim();
-        let mut err = |msg: String| format!("line {}: {msg}", line_no + 1);
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    // The protocol loop runs inside a scope so an optional snapshot
+    // writer (`--metrics-out`) can borrow the server alongside it; the
+    // stop flag quiesces the writer on any exit path before the scope
+    // joins it.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let marked = std::thread::scope(|scope| {
+        if let Some(path) = &metrics_out {
+            let (server, stop) = (&server, &stop);
+            scope.spawn(move || {
+                use std::sync::atomic::Ordering;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = write_snapshot_atomic(path, &server.metrics_snapshot().to_json());
+                    // Sleep in short slices so shutdown is prompt even
+                    // with a long interval.
+                    let mut left = metrics_interval_ms.max(1);
+                    while left > 0 && !stop.load(Ordering::Relaxed) {
+                        let step = left.min(50);
+                        std::thread::sleep(std::time::Duration::from_millis(step));
+                        left -= step;
+                    }
+                }
+                // A final write so the file reflects the complete run.
+                let _ = write_snapshot_atomic(path, &server.metrics_snapshot().to_json());
+            });
         }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        if tokens[0] != "rec" {
+        let protocol_loop = || -> Result<bool, String> {
+            let mut wave: Vec<(u32, usize)> = Vec::new();
+            let mut marked = false;
+            for (line_no, line) in input.lines().enumerate() {
+                let line = line.map_err(|e| format!("reading input: {e}"))?;
+                let line = line.trim();
+                let mut err = |msg: String| format!("line {}: {msg}", line_no + 1);
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                if tokens[0] != "rec" {
+                    flush_wave(&mut wave)?;
+                }
+                match tokens[0] {
+                    "rec" => {
+                        let user: u32 = tokens
+                            .get(1)
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("rec needs a user id".into()))?;
+                        let n: usize = match tokens.get(2) {
+                            Some(t) => {
+                                t.parse().map_err(|_| err(format!("bad top count {t:?}")))?
+                            }
+                            None => top_default,
+                        };
+                        wave.push((user, n.max(1)));
+                    }
+                    "event" => {
+                        let (user, item, behavior) = match tokens[1..] {
+                            [u, i, b] => (
+                                u.parse::<u32>().map_err(|_| err(format!("bad user {u:?}")))?,
+                                i.parse::<u32>().map_err(|_| err(format!("bad item {i:?}")))?,
+                                Behavior::from_token(b)
+                                    .ok_or_else(|| err(format!("unknown behavior {b:?}")))?,
+                            ),
+                            _ => return Err(err("event needs USER ITEM BEHAVIOR".into())),
+                        };
+                        server.ingest(user, item, behavior).map_err(&mut err)?;
+                    }
+                    "swap" => {
+                        let path =
+                            tokens.get(1).ok_or_else(|| err("swap needs a checkpoint".into()))?;
+                        let epoch = server.swap_engine(build_engine(path)?);
+                        eprintln!("serve: swapped to {path} (epoch {epoch})");
+                    }
+                    "mark" => {
+                        mbssl::tensor::alloc::reset_stats();
+                        marked = true;
+                        eprintln!("serve: mark — steady-state window opened");
+                    }
+                    "stats" => print_stats(&server.stats()),
+                    "metrics" => {
+                        // `metrics [json|prom] [PATH]` — snapshot to PATH
+                        // (atomic) or to stderr; stdout stays reserved for
+                        // `rec` replies so replays remain byte-diffable.
+                        let fmt = tokens.get(1).copied().unwrap_or("json");
+                        let snap = server.metrics_snapshot();
+                        let body = match fmt {
+                            "json" => snap.to_json(),
+                            "prom" => snap.to_prometheus(),
+                            other => {
+                                return Err(err(format!(
+                                    "unknown metrics format {other:?} (want json|prom)"
+                                )))
+                            }
+                        };
+                        match tokens.get(2) {
+                            Some(path) => {
+                                write_snapshot_atomic(std::path::Path::new(path), &body)
+                                    .map_err(&mut err)?;
+                                eprintln!("serve: metrics ({fmt}) -> {path}");
+                            }
+                            None => eprintln!("{body}"),
+                        }
+                    }
+                    "quit" => break,
+                    other => return Err(err(format!("unknown serve command {other:?}"))),
+                }
+            }
             flush_wave(&mut wave)?;
-        }
-        match tokens[0] {
-            "rec" => {
-                let user: u32 = tokens
-                    .get(1)
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| err("rec needs a user id".into()))?;
-                let n: usize = match tokens.get(2) {
-                    Some(t) => t.parse().map_err(|_| err(format!("bad top count {t:?}")))?,
-                    None => top_default,
-                };
-                wave.push((user, n.max(1)));
-            }
-            "event" => {
-                let (user, item, behavior) = match tokens[1..] {
-                    [u, i, b] => (
-                        u.parse::<u32>().map_err(|_| err(format!("bad user {u:?}")))?,
-                        i.parse::<u32>().map_err(|_| err(format!("bad item {i:?}")))?,
-                        Behavior::from_token(b)
-                            .ok_or_else(|| err(format!("unknown behavior {b:?}")))?,
-                    ),
-                    _ => return Err(err("event needs USER ITEM BEHAVIOR".into())),
-                };
-                server.ingest(user, item, behavior).map_err(&mut err)?;
-            }
-            "swap" => {
-                let path = tokens.get(1).ok_or_else(|| err("swap needs a checkpoint".into()))?;
-                let epoch = server.swap_engine(build_engine(path)?);
-                eprintln!("serve: swapped to {path} (epoch {epoch})");
-            }
-            "mark" => {
-                mbssl::tensor::alloc::reset_stats();
-                marked = true;
-                eprintln!("serve: mark — steady-state window opened");
-            }
-            "stats" => print_stats(&server.stats()),
-            "quit" => break,
-            other => return Err(err(format!("unknown serve command {other:?}"))),
-        }
-    }
-    flush_wave(&mut wave)?;
+            Ok(marked)
+        };
+        let result = protocol_loop();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        result
+    })?;
 
     let stats = server.shutdown();
     print_stats(&stats);
@@ -936,6 +1019,23 @@ fn run() -> Result<(), String> {
                 Err(format!("unknown trace subcommand {other:?}"))
             }
         },
+        "top" => {
+            let path = args.positional(0, "metrics snapshot file")?;
+            let interval: u64 = args
+                .get_or("interval", "1000")
+                .parse()
+                .map_err(|_| "bad --interval")?;
+            let frames: Option<u64> = match args.get("frames") {
+                Some(v) => Some(v.parse().map_err(|_| "bad --frames")?),
+                None => None,
+            };
+            let opts = mbssl::top::TopOptions {
+                interval: std::time::Duration::from_millis(interval.max(1)),
+                frames,
+                clear: args.get("no-clear").is_none(),
+            };
+            mbssl::top::run(path, &opts)
+        }
         "report" => {
             if args.positionals.is_empty() {
                 usage();

@@ -12,6 +12,7 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end train-and-evaluate run.
 
+pub mod top;
 pub mod trace;
 
 pub use mbssl_baselines as baselines;
